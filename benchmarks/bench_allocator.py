@@ -1,0 +1,44 @@
+"""Allocator-policy/endurance ablation (X3) and polarity accounting (X4).
+
+X3 quantifies §4.2.3's endurance argument: FIFO reuse spreads programming
+pulses evenly over the work cells (low peak wear), LIFO concentrates them,
+FRESH trades cells for minimal wear.  Wear numbers come from actually
+executing the compiled programs on the machine model.
+"""
+
+import pytest
+
+from repro.circuits.registry import benchmark_info
+from repro.eval.ablations import allocator_ablation, polarity_ablation
+
+
+@pytest.mark.parametrize("name", ["voter", "cavlc"])
+def test_allocator_policies(benchmark, name, scale):
+    mig = benchmark_info(name).build(scale)
+    points = benchmark(allocator_ablation, mig)
+    by_policy = {p.policy: p for p in points}
+    benchmark.extra_info["policies"] = {
+        p.policy: {
+            "R": p.rrams,
+            "max_writes": p.wear.max_writes,
+            "gini": round(p.wear.gini, 3),
+        }
+        for p in points
+    }
+    # Endurance claims: FRESH has the most cells and the least peak wear;
+    # FIFO never wears a single cell more than LIFO does.
+    assert by_policy["fresh"].rrams >= by_policy["fifo"].rrams
+    assert by_policy["fifo"].wear.max_writes <= by_policy["lifo"].wear.max_writes
+
+
+@pytest.mark.parametrize("name", ["priority", "int2float"])
+def test_output_polarity_accounting(benchmark, name, scale):
+    """X4: paper accounting vs honest complemented-output fix-ups."""
+    mig = benchmark_info(name).build(scale)
+    points = benchmark(polarity_ablation, mig)
+    by_mode = {p.accounting: p for p in points}
+    benchmark.extra_info["modes"] = {
+        p.accounting: {"I": p.instructions, "inverted_left": p.inverted_outputs}
+        for p in points
+    }
+    assert by_mode["honest"].inverted_outputs == 0

@@ -1,0 +1,62 @@
+"""Algorithm 2 benches (A2) and the candidate-selection ablation (X2/X5).
+
+Measures compilation throughput and compares scheduling/translation rule
+sets on both as-built and shuffled (netlist-file-like) gate orders, which
+is where candidate selection earns the paper's #R reductions.
+"""
+
+import pytest
+
+from repro.circuits.registry import benchmark_info
+from repro.core.compiler import CompilerOptions, PlimCompiler
+from repro.core.rewriting import rewrite_for_plim
+from repro.eval.ablations import SELECTION_CONFIGS
+from repro.mig.reorder import shuffle_topological
+
+REPRESENTATIVE = ["bar", "mem_ctrl"]
+
+
+@pytest.mark.parametrize("name", REPRESENTATIVE)
+def test_compile_throughput(benchmark, name, scale):
+    mig = rewrite_for_plim(benchmark_info(name).build(scale))
+    compiler = PlimCompiler(CompilerOptions(fix_output_polarity=False))
+    program = benchmark(compiler.compile, mig)
+    benchmark.extra_info.update(
+        {
+            "scale": scale,
+            "gates": mig.num_gates,
+            "instructions": program.num_instructions,
+            "work_rrams": program.num_rrams,
+        }
+    )
+
+
+@pytest.mark.parametrize("config", list(SELECTION_CONFIGS))
+@pytest.mark.parametrize("order", ["as-built", "shuffled"])
+def test_selection_rules(benchmark, config, order, scale):
+    """X2/X5: every scheduling rule set on friendly and hostile orders."""
+    mig = rewrite_for_plim(benchmark_info("mem_ctrl").build(scale))
+    if order == "shuffled":
+        mig = shuffle_topological(mig, seed=42)
+    compiler = PlimCompiler(SELECTION_CONFIGS[config])
+    program = benchmark(compiler.compile, mig)
+    benchmark.extra_info.update(
+        {
+            "scale": scale,
+            "order": order,
+            "instructions": program.num_instructions,
+            "work_rrams": program.num_rrams,
+        }
+    )
+
+
+def test_scheduler_beats_naive_on_hostile_order(scale):
+    """The paper's central #R claim, on netlist-file-like gate order."""
+    mig = rewrite_for_plim(benchmark_info("mem_ctrl").build(scale))
+    hostile = shuffle_topological(mig, seed=42)
+    naive = PlimCompiler(
+        CompilerOptions.naive(fix_output_polarity=False)
+    ).compile(hostile)
+    smart = PlimCompiler(CompilerOptions(fix_output_polarity=False)).compile(hostile)
+    assert smart.num_rrams < naive.num_rrams
+    assert smart.num_instructions < naive.num_instructions

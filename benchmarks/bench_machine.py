@@ -1,0 +1,82 @@
+"""PLiM machine benches (Fig. 2 / F2): execution and verification speed.
+
+The machine model is the substrate every experiment stands on; these
+benches measure single-bit execution throughput (instructions/second) and
+the bit-parallel verification pass that checks hundreds of input patterns
+per machine run.
+"""
+
+import random
+
+import pytest
+
+from repro.circuits.registry import benchmark_info
+from repro.core.pipeline import compile_mig
+from repro.plim.machine import PlimMachine
+from repro.plim.verify import verify_program
+
+
+@pytest.fixture(scope="module")
+def compiled_adder(scale):
+    mig = benchmark_info("adder").build(scale)
+    result = compile_mig(mig)
+    return mig, result.program
+
+
+def test_machine_execution(benchmark, compiled_adder):
+    mig, program = compiled_adder
+    rng = random.Random(1)
+    inputs = {name: rng.randint(0, 1) for name in mig.pi_names()}
+
+    def run():
+        machine = PlimMachine.for_program(program)
+        return machine.run_program(program, inputs)
+
+    benchmark(run)
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info.update(
+        {
+            "instructions": program.num_instructions,
+            "instructions_per_second": round(program.num_instructions / mean)
+            if mean
+            else None,
+        }
+    )
+
+
+def test_bit_parallel_verification(benchmark, compiled_adder):
+    mig, program = compiled_adder
+    result = benchmark(
+        verify_program,
+        mig,
+        program,
+        num_random_rounds=1,
+        patterns_per_round=256,
+    )
+    assert result.ok
+    benchmark.extra_info["patterns_checked"] = result.patterns_checked
+
+
+def test_von_neumann_fetch_overhead(benchmark, compiled_adder):
+    """Stored-program execution: fetch cycles dominate (Fig. 2 reality)."""
+    from repro.plim.controller import FetchingController
+
+    mig, program = compiled_adder
+    inputs = {name: 1 for name in mig.pi_names()}
+
+    def run():
+        controller = FetchingController(program)
+        controller.run(inputs)
+        return controller
+
+    controller = benchmark(run)
+    ideal = 3 * len(program)
+    benchmark.extra_info.update(
+        {
+            "code_bits": len(controller.image.bits),
+            "fetch_cycles": controller.fetch_cycles,
+            "execute_cycles": controller.execute_cycles,
+            "fetch_overhead_factor": round(controller.total_cycles / ideal, 2),
+        }
+    )
+    assert controller.execute_cycles == ideal

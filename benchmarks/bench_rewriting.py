@@ -1,0 +1,56 @@
+"""Algorithm 1 benches (A1) and the rewriting-effort ablation (X1).
+
+Measures MIG rewriting throughput on representative circuits and sweeps
+the ``effort`` parameter (the paper fixes it at 4), recording how #N, #I
+and #R respond in ``extra_info``.
+"""
+
+import pytest
+
+from repro.circuits.registry import benchmark_info
+from repro.core.rewriting import RewriteOptions, rewrite_for_plim
+from repro.eval.ablations import effort_sweep
+
+REPRESENTATIVE = ["adder", "cavlc", "sin", "voter"]
+
+
+@pytest.mark.parametrize("name", REPRESENTATIVE)
+def test_rewrite_throughput(benchmark, name, scale):
+    mig = benchmark_info(name).build(scale)
+    rewritten = benchmark(rewrite_for_plim, mig, RewriteOptions(effort=4))
+    benchmark.extra_info.update(
+        {
+            "scale": scale,
+            "gates_before": mig.num_gates,
+            "gates_after": rewritten.num_gates,
+            "gates_per_second": (
+                round(mig.num_gates / benchmark.stats.stats.mean)
+                if benchmark.stats.stats.mean
+                else None
+            ),
+        }
+    )
+    assert rewritten.num_gates <= mig.num_gates
+
+
+@pytest.mark.parametrize("name", ["cavlc", "int2float"])
+def test_effort_sweep(benchmark, name, scale):
+    """X1: cost vs effort — most of the win lands by effort 1-2."""
+    mig = benchmark_info(name).build(scale)
+    points = benchmark(effort_sweep, mig, (0, 1, 2, 4, 8))
+    benchmark.extra_info["sweep"] = {
+        p.effort: {"N": p.num_gates, "I": p.instructions, "R": p.rrams}
+        for p in points
+    }
+    by_effort = {p.effort: p for p in points}
+    # Rewriting may trade a couple of instructions for cells (it optimizes
+    # the combined cost); neither metric may regress materially.
+    base = by_effort[0]
+    for effort in (4, 8):
+        point = by_effort[effort]
+        slack = max(2, base.instructions // 50)
+        assert point.instructions <= base.instructions + slack
+        assert point.rrams <= base.rrams + max(2, base.rrams // 10)
+        assert (point.instructions < base.instructions) or (
+            point.rrams <= base.rrams
+        )

@@ -1,0 +1,26 @@
+"""Shared configuration for the benchmark harness.
+
+Every paper artifact (Table 1, Fig. 3, Algorithms 1/2, the machine model)
+has a bench here.  The workload size is selected with the ``REPRO_SCALE``
+environment variable: ``ci`` (default; seconds for the whole harness),
+``default`` (the EXPERIMENTS.md numbers), or ``paper`` (full Table 1 I/O
+sizes; minutes in pure Python).
+
+Measured quality metrics (#I, #R, improvements) are attached to each bench
+via ``benchmark.extra_info`` so they land in the JSON alongside runtimes.
+"""
+
+import os
+
+import pytest
+
+SCALE = os.environ.get("REPRO_SCALE", "ci")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return SCALE
+
+
+def pytest_report_header(config):
+    return f"repro benchmark scale: {SCALE} (set REPRO_SCALE=ci|default|paper)"

@@ -1,0 +1,9 @@
+"""Shim for legacy editable installs (`pip install -e . --no-use-pep517`).
+
+The offline environment lacks the `wheel` package that PEP 517 editable
+installs require; all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""Arithmetic EPFL benchmarks: adder, bar, max, multiplier, square.
+
+All are exact functional re-implementations at parameterized widths; at
+``paper`` scale the I/O signatures match Table 1 of the paper exactly
+(e.g. ``adder``: 256 PIs / 129 POs).
+"""
+
+from __future__ import annotations
+
+from repro.mig.build import LogicBuilder
+from repro.mig.graph import Mig
+from repro.mig.words import (
+    add,
+    barrel_rotate_left,
+    less_than,
+    multiply,
+    mux_word,
+    square,
+)
+
+
+def make_adder(bits: int = 128, style: str = "aoig") -> Mig:
+    """Ripple-carry adder: ``a + b`` with carry out (EPFL ``adder``)."""
+    builder = LogicBuilder(style=style, name=f"adder{bits}")
+    a = builder.inputs(bits, "a")
+    b = builder.inputs(bits, "b")
+    total, carry = add(builder, a, b)
+    builder.outputs(total, "s")
+    builder.output(carry, "cout")
+    return builder.mig
+
+
+def make_bar(bits: int = 128, style: str = "aoig") -> Mig:
+    """Logarithmic barrel rotator (EPFL ``bar``: 128 data + 7 amount)."""
+    select_bits = max(1, (bits - 1).bit_length())
+    builder = LogicBuilder(style=style, name=f"bar{bits}")
+    data = builder.inputs(bits, "d")
+    amount = builder.inputs(select_bits, "s")
+    rotated = barrel_rotate_left(builder, data, amount)
+    builder.outputs(rotated, "q")
+    return builder.mig
+
+
+def make_max(bits: int = 128, words: int = 4, style: str = "aoig") -> Mig:
+    """Maximum of ``words`` unsigned words plus the winner's index.
+
+    EPFL ``max``: four 128-bit words in (512 PIs), the maximum value and a
+    2-bit winner index out (130 POs).
+    """
+    if words != 4:
+        raise ValueError("the EPFL max benchmark compares exactly four words")
+    builder = LogicBuilder(style=style, name=f"max{bits}x{words}")
+    operands = [builder.inputs(bits, f"w{k}_") for k in range(words)]
+    sel01 = less_than(builder, operands[0], operands[1])
+    max01 = mux_word(builder, sel01, operands[1], operands[0])
+    sel23 = less_than(builder, operands[2], operands[3])
+    max23 = mux_word(builder, sel23, operands[3], operands[2])
+    sel_final = less_than(builder, max01, max23)
+    winner = mux_word(builder, sel_final, max23, max01)
+    builder.outputs(winner, "m")
+    builder.output(builder.mux(sel_final, sel23, sel01), "idx0")
+    builder.output(sel_final, "idx1")
+    return builder.mig
+
+
+def make_multiplier(bits: int = 64, style: str = "aoig") -> Mig:
+    """Array multiplier ``a * b`` (EPFL ``multiplier``: 64x64 → 128)."""
+    builder = LogicBuilder(style=style, name=f"multiplier{bits}")
+    a = builder.inputs(bits, "a")
+    b = builder.inputs(bits, "b")
+    product = multiply(builder, a, b)
+    builder.outputs(product, "p")
+    return builder.mig
+
+
+def make_square(bits: int = 64, style: str = "aoig") -> Mig:
+    """Squarer ``a * a`` (EPFL ``square``: 64 → 128)."""
+    builder = LogicBuilder(style=style, name=f"square{bits}")
+    a = builder.inputs(bits, "a")
+    builder.outputs(square(builder, a), "p")
+    return builder.mig

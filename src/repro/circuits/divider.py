@@ -1,0 +1,33 @@
+"""Division-family EPFL benchmarks: div and sqrt.
+
+Exact functional re-implementations of restoring array division and the
+restoring digit-recurrence square root.  At ``paper`` scale the signatures
+match Table 1: ``div`` takes a 64-bit numerator and 64-bit divisor (128
+PIs) and produces quotient and remainder (128 POs); ``sqrt`` takes a
+128-bit radicand and produces the 64-bit integer root.
+"""
+
+from __future__ import annotations
+
+from repro.mig.build import LogicBuilder
+from repro.mig.graph import Mig
+from repro.mig.words import divide, isqrt
+
+
+def make_div(bits: int = 64, style: str = "aoig") -> Mig:
+    """Restoring divider: quotient and remainder of ``n / d``."""
+    builder = LogicBuilder(style=style, name=f"div{bits}")
+    numerator = builder.inputs(bits, "n")
+    denominator = builder.inputs(bits, "d")
+    quotient, remainder = divide(builder, numerator, denominator)
+    builder.outputs(quotient, "q")
+    builder.outputs(remainder, "r")
+    return builder.mig
+
+
+def make_sqrt(bits: int = 128, style: str = "aoig") -> Mig:
+    """Integer square root of a ``bits``-wide radicand."""
+    builder = LogicBuilder(style=style, name=f"sqrt{bits}")
+    radicand = builder.inputs(bits, "x")
+    builder.outputs(isqrt(builder, radicand), "rt")
+    return builder.mig

@@ -1,0 +1,306 @@
+"""``plimc`` — command-line interface to the PLiM compiler.
+
+Subcommands::
+
+    plimc compile <circuit> [-o out.plim] [--naive] [--no-rewrite] ...
+    plimc stats <circuit>
+    plimc run <program.plim> --set a=1 --set b=0 ...
+    plimc bench <name> [--scale ci|default|paper]
+    plimc table1 [--scale ...] [--shuffled] [--csv]
+    plimc fig3
+    plimc ablate <name> [--scale ...]
+
+Circuit files are detected by extension: ``.mig`` (native), ``.blif``,
+``.aag`` (ASCII AIGER).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro._version import __version__
+from repro.circuits.registry import BENCHMARK_NAMES, SCALES, benchmark_info
+from repro.core.compiler import CompilerOptions
+from repro.core.pipeline import compile_mig
+from repro.errors import ReproError
+from repro.eval import ablations
+from repro.eval.fig3 import run_fig3
+from repro.eval.table1 import format_table1, run_table1, table1_csv
+from repro.mig.analysis import stats as mig_stats
+from repro.mig.graph import Mig
+from repro.mig.io_aiger import read_aiger
+from repro.mig.io_blif import read_blif
+from repro.mig.io_mig import read_mig
+from repro.mig.io_verilog import write_verilog
+from repro.plim.machine import PlimMachine
+from repro.plim.program import Program
+from repro.plim.verify import verify_program
+
+READERS = {".mig": read_mig, ".blif": read_blif, ".aag": read_aiger}
+
+
+def load_circuit(path: str) -> Mig:
+    """Read a circuit file, dispatching on its extension."""
+    suffix = Path(path).suffix.lower()
+    try:
+        reader = READERS[suffix]
+    except KeyError:
+        raise ReproError(
+            f"unknown circuit format {suffix!r}; expected one of {sorted(READERS)}"
+        ) from None
+    return reader(path)
+
+
+def _cmd_compile(args) -> int:
+    mig = load_circuit(args.circuit)
+    if args.naive:
+        options = CompilerOptions.naive(fix_output_polarity=not args.paper_outputs)
+    else:
+        options = CompilerOptions(
+            fix_output_polarity=not args.paper_outputs,
+            max_work_cells=args.max_rrams,
+        )
+    if args.depth_rewrite:
+        from repro.core.rewriting import rewrite_depth
+
+        mig = rewrite_depth(mig)
+    result = compile_mig(
+        mig,
+        rewrite=not args.no_rewrite,
+        effort=args.effort,
+        compiler_options=options,
+    )
+    program = result.program
+    print(
+        f"{mig.name or args.circuit}: {result.num_gates} gates -> "
+        f"{program.num_instructions} instructions, {program.num_rrams} work RRAMs",
+        file=sys.stderr,
+    )
+    if args.verify:
+        check = verify_program(result.compiled_mig, program)
+        print(f"verification ({check.mode}): {'OK' if check.ok else 'FAILED'}", file=sys.stderr)
+        if not check.ok:
+            return 1
+    if args.listing:
+        print(program.listing())
+    if args.emit_verilog:
+        write_verilog(result.compiled_mig, args.emit_verilog)
+        print(f"wrote {args.emit_verilog}", file=sys.stderr)
+    if args.output:
+        Path(args.output).write_text(program.to_text(), encoding="utf-8")
+        print(f"wrote {args.output}", file=sys.stderr)
+    elif not args.listing:
+        print(program.to_text(), end="")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    mig = load_circuit(args.circuit)
+    print(f"{mig.name or args.circuit}: {mig_stats(mig)}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    program = Program.from_text(Path(args.program).read_text(encoding="utf-8"))
+    inputs = {}
+    for assignment in args.set or []:
+        name, _, value = assignment.partition("=")
+        if value not in ("0", "1"):
+            raise ReproError(f"input values must be 0 or 1, got {assignment!r}")
+        inputs[name] = int(value)
+    missing = sorted(set(program.input_cells) - set(inputs))
+    if missing:
+        raise ReproError(f"missing inputs: {', '.join(missing)} (use --set name=0)")
+    machine = PlimMachine.for_program(program)
+    outputs = machine.run_program(program, inputs)
+    for name in sorted(outputs):
+        print(f"{name} = {outputs[name]}")
+    print(
+        f"# {machine.instruction_count} instructions, {machine.cycle_count} cycles",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_controller(args) -> int:
+    """Run a .plim program on the von Neumann fetching controller."""
+    from repro.plim.controller import FetchingController
+
+    program = Program.from_text(Path(args.program).read_text(encoding="utf-8"))
+    inputs = {}
+    for assignment in args.set or []:
+        name, _, value = assignment.partition("=")
+        if value not in ("0", "1"):
+            raise ReproError(f"input values must be 0 or 1, got {assignment!r}")
+        inputs[name] = int(value)
+    missing = sorted(set(program.input_cells) - set(inputs))
+    if missing:
+        raise ReproError(f"missing inputs: {', '.join(missing)} (use --set name=0)")
+    controller = FetchingController(program)
+    outputs = controller.run(inputs)
+    for name in sorted(outputs):
+        print(f"{name} = {outputs[name]}")
+    print(
+        f"# stored program: {len(controller.image.bits)} code bits above "
+        f"{controller.data_cells} data cells; "
+        f"{controller.fetch_cycles} fetch + {controller.execute_cycles} "
+        f"execute cycles",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.eval.table1 import run_benchmark
+
+    row = run_benchmark(args.name, args.scale, paper_accounting=not args.honest)
+    info = benchmark_info(args.name)
+    print(
+        f"{args.name} ({args.scale}, {info.status}): PI/PO {row.pi}/{row.po}\n"
+        f"  naive:                 N={row.naive_n}  I={row.naive_i}  R={row.naive_r}\n"
+        f"  rewriting:             N={row.rewr_n}  I={row.rewr_i} ({row.rewr_i_impr:+.2f}%)"
+        f"  R={row.rewr_r} ({row.rewr_r_impr:+.2f}%)\n"
+        f"  rewriting+compilation: I={row.full_i} ({row.full_i_impr:+.2f}%)"
+        f"  R={row.full_r} ({row.full_r_impr:+.2f}%)\n"
+        f"  [{row.seconds:.2f}s]"
+    )
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    def progress(name, row):
+        print(
+            f"  {name:11s} I {row.naive_i:>8d} -> {row.full_i:>8d}   "
+            f"R {row.naive_r:>6d} -> {row.full_r:>6d}   ({row.seconds:.1f}s)",
+            file=sys.stderr,
+        )
+
+    result = run_table1(
+        names=args.names or None,
+        scale=args.scale,
+        effort=args.effort,
+        shuffled=args.shuffled,
+        paper_accounting=not args.honest,
+        progress=progress,
+    )
+    print(table1_csv(result) if args.csv else format_table1(result))
+    return 0
+
+
+def _cmd_fig3(args) -> int:
+    report = run_fig3()
+    print(report.summary())
+    if args.listings:
+        for label, program in [
+            ("Fig. 3(a) before, naive", report.fig3a_before_naive),
+            ("Fig. 3(a) after, smart", report.fig3a_after_smart),
+            ("Fig. 3(b) naive", report.fig3b_naive),
+            ("Fig. 3(b) smart", report.fig3b_smart),
+        ]:
+            print(f"\n{label}:\n{program.listing()}")
+    return 0
+
+
+def _cmd_ablate(args) -> int:
+    print(ablations.run_benchmark_ablations(args.name, args.scale))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="plimc",
+        description="MIG-based compiler for the PLiM logic-in-memory architecture "
+        "(reproduction of Soeken et al., DAC 2016)",
+    )
+    parser.add_argument("--version", action="version", version=f"plimc {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile a circuit file to a PLiM program")
+    p.add_argument("circuit", help="input circuit (.mig, .blif, .aag)")
+    p.add_argument("-o", "--output", help="write the .plim program here")
+    p.add_argument("--no-rewrite", action="store_true", help="skip Algorithm 1")
+    p.add_argument("--effort", type=int, default=4, help="rewriting effort (default 4)")
+    p.add_argument("--naive", action="store_true", help="use the naive baseline translator")
+    p.add_argument("--listing", action="store_true", help="print the paper-style listing")
+    p.add_argument("--verify", action="store_true", help="verify against the MIG on the machine model")
+    p.add_argument(
+        "--paper-outputs",
+        action="store_true",
+        help="leave complemented outputs in place (paper accounting)",
+    )
+    p.add_argument(
+        "--max-rrams",
+        type=int,
+        default=None,
+        metavar="N",
+        help="compile within a work-RRAM budget (evicts complement caches)",
+    )
+    p.add_argument(
+        "--depth-rewrite",
+        action="store_true",
+        help="apply depth-oriented rewriting before compiling",
+    )
+    p.add_argument(
+        "--emit-verilog",
+        metavar="FILE",
+        help="also write the compiled MIG as structural Verilog",
+    )
+    p.set_defaults(func=_cmd_compile)
+
+    p = sub.add_parser("stats", help="print MIG statistics of a circuit file")
+    p.add_argument("circuit")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("run", help="execute a .plim program on the machine model")
+    p.add_argument("program")
+    p.add_argument("--set", action="append", metavar="NAME=BIT", help="input assignment")
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
+        "controller", help="execute a .plim program on the von Neumann controller"
+    )
+    p.add_argument("program")
+    p.add_argument("--set", action="append", metavar="NAME=BIT", help="input assignment")
+    p.set_defaults(func=_cmd_controller)
+
+    p = sub.add_parser("bench", help="measure one EPFL benchmark")
+    p.add_argument("name", choices=BENCHMARK_NAMES)
+    p.add_argument("--scale", choices=SCALES, default="default")
+    p.add_argument("--honest", action="store_true", help="charge output polarity fix-ups")
+    p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("table1", help="reproduce the paper's Table 1")
+    p.add_argument("--names", nargs="*", choices=BENCHMARK_NAMES, help="subset of benchmarks")
+    p.add_argument("--scale", choices=SCALES, default="default")
+    p.add_argument("--effort", type=int, default=4)
+    p.add_argument("--shuffled", action="store_true", help="shuffle gate order first (file-like order)")
+    p.add_argument("--honest", action="store_true", help="charge output polarity fix-ups")
+    p.add_argument("--csv", action="store_true", help="emit CSV instead of the ASCII table")
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("fig3", help="regenerate the paper's motivating examples")
+    p.add_argument("--listings", action="store_true", help="print the four program listings")
+    p.set_defaults(func=_cmd_fig3)
+
+    p = sub.add_parser("ablate", help="run the DESIGN.md ablations on one benchmark")
+    p.add_argument("name", choices=BENCHMARK_NAMES)
+    p.add_argument("--scale", choices=SCALES, default="default")
+    p.set_defaults(func=_cmd_ablate)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"plimc: error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""The paper's contribution: MIG rewriting for PLiM and the PLiM compiler.
+
+* :mod:`repro.core.rewriting` — Algorithm 1: MIG rewriting that minimizes
+  expected instructions and RRAMs (size rules + inverter propagation).
+* :mod:`repro.core.compiler` — Algorithm 2: the compilation loop.
+* :mod:`repro.core.schedule` — §4.2.1 candidate selection priority queue.
+* :mod:`repro.core.translate` — §4.2.2 node translation case analysis.
+* :mod:`repro.core.allocator` — §4.2.3 RRAM allocation (FIFO free list).
+* :mod:`repro.core.cost` — the static cost model driving rewriting choices.
+* :mod:`repro.core.pipeline` — the end-to-end convenience API.
+"""
+
+from repro.core.allocator import RramAllocator
+from repro.core.compiler import CompilerOptions, PlimCompiler
+from repro.core.pipeline import CompileResult, compile_mig
+from repro.core.rewriting import RewriteOptions, rewrite_for_plim
+
+__all__ = [
+    "RramAllocator",
+    "CompilerOptions",
+    "PlimCompiler",
+    "CompileResult",
+    "compile_mig",
+    "RewriteOptions",
+    "rewrite_for_plim",
+]

@@ -1,0 +1,271 @@
+"""The PLiM compiler: Algorithm 2 of the paper.
+
+The compilation loop maintains ``COMP[v]`` (has node ``v`` been computed?)
+and a queue of *candidates* — gates whose children are all computed.  Each
+iteration pops the best candidate, translates it into RM3 instructions
+(§4.2.2), marks it computed, and enqueues any parents that became ready.
+
+:class:`CompilerOptions` selects between the paper's optimizing
+configuration and the baselines used in the evaluation:
+
+* ``CompilerOptions()`` — the full compiler: priority-queue scheduling,
+  case-based operand selection, complement caching, FIFO allocation.
+* ``CompilerOptions.naive()`` — the §3 baseline: index-order scheduling and
+  child-order operand selection with no complement caching.
+* ``CompilerOptions.no_selection()`` — only the candidate-selection scheme
+  disabled (the literal reading of the Table 1 baseline): index order but
+  smart per-node translation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.core.allocator import POLICIES, RramAllocator
+from repro.core.schedule import IndexScheduler, PriorityScheduler, make_key
+from repro.core.translate import CONSUMED, TranslationState, translate_node
+from repro.errors import CompilationError
+from repro.mig.analysis import levels as compute_levels
+from repro.mig.analysis import parents_of
+from repro.mig.graph import Mig
+from repro.mig.reorder import reorder_dfs
+from repro.plim.program import Program
+
+SCHEDULING_MODES = ("priority", "index")
+OPERAND_MODES = ("cases", "child_order")
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Configuration knobs of the compiler (see module docstring)."""
+
+    scheduling: str = "priority"
+    operand_selection: str = "cases"
+    complement_caching: bool = True
+    allocator_policy: str = "fifo"
+    #: True: complemented outputs are inverted into a cell (2 extra
+    #: instructions each); False: the paper's accounting — outputs may rest
+    #: in complemented form, flagged in the program's output contract.
+    fix_output_polarity: bool = True
+    #: drop dead gates before compiling (node indices are then re-packed)
+    clean: bool = True
+    #: pre-ordering pass: "dfs" re-indexes gates in PO-driven depth-first
+    #: postorder before scheduling, making cell liveness independent of the
+    #: input file's gate order; "none" keeps the given order (the naïve
+    #: baseline translates in as-given index order, like the paper's);
+    #: "best" (default) compiles under both orders and keeps the program
+    #: with fewer work RRAMs — DFS wins on hostile orders, the as-given
+    #: order can win when the builder interleaved shared consumers.
+    reorder: str = "best"
+    #: candidate-selection rule toggles (ablation X5).  The paper's
+    #: comparator is releasing → levels → index; on creation-ordered MIGs
+    #: the level rule degrades liveness badly (it digs breadth-first along
+    #: the lowest parent-level frontier), so the default uses principle (i)
+    #: with dynamic refresh only.  ``unblocking_rule`` is this package's
+    #: one-step lookahead extension of principle (i).
+    unblocking_rule: bool = False
+    level_rule: bool = False
+    #: hard budget on distinct work RRAMs (#R); None = unlimited.  Under
+    #: pressure, cached complements are evicted and recomputed on demand
+    #: (the paper's future-work item: "constraints in the optimization,
+    #: e.g., a limited number of RRAMs").  Infeasible budgets raise
+    #: CompilationError.
+    max_work_cells: "Optional[int]" = None
+
+    @classmethod
+    def paper_selection(cls, **overrides) -> "CompilerOptions":
+        """The literal §4.2.1 comparator: releasing, then parent levels."""
+        base = cls(level_rule=True)
+        return replace(base, **overrides)
+
+    def __post_init__(self):
+        if self.scheduling not in SCHEDULING_MODES:
+            raise CompilationError(
+                f"unknown scheduling {self.scheduling!r}; expected one of {SCHEDULING_MODES}"
+            )
+        if self.operand_selection not in OPERAND_MODES:
+            raise CompilationError(
+                f"unknown operand selection {self.operand_selection!r}; "
+                f"expected one of {OPERAND_MODES}"
+            )
+        if self.allocator_policy not in POLICIES:
+            raise CompilationError(
+                f"unknown allocator policy {self.allocator_policy!r}; "
+                f"expected one of {POLICIES}"
+            )
+        if self.reorder not in ("none", "dfs", "best"):
+            raise CompilationError(
+                f"unknown reorder mode {self.reorder!r}; "
+                "expected 'none', 'dfs', or 'best'"
+            )
+
+    @classmethod
+    def naive(cls, **overrides) -> "CompilerOptions":
+        """The §3 baseline translator."""
+        base = cls(
+            scheduling="index",
+            operand_selection="child_order",
+            complement_caching=False,
+            reorder="none",
+        )
+        return replace(base, **overrides)
+
+    @classmethod
+    def no_selection(cls, **overrides) -> "CompilerOptions":
+        """Only candidate selection disabled (Table 1's literal baseline)."""
+        base = cls(scheduling="index", reorder="none")
+        return replace(base, **overrides)
+
+
+class PlimCompiler:
+    """Compiles MIGs into PLiM programs (paper Algorithm 2)."""
+
+    def __init__(self, options: Optional[CompilerOptions] = None):
+        self.options = options if options is not None else CompilerOptions()
+
+    def compile(self, mig: Mig) -> Program:
+        """Translate ``mig`` into an executable :class:`Program`."""
+        if self.options.clean:
+            mig, _ = mig.cleanup()
+        if self.options.reorder == "dfs":
+            return self._compile_ordered(reorder_dfs(mig))
+        if self.options.reorder == "best":
+            as_given = self._compile_ordered(mig)
+            dfs = self._compile_ordered(reorder_dfs(mig))
+            key = lambda p: (p.num_rrams, p.num_instructions)
+            return dfs if key(dfs) < key(as_given) else as_given
+        return self._compile_ordered(mig)
+
+    def _compile_ordered(self, mig: Mig) -> Program:
+        """Run Algorithm 2 on an MIG whose node order is final."""
+        program = Program(
+            input_cells={name: i for i, name in enumerate(mig.pi_names())},
+            name=mig.name,
+        )
+        allocator = RramAllocator(
+            first_address=mig.num_pis, policy=self.options.allocator_policy
+        )
+        remaining_uses = self._initial_uses(mig)
+        state = TranslationState(
+            mig,
+            program,
+            allocator,
+            remaining_uses,
+            complement_caching=self.options.complement_caching,
+            max_work_cells=self.options.max_work_cells,
+        )
+        naive = self.options.operand_selection == "child_order"
+
+        parents = parents_of(mig)
+        node_levels = compute_levels(mig)
+
+        computed: set[int] = {0}
+        for pi in mig.pis():
+            computed.add(pi.node)
+        pending_children: dict[int, int] = {}
+        for v in mig.gates():
+            pending_children[v] = sum(
+                1 for c in mig.children(v) if c.node not in computed
+            )
+        scheduler = self._make_scheduler(
+            mig, state, parents, node_levels, pending_children
+        )
+        for v in mig.gates():
+            if pending_children[v] == 0:
+                scheduler.push(v)
+
+        translated = 0
+        while len(scheduler):
+            v = scheduler.pop()
+            translate_node(state, v, naive=naive)
+            computed.add(v)
+            translated += 1
+            for parent in parents[v]:
+                pending_children[parent] -= 1
+                if pending_children[parent] == 0:
+                    scheduler.push(parent)
+                elif pending_children[parent] == 1:
+                    # The last missing child of `parent` just became more
+                    # attractive (unblocking rule) — re-rank it if queued.
+                    for sibling in mig.children(parent):
+                        if sibling.node not in computed and sibling.node in scheduler:
+                            scheduler.refresh(sibling.node)
+            # A child whose remaining uses just dropped to 1 raises the
+            # releasing count of its still-queued consumers.
+            for child in mig.children(v):
+                if mig.is_gate(child.node) and state.remaining_uses[child.node] == 1:
+                    for consumer in parents[child.node]:
+                        if consumer in scheduler:
+                            scheduler.refresh(consumer)
+        if translated != mig.num_gates:
+            raise CompilationError(
+                f"translated {translated} of {mig.num_gates} gates — cyclic or broken MIG"
+            )
+
+        self._finalize_outputs(mig, state, program)
+        return program
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _initial_uses(mig: Mig) -> dict[int, int]:
+        """Readers per node: gate child edges plus primary-output edges."""
+        uses = {v: 0 for v in mig.nodes()}
+        for v in mig.gates():
+            for child in mig.children(v):
+                if not child.is_const:
+                    uses[child.node] += 1
+        for po in mig.pos():
+            if not po.is_const:
+                uses[po.node] += 1
+        return uses
+
+    def _make_scheduler(self, mig, state, parents, node_levels, pending_children):
+        if self.options.scheduling == "index":
+            return IndexScheduler()
+
+        # A primary output consumes its node "right above" it: model it as
+        # a parent one level up, otherwise PO feeders would be deferred to
+        # the end of the schedule while their children sit in live cells.
+        po_fed: set[int] = {po.node for po in mig.pos() if not po.is_const}
+        use_unblocks = self.options.unblocking_rule
+        use_levels = self.options.level_rule
+
+        def key_fn(node: int) -> "CandidateKey":
+            releasing = sum(
+                1
+                for child in mig.children(node)
+                if mig.is_gate(child.node) and state.remaining_uses[child.node] == 1
+            )
+            unblocks = 0
+            if use_unblocks:
+                unblocks = sum(1 for p in parents[node] if pending_children[p] == 1)
+            if use_levels:
+                parent_levels = [node_levels[p] for p in parents[node]]
+                if node in po_fed:
+                    parent_levels.append(node_levels[node] + 1)
+            else:
+                parent_levels = [0]  # constant: the level rule never fires
+            return make_key(node, releasing, parent_levels, unblocks)
+
+        return PriorityScheduler(key_fn)
+
+    def _finalize_outputs(self, mig: Mig, state: TranslationState, program: Program) -> None:
+        """Record (and, in honest mode, fix up) every output's location."""
+        for po, name in zip(mig.pos(), mig.po_names()):
+            if po.is_const:
+                address = state.alloc()
+                state.emit_set_const(address, po.const_value, target=name)
+                program.set_output(name, address)
+                continue
+            if po.inverted and self.options.fix_output_polarity:
+                address = state.materialize_complement(po.node)
+                program.set_output(name, address, inverted=False)
+                continue
+            address = state.value_cell.get(po.node)
+            if address is None or address == CONSUMED:
+                raise CompilationError(
+                    f"output {name!r} refers to node {po.node} whose cell was lost"
+                )
+            program.set_output(name, address, inverted=po.inverted)

@@ -1,0 +1,105 @@
+"""Static cost model: expected translation cost of MIG nodes.
+
+The rewriting algorithm (paper §4.1) optimizes the MIG "w.r.t. the expected
+number of instructions and required RRAMs in the translated PLiM program"
+*before* compilation runs, so it needs a per-node estimate of how expensive
+translation will be.  The estimate follows the §4.2.2 case analysis:
+
+* exactly **one** complemented (non-constant) child is free — operand B
+  absorbs it (``RM3`` computes ``⟨A ¬B Z⟩``);
+* every complemented child beyond the first costs one *negation*:
+  two instructions and one extra RRAM;
+* a node with **no** complemented child needs one negation too — unless a
+  constant child lets operand B be the constant's inverse for free.
+
+The model intentionally ignores dynamic effects (complement caching, cell
+reuse); those depend on the schedule and are handled by the compiler itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mig.graph import Mig
+
+#: instructions needed to materialize one complement into a work cell
+NEGATION_INSTRUCTIONS = 2
+#: work cells needed per materialized complement
+NEGATION_RRAMS = 1
+
+
+def classify_children(mig: Mig, node: int) -> tuple[int, int, bool]:
+    """Return ``(num_nonconst, num_complemented_nonconst, has_const_child)``."""
+    nonconst = 0
+    complemented = 0
+    has_const = False
+    for child in mig.children(node):
+        if child.is_const:
+            has_const = True
+        else:
+            nonconst += 1
+            if child.inverted:
+                complemented += 1
+    return nonconst, complemented, has_const
+
+
+def negations_needed(num_complemented: int, has_const: bool) -> int:
+    """Complement materializations a node's translation will need.
+
+    ``num_complemented`` counts complemented non-constant children.
+    """
+    if num_complemented >= 1:
+        return num_complemented - 1  # operand B absorbs one
+    if has_const:
+        return 0  # operand B becomes the constant's inverse
+    return 1  # a complement must be fabricated for operand B
+
+
+def node_instruction_cost(mig: Mig, node: int) -> int:
+    """Expected instructions to translate ``node`` (≥ 1)."""
+    _, complemented, has_const = classify_children(mig, node)
+    return 1 + NEGATION_INSTRUCTIONS * negations_needed(complemented, has_const)
+
+
+def estimate_instructions(mig: Mig, po_negation_cost: int = 0) -> int:
+    """Expected total instructions for the whole MIG.
+
+    ``po_negation_cost`` charges that many instructions per complemented
+    primary output (0 reproduces the paper's accounting, where outputs may
+    rest in complemented form; 2 models an explicit fix-up).
+    """
+    total = sum(node_instruction_cost(mig, v) for v in mig.gates())
+    if po_negation_cost:
+        total += po_negation_cost * sum(1 for po in mig.pos() if po.inverted and not po.is_const)
+    return total
+
+
+def estimate_extra_rrams(mig: Mig) -> int:
+    """Expected work cells spent on complement materializations alone.
+
+    A lower bound companion to :func:`estimate_instructions`; the true #R
+    additionally depends on scheduling and cell reuse.
+    """
+    total = 0
+    for v in mig.gates():
+        _, complemented, has_const = classify_children(mig, v)
+        total += NEGATION_RRAMS * negations_needed(complemented, has_const)
+    return total
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Bundle of the static estimates for reporting."""
+
+    num_gates: int
+    instructions: int
+    extra_rrams: int
+
+
+def estimate(mig: Mig, po_negation_cost: int = 0) -> CostEstimate:
+    """Collect a :class:`CostEstimate` for ``mig``."""
+    return CostEstimate(
+        num_gates=mig.num_gates,
+        instructions=estimate_instructions(mig, po_negation_cost),
+        extra_rrams=estimate_extra_rrams(mig),
+    )

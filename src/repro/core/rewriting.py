@@ -1,0 +1,180 @@
+"""MIG rewriting for the PLiM architecture (paper §4.1, Algorithm 1).
+
+Each effort cycle applies, in the paper's order:
+
+1. ``Ω.M`` — majority-rule node elimination,
+2. ``Ω.D(R→L)`` — distributivity right-to-left (removes one node),
+3. ``Ω.A; Ω.C`` — associativity/commutativity reshaping,
+4. ``Ω.M; Ω.D(R→L)`` — elimination again on the reshaped graph,
+5. ``Ω.I(R→L)(1–3)`` — *cost-aware* inverter propagation: a gate with two
+   or three complemented children is replaced by its complement (pushing
+   one inversion onto each fanout edge) when the local cost balance —
+   fewer negations here vs. possibly more at the fanout targets — does not
+   get worse ("transferring a complemented edge can be also unfavorable if
+   the target node already has a single complemented edge"),
+6. ``Ω.I(R→L)`` — a final unconditional sweep "to ensure the most costly
+   case is eliminated".
+
+The cost balance uses the §4.2.2-derived model in :mod:`repro.core.cost`:
+one missing/extra negation is two instructions and one RRAM.  Complemented
+primary outputs are free in the paper's accounting; when the compiler runs
+with ``fix_output_polarity`` they cost 2 instructions each, which
+``RewriteOptions.po_negation_cost`` feeds into the balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.cost import NEGATION_INSTRUCTIONS, estimate_instructions, negations_needed
+from repro.mig.algebra import (
+    pass_associativity,
+    pass_associativity_depth,
+    pass_commutativity,
+    pass_complementary_associativity,
+    pass_distributivity_rl,
+    pass_majority,
+    pass_push_inverters,
+)
+from repro.mig.analysis import complement_stats, depth
+from repro.mig.graph import Mig
+
+
+@dataclass(frozen=True)
+class RewriteOptions:
+    """Knobs of Algorithm 1."""
+
+    #: number of rewriting cycles (the paper's experiments use 4)
+    effort: int = 4
+    #: cost charged per complemented primary output (0 = paper accounting)
+    po_negation_cost: int = 0
+    #: skip size rules (Ω.M/Ω.D/Ω.A/Ω.C) — inverter propagation only
+    size_rules: bool = True
+    #: skip inverter propagation — size rules only
+    inverter_rules: bool = True
+    #: stop early once a cycle reaches a fixed point
+    early_exit: bool = True
+    #: also apply the derived Ψ.A rule (complementary associativity) in the
+    #: reshaping step — not part of the paper's Algorithm 1, but part of
+    #: the MIG algebra's derived rule set and strictly size-safe
+    use_psi: bool = False
+
+
+def rewrite_for_plim(mig: Mig, options: Optional[RewriteOptions] = None) -> Mig:
+    """Run Algorithm 1 on ``mig`` and return the rewritten MIG."""
+    opts = options if options is not None else RewriteOptions()
+    for _cycle in range(opts.effort):
+        before = _signature(mig)
+        if opts.size_rules:
+            mig = pass_majority(mig)  # Ω.M
+            mig = pass_distributivity_rl(mig)  # Ω.D(R→L)
+            mig = pass_associativity(mig)  # Ω.A
+            if opts.use_psi:
+                mig = pass_complementary_associativity(mig)  # Ψ.A
+            mig = pass_commutativity(mig)  # Ω.C
+            mig = pass_majority(mig)  # Ω.M
+            mig = pass_distributivity_rl(mig)  # Ω.D(R→L)
+        if opts.inverter_rules:
+            mig = pass_inverter_cost_aware(mig, opts.po_negation_cost)  # Ω.I(R→L)(1–3)
+            mig = pass_push_inverters(mig, threshold=3)  # Ω.I(R→L): worst case only
+        if opts.early_exit and _signature(mig) == before:
+            break
+    # Inverter propagation may have changed which children are complemented;
+    # restore the translation-friendly child order for child-order consumers.
+    mig = pass_commutativity(mig)
+    return mig
+
+
+def _signature(mig: Mig) -> tuple:
+    """Cheap fixed-point detector for the effort loop."""
+    return (mig.num_gates, complement_stats(mig).by_count, estimate_instructions(mig))
+
+
+def rewrite_depth(mig: Mig, effort: int = 4) -> Mig:
+    """Depth-oriented MIG rewriting (Ω.A critical-path swaps + Ω.M).
+
+    The companion RRAM-synthesis paper (Shirinzadeh et al., DATE'16 —
+    reference [13]) optimizes MIGs for both area and depth; PLiM programs
+    are serial so Table 1 only needs area, but depth matters for any
+    parallel in-memory target.  Iterates associativity swaps that move
+    late-arriving signals off inner gates until the depth stops improving
+    (at most ``effort`` rounds).  Function-preserving and never
+    size-increasing beyond the Ω.A reshaping itself.
+    """
+    best = mig
+    best_depth = depth(mig)
+    for _ in range(effort):
+        candidate = pass_majority(pass_associativity_depth(best))
+        candidate_depth = depth(candidate)
+        if candidate_depth >= best_depth:
+            break
+        best, best_depth = candidate, candidate_depth
+    return best
+
+
+def pass_inverter_cost_aware(mig: Mig, po_negation_cost: int = 0) -> Mig:
+    """Ω.I(R→L)(1–3): benefit-checked complement pushes, PIs→POs order.
+
+    For every gate with ≥2 complemented non-constant children, compare the
+    translation cost of the gate and its fanout targets with and without
+    replacing the gate by its complement.  The decision is greedy in
+    topological order: flips already decided for earlier nodes are exact,
+    later siblings are estimated at their current polarity.
+    """
+    # Parent edges (parent, child_slot) and PO polarities from the input graph.
+    parent_edges: dict[int, list[tuple[int, int]]] = {v: [] for v in mig.nodes()}
+    for p in mig.gates():
+        for slot, child in enumerate(mig.children(p)):
+            if not child.is_const:
+                parent_edges[child.node].append((p, slot))
+    po_polarity: dict[int, list[bool]] = {}
+    for po in mig.pos():
+        if not po.is_const:
+            po_polarity.setdefault(po.node, []).append(po.inverted)
+
+    flipped: dict[int, bool] = {}
+
+    def extra_cost(num_complemented: int, has_const: bool) -> int:
+        return NEGATION_INSTRUCTIONS * negations_needed(num_complemented, has_const)
+
+    def parent_profile(p: int) -> tuple[int, bool]:
+        """Parent's complemented-child count under current flip decisions."""
+        complemented = 0
+        has_const = False
+        for child in mig.children(p):
+            if child.is_const:
+                has_const = True
+                continue
+            polarity = child.inverted ^ flipped.get(child.node, False)
+            complemented += polarity
+        return complemented, has_const
+
+    def gate_fn(new: Mig, old: int, mapped):
+        nonconst = [s for s in mapped if not s.is_const]
+        complemented = sum(1 for s in nonconst if s.inverted)
+        has_const = len(nonconst) < 3
+        if complemented < 2:
+            return new.add_maj(*mapped)
+        # Cost at this node if we flip: complements become k - c.
+        delta = extra_cost(len(nonconst) - complemented, has_const) - extra_cost(
+            complemented, has_const
+        )
+        # Cost at each fanout target: its edge to us toggles polarity.
+        for p, slot in parent_edges[old]:
+            c_p, const_p = parent_profile(p)
+            edge = mig.children(p)[slot]
+            currently_inverted = edge.inverted ^ flipped.get(old, False)
+            c_p_flipped = c_p + (-1 if currently_inverted else 1)
+            delta += extra_cost(c_p_flipped, const_p) - extra_cost(c_p, const_p)
+        # Complemented primary outputs (only charged in honest mode).
+        if po_negation_cost:
+            for inverted in po_polarity.get(old, ()):
+                delta += po_negation_cost * (-1 if inverted else 1)
+        if delta <= 0:
+            flipped[old] = True
+            return ~new.add_maj(*(~s for s in mapped))
+        return new.add_maj(*mapped)
+
+    new, _ = mig.rebuild(gate_fn)
+    return new

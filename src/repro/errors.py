@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by this package derive from
+:class:`ReproError`, so callers can catch everything library-specific with a
+single ``except`` clause while letting programming errors propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class MigError(ReproError):
+    """Structural misuse of a Majority-Inverter Graph."""
+
+
+class ParseError(ReproError):
+    """A circuit file could not be parsed."""
+
+    def __init__(self, message, line=None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class CompilationError(ReproError):
+    """The compiler reached an inconsistent state."""
+
+
+class MachineError(ReproError):
+    """Illegal operation on the PLiM machine model."""
+
+
+class AllocationError(ReproError):
+    """Misuse of the RRAM allocator (double free, foreign release, ...)."""
+
+
+class VerificationError(ReproError):
+    """A compiled program does not match its specification."""
+
+
+class BenchmarkError(ReproError):
+    """Unknown benchmark name or invalid benchmark parameters."""

@@ -1,0 +1,245 @@
+"""Ablation studies called out in DESIGN.md (experiments X1–X5).
+
+* :func:`effort_sweep` — rewriting effort (Algorithm 1 cycles) vs. cost.
+* :func:`selection_ablation` — scheduling/translation rule combinations on
+  as-built vs. shuffled gate order.
+* :func:`allocator_ablation` — FIFO vs. LIFO vs. FRESH allocation and the
+  endurance (write-wear) consequences, executed on the machine model.
+* :func:`polarity_ablation` — paper vs. honest output-polarity accounting.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.circuits.registry import benchmark_info
+from repro.core.compiler import CompilerOptions, PlimCompiler
+from repro.core.rewriting import RewriteOptions, rewrite_for_plim
+from repro.eval.reporting import format_table
+from repro.mig.graph import Mig
+from repro.mig.reorder import shuffle_topological
+from repro.plim.endurance import EnduranceReport, work_cell_wear
+from repro.plim.machine import PlimMachine
+
+
+# ----------------------------------------------------------------------
+# X1: rewriting effort sweep
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EffortPoint:
+    effort: int
+    num_gates: int
+    instructions: int
+    rrams: int
+
+
+def effort_sweep(
+    mig: Mig, efforts: Sequence[int] = (0, 1, 2, 4, 8)
+) -> list[EffortPoint]:
+    """Compile ``mig`` after each rewriting effort level."""
+    compiler = PlimCompiler(CompilerOptions(fix_output_polarity=False))
+    points = []
+    for effort in efforts:
+        rewritten = (
+            mig
+            if effort == 0
+            else rewrite_for_plim(mig, RewriteOptions(effort=effort, early_exit=False))
+        )
+        program = compiler.compile(rewritten)
+        points.append(
+            EffortPoint(
+                effort=effort,
+                num_gates=rewritten.num_gates,
+                instructions=program.num_instructions,
+                rrams=program.num_rrams,
+            )
+        )
+    return points
+
+
+def format_effort_sweep(name: str, points: Sequence[EffortPoint]) -> str:
+    rows = [[p.effort, p.num_gates, p.instructions, p.rrams] for p in points]
+    return f"Effort sweep — {name}\n" + format_table(
+        ["effort", "#N", "#I", "#R"], rows
+    )
+
+
+# ----------------------------------------------------------------------
+# X2/X5: scheduling and translation rules
+# ----------------------------------------------------------------------
+
+#: label → compiler options for the selection study
+SELECTION_CONFIGS: dict[str, CompilerOptions] = {
+    "naive": CompilerOptions.naive(fix_output_polarity=False),
+    "index+cases": CompilerOptions.no_selection(fix_output_polarity=False),
+    "releasing": CompilerOptions(fix_output_polarity=False, reorder="none"),
+    "paper-rules": CompilerOptions(
+        fix_output_polarity=False, reorder="none", level_rule=True
+    ),
+    "paper+unblock": CompilerOptions(
+        fix_output_polarity=False, reorder="none", level_rule=True, unblocking_rule=True
+    ),
+    "dfs+releasing": CompilerOptions(fix_output_polarity=False),  # the default
+}
+
+
+@dataclass(frozen=True)
+class SelectionPoint:
+    config: str
+    order: str  # "as-built" or "shuffled"
+    instructions: int
+    rrams: int
+
+
+def selection_ablation(
+    mig: Mig, shuffle_seed: int = 42, rewrite_effort: int = 4
+) -> list[SelectionPoint]:
+    """All selection configs on as-built and shuffled gate orders."""
+    rewritten = rewrite_for_plim(mig, RewriteOptions(effort=rewrite_effort))
+    orders = [
+        ("as-built", rewritten),
+        ("shuffled", shuffle_topological(rewritten, seed=shuffle_seed)),
+    ]
+    points = []
+    for label, options in SELECTION_CONFIGS.items():
+        for order_label, graph in orders:
+            program = PlimCompiler(options).compile(graph)
+            points.append(
+                SelectionPoint(
+                    config=label,
+                    order=order_label,
+                    instructions=program.num_instructions,
+                    rrams=program.num_rrams,
+                )
+            )
+    return points
+
+
+def format_selection_ablation(name: str, points: Sequence[SelectionPoint]) -> str:
+    rows = [[p.config, p.order, p.instructions, p.rrams] for p in points]
+    return f"Candidate-selection ablation — {name}\n" + format_table(
+        ["config", "order", "#I", "#R"], rows
+    )
+
+
+# ----------------------------------------------------------------------
+# X3: allocator policy and endurance
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AllocatorPoint:
+    policy: str
+    instructions: int
+    rrams: int
+    wear: EnduranceReport
+
+
+def allocator_ablation(
+    mig: Mig,
+    policies: Sequence[str] = ("fifo", "lifo", "fresh"),
+    rewrite_effort: int = 4,
+    input_seed: int = 7,
+) -> list[AllocatorPoint]:
+    """Compile with each allocator policy and measure real write wear.
+
+    The compiled program is executed once on the machine model (width 1,
+    random inputs) so the wear numbers are actual per-cell programming
+    pulses, not estimates.
+    """
+    rewritten = rewrite_for_plim(mig, RewriteOptions(effort=rewrite_effort))
+    rng = random.Random(input_seed)
+    inputs = {name: rng.randint(0, 1) for name in rewritten.pi_names()}
+    points = []
+    for policy in policies:
+        options = CompilerOptions(allocator_policy=policy, fix_output_polarity=False)
+        program = PlimCompiler(options).compile(rewritten)
+        machine = PlimMachine.for_program(program)
+        machine.run_program(program, inputs)
+        points.append(
+            AllocatorPoint(
+                policy=policy,
+                instructions=program.num_instructions,
+                rrams=program.num_rrams,
+                wear=work_cell_wear(machine, program),
+            )
+        )
+    return points
+
+
+def format_allocator_ablation(name: str, points: Sequence[AllocatorPoint]) -> str:
+    rows = [
+        [
+            p.policy,
+            p.instructions,
+            p.rrams,
+            p.wear.max_writes,
+            f"{p.wear.mean_writes:.2f}",
+            f"{p.wear.gini:.3f}",
+        ]
+        for p in points
+    ]
+    return f"Allocator/endurance ablation — {name}\n" + format_table(
+        ["policy", "#I", "#R", "max writes/cell", "mean writes", "gini"], rows
+    )
+
+
+# ----------------------------------------------------------------------
+# X4: output-polarity accounting
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PolarityPoint:
+    accounting: str
+    instructions: int
+    rrams: int
+    inverted_outputs: int
+
+
+def polarity_ablation(mig: Mig, rewrite_effort: int = 4) -> list[PolarityPoint]:
+    """Paper accounting (complemented outputs free) vs. honest fix-up."""
+    points = []
+    for paper in (True, False):
+        fix = not paper
+        rewritten = rewrite_for_plim(
+            mig, RewriteOptions(effort=rewrite_effort, po_negation_cost=2 if fix else 0)
+        )
+        program = PlimCompiler(
+            CompilerOptions(fix_output_polarity=fix)
+        ).compile(rewritten)
+        inverted = sum(1 for loc in program.output_cells.values() if loc.inverted)
+        points.append(
+            PolarityPoint(
+                accounting="paper" if paper else "honest",
+                instructions=program.num_instructions,
+                rrams=program.num_rrams,
+                inverted_outputs=inverted,
+            )
+        )
+    return points
+
+
+def format_polarity_ablation(name: str, points: Sequence[PolarityPoint]) -> str:
+    rows = [
+        [p.accounting, p.instructions, p.rrams, p.inverted_outputs] for p in points
+    ]
+    return f"Output-polarity accounting — {name}\n" + format_table(
+        ["accounting", "#I", "#R", "outputs left inverted"], rows
+    )
+
+
+def run_benchmark_ablations(name: str, scale: str = "default") -> str:
+    """All four ablations on one benchmark; returns the combined report."""
+    mig = benchmark_info(name).build(scale)
+    sections = [
+        format_effort_sweep(name, effort_sweep(mig)),
+        format_selection_ablation(name, selection_ablation(mig)),
+        format_allocator_ablation(name, allocator_ablation(mig)),
+        format_polarity_ablation(name, polarity_ablation(mig)),
+    ]
+    return "\n\n".join(sections)

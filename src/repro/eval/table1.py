@@ -1,0 +1,261 @@
+"""Reproduction of the paper's Table 1 (experimental evaluation).
+
+For every benchmark, three configurations are measured exactly as in the
+paper:
+
+1. **naïve** — child-order translation in as-given index order on the
+   initial non-optimized MIG;
+2. **MIG rewriting** — the same naïve translation after Algorithm 1
+   (effort 4, like the paper's experiments);
+3. **rewriting and compilation** — Algorithm 1 followed by the full
+   Algorithm 2 compiler.
+
+Improvements are reported against the naïve columns, as in the paper.  Two
+harness options deviate-by-default and are reported explicitly:
+
+* ``paper_accounting=True`` leaves complemented outputs in place (the
+  paper's convention); ``False`` charges 2 instructions per inverted
+  output.
+* ``shuffled=True`` first permutes each MIG into a random topological
+  order, emulating the locality-free gate order of netlist files (our
+  generators' creation order is already depth-first, which makes the naïve
+  baseline's RRAM usage far better than the paper's — see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.circuits.registry import BENCHMARK_NAMES, benchmark_info
+from repro.core.compiler import CompilerOptions, PlimCompiler
+from repro.core.rewriting import RewriteOptions, rewrite_for_plim
+from repro.eval.reporting import format_table, improvement, to_csv
+from repro.mig.graph import Mig
+from repro.mig.reorder import shuffle_topological
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """Measured numbers for one benchmark (one row of Table 1)."""
+
+    name: str
+    pi: int
+    po: int
+    naive_n: int
+    naive_i: int
+    naive_r: int
+    rewr_n: int
+    rewr_i: int
+    rewr_r: int
+    full_i: int
+    full_r: int
+    seconds: float = 0.0
+
+    @property
+    def rewr_i_impr(self) -> float:
+        return improvement(self.naive_i, self.rewr_i)
+
+    @property
+    def rewr_r_impr(self) -> float:
+        return improvement(self.naive_r, self.rewr_r)
+
+    @property
+    def full_i_impr(self) -> float:
+        return improvement(self.naive_i, self.full_i)
+
+    @property
+    def full_r_impr(self) -> float:
+        return improvement(self.naive_r, self.full_r)
+
+
+@dataclass
+class Table1Result:
+    """All rows plus the Σ row of the reproduction run."""
+
+    rows: list[Table1Row]
+    scale: str
+    effort: int
+    shuffled: bool
+    paper_accounting: bool
+
+    def total(self) -> Table1Row:
+        def s(attr):
+            return sum(getattr(r, attr) for r in self.rows)
+
+        return Table1Row(
+            name="SUM",
+            pi=s("pi"),
+            po=s("po"),
+            naive_n=s("naive_n"),
+            naive_i=s("naive_i"),
+            naive_r=s("naive_r"),
+            rewr_n=s("rewr_n"),
+            rewr_i=s("rewr_i"),
+            rewr_r=s("rewr_r"),
+            full_i=s("full_i"),
+            full_r=s("full_r"),
+            seconds=s("seconds"),
+        )
+
+
+def measure_mig(
+    mig: Mig,
+    name: str,
+    *,
+    effort: int = 4,
+    paper_accounting: bool = True,
+    compiler_options: Optional[CompilerOptions] = None,
+) -> Table1Row:
+    """Run the three Table 1 configurations on one MIG."""
+    start = time.perf_counter()
+    fix = not paper_accounting
+    naive_opts = CompilerOptions.naive(fix_output_polarity=fix)
+    full_opts = compiler_options or CompilerOptions(fix_output_polarity=fix)
+
+    naive_prog = PlimCompiler(naive_opts).compile(mig)
+    clean, _ = mig.cleanup()
+
+    rewritten = rewrite_for_plim(
+        mig, RewriteOptions(effort=effort, po_negation_cost=2 if fix else 0)
+    )
+    rewr_prog = PlimCompiler(naive_opts).compile(rewritten)
+    full_prog = PlimCompiler(full_opts).compile(rewritten)
+
+    return Table1Row(
+        name=name,
+        pi=mig.num_pis,
+        po=mig.num_pos,
+        naive_n=clean.num_gates,
+        naive_i=naive_prog.num_instructions,
+        naive_r=naive_prog.num_rrams,
+        rewr_n=rewritten.num_gates,
+        rewr_i=rewr_prog.num_instructions,
+        rewr_r=rewr_prog.num_rrams,
+        full_i=full_prog.num_instructions,
+        full_r=full_prog.num_rrams,
+        seconds=time.perf_counter() - start,
+    )
+
+
+def run_benchmark(
+    name: str,
+    scale: str = "default",
+    *,
+    effort: int = 4,
+    shuffled: bool = False,
+    shuffle_seed: int = 42,
+    paper_accounting: bool = True,
+) -> Table1Row:
+    """Build one EPFL benchmark and measure its Table 1 row."""
+    mig = benchmark_info(name).build(scale)
+    if shuffled:
+        mig = shuffle_topological(mig, seed=shuffle_seed)
+    return measure_mig(
+        mig, name, effort=effort, paper_accounting=paper_accounting
+    )
+
+
+def run_table1(
+    names: Optional[Sequence[str]] = None,
+    scale: str = "default",
+    *,
+    effort: int = 4,
+    shuffled: bool = False,
+    shuffle_seed: int = 42,
+    paper_accounting: bool = True,
+    progress=None,
+) -> Table1Result:
+    """Run the full Table 1 reproduction.
+
+    ``progress`` is an optional callback ``(name, row)`` invoked per
+    benchmark (the CLI uses it for live output).
+    """
+    rows = []
+    for name in names if names is not None else BENCHMARK_NAMES:
+        row = run_benchmark(
+            name,
+            scale,
+            effort=effort,
+            shuffled=shuffled,
+            shuffle_seed=shuffle_seed,
+            paper_accounting=paper_accounting,
+        )
+        rows.append(row)
+        if progress is not None:
+            progress(name, row)
+    return Table1Result(
+        rows=rows,
+        scale=scale,
+        effort=effort,
+        shuffled=shuffled,
+        paper_accounting=paper_accounting,
+    )
+
+
+_HEADERS = [
+    "Benchmark", "PI/PO",
+    "#N", "#I", "#R",
+    "#N'", "#I'", "I impr.", "#R'", "R impr.",
+    "#I''", "I impr.", "#R''", "R impr.",
+]
+
+
+def _row_cells(row: Table1Row) -> list:
+    return [
+        row.name,
+        f"{row.pi}/{row.po}",
+        row.naive_n, row.naive_i, row.naive_r,
+        row.rewr_n, row.rewr_i, f"{row.rewr_i_impr:.2f}%",
+        row.rewr_r, f"{row.rewr_r_impr:.2f}%",
+        row.full_i, f"{row.full_i_impr:.2f}%",
+        row.full_r, f"{row.full_r_impr:.2f}%",
+    ]
+
+
+def format_table1(result: Table1Result, with_paper: bool = True) -> str:
+    """Paper-layout rendering of the reproduction, plus the paper deltas."""
+    rows = [_row_cells(r) for r in result.rows]
+    rows.append(_row_cells(result.total()))
+    table = format_table(_HEADERS, rows)
+    header = (
+        f"Table 1 reproduction — scale={result.scale}, effort={result.effort}, "
+        f"order={'shuffled' if result.shuffled else 'as-built'}, "
+        f"accounting={'paper' if result.paper_accounting else 'honest'}\n"
+        "(naive | MIG rewriting | rewriting and compilation; improvements vs naive)\n"
+    )
+    text = header + table
+    if with_paper:
+        total = result.total()
+        text += (
+            "\n\nPaper Table 1 totals:     rewriting  I -20.09%  R -14.83%   "
+            "rewriting+compilation  I -19.95%  R -61.40%"
+            f"\nThis run:                 rewriting  I {total.rewr_i_impr:+.2f}%  "
+            f"R {total.rewr_r_impr:+.2f}%   rewriting+compilation  "
+            f"I {total.full_i_impr:+.2f}%  R {total.full_r_impr:+.2f}%"
+        )
+    return text
+
+
+def table1_csv(result: Table1Result) -> str:
+    """CSV export of the reproduction rows (plus the Σ row)."""
+    rows = [_row_cells(r) for r in result.rows]
+    rows.append(_row_cells(result.total()))
+    return to_csv(_HEADERS, rows)
+
+
+def paper_rows_table(names: Optional[Sequence[str]] = None) -> str:
+    """The paper's own Table 1 numbers, for side-by-side comparison."""
+    rows = []
+    for name in names if names is not None else BENCHMARK_NAMES:
+        p = benchmark_info(name).paper
+        rows.append([
+            name, f"{p.pi}/{p.po}",
+            p.naive_n, p.naive_i, p.naive_r,
+            p.rewr_n, p.rewr_i, f"{improvement(p.naive_i, p.rewr_i):.2f}%",
+            p.rewr_r, f"{improvement(p.naive_r, p.rewr_r):.2f}%",
+            p.full_i, f"{improvement(p.naive_i, p.full_i):.2f}%",
+            p.full_r, f"{improvement(p.naive_r, p.full_r):.2f}%",
+        ])
+    return format_table(_HEADERS, rows)

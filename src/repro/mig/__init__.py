@@ -1,0 +1,15 @@
+"""Majority-Inverter Graph substrate.
+
+The MIG (Amarù et al., DAC'14) is a logic network whose only gate is the
+three-input majority with optionally complemented edges.  This subpackage
+provides the data structure itself plus everything the compiler needs around
+it: the Ω Boolean algebra as local transforms, bit-parallel simulation,
+structural analysis, equivalence checking, and file I/O.
+"""
+
+from repro.mig.signal import Signal
+from repro.mig.graph import Mig
+from repro.mig.build import LogicBuilder
+from repro.mig.simulate import simulate, truth_tables
+
+__all__ = ["Signal", "Mig", "LogicBuilder", "simulate", "truth_tables"]

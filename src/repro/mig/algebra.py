@@ -1,0 +1,375 @@
+"""The Ω Boolean algebra of MIGs as executable graph transformations.
+
+The paper's axiomatic system Ω (§2.1):
+
+* Ω.C  commutativity       ``⟨x y z⟩ = ⟨y x z⟩ = ⟨z y x⟩``
+* Ω.M  majority            ``⟨x x z⟩ = x``,  ``⟨x x̄ z⟩ = z``
+* Ω.A  associativity       ``⟨x u ⟨y u z⟩⟩ = ⟨z u ⟨y u x⟩⟩``
+* Ω.D  distributivity      ``⟨x y ⟨u v z⟩⟩ = ⟨⟨x y u⟩ ⟨x y v⟩ z⟩``
+* Ω.I  inverter propagation ``¬⟨x y z⟩ = ⟨x̄ ȳ z̄⟩``
+
+Each axiom is provided as a whole-graph *pass* built on
+:meth:`~repro.mig.graph.Mig.rebuild`: passes return a fresh, dead-node-free
+MIG and never change the computed functions (property-tested).  The
+PLiM-specific composition of these passes — Algorithm 1 of the paper — lives
+in :mod:`repro.core.rewriting`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mig.analysis import fanout_counts
+from repro.mig.graph import Mig
+from repro.mig.signal import Signal
+
+
+def effective_children(mig: Mig, edge: Signal) -> Optional[tuple[Signal, Signal, Signal]]:
+    """Children of the gate behind ``edge`` with Ω.I applied.
+
+    A complemented edge to ``⟨x y z⟩`` is the same as a plain edge to
+    ``⟨x̄ ȳ z̄⟩``; returning the polarity-adjusted triple lets pattern
+    matchers ignore edge polarity.  Returns ``None`` if ``edge`` does not
+    point at a gate.
+    """
+    if not mig.is_gate(edge.node):
+        return None
+    a, b, c = mig.children(edge.node)
+    if edge.inverted:
+        return (~a, ~b, ~c)
+    return (a, b, c)
+
+
+def pass_majority(mig: Mig) -> Mig:
+    """Ω.M pass: resimplify and re-hash every gate, drop dead nodes.
+
+    A plain rebuild already applies ``⟨x x z⟩ = x`` and ``⟨x x̄ z⟩ = z``
+    (they are built into ``add_maj``) and merges structurally identical
+    gates, which is exactly the node elimination the paper attributes to
+    Ω.M in Algorithm 1.
+    """
+    new, _ = mig.rebuild()
+    return new
+
+
+_CHILD_PERMUTATIONS = (
+    (0, 1, 2), (0, 2, 1), (1, 0, 2), (1, 2, 0), (2, 0, 1), (2, 1, 0),
+)
+
+
+def pass_commutativity(mig: Mig) -> Mig:
+    """Ω.C pass: store every gate's children in translation-friendly order.
+
+    Functionally a no-op, but the stored order is what a child-order
+    translator consumes (operand A ← child 1, B ← child 2, destination Z ←
+    child 3, per the paper's §3 naïve scheme).  The pass permutes each
+    gate's children to minimize the expected RM3 overhead of that scheme:
+
+    * slot B wants a complemented child or a constant (the built-in
+      inversion is free there), never a plain child (2 instructions);
+    * slot Z wants a single-fanout plain gate child (overwritable in
+      place), then a constant (1 instruction);
+    * slot A wants a constant or a plain child (free).
+
+    This is the piece of Algorithm 1 that lets plain *rewriting* (Table 1,
+    third column) already shrink programs without smart per-node selection.
+    """
+    fanouts = fanout_counts(mig)
+
+    def slot_scores(child: Signal, single_gate: bool) -> tuple[int, int, int]:
+        """(A, B, Z) overhead estimates for placing ``child`` in each slot."""
+        if child.is_const:
+            return (0, 0, 1)
+        if child.inverted:
+            return (2, 0, 2)
+        return (0, 2, 0 if single_gate else 2)
+
+    def gate_fn(new: Mig, old: int, mapped):
+        old_children = mig.children(old)
+        scores = []
+        for i, child in enumerate(mapped):
+            single_gate = (
+                mig.is_gate(old_children[i].node) and fanouts[old_children[i].node] == 1
+            )
+            scores.append(slot_scores(child, single_gate))
+        best = None
+        for perm in _CHILD_PERMUTATIONS:
+            a, b, z = perm
+            cost = scores[a][0] + scores[b][1] + scores[z][2]
+            if best is None or cost < best[0]:
+                best = (cost, perm)
+        _, (a, b, z) = best
+        return new.add_maj(mapped[a], mapped[b], mapped[z])
+
+    new, _ = mig.rebuild(gate_fn)
+    return new
+
+
+def pass_distributivity_rl(mig: Mig) -> Mig:
+    """Ω.D right-to-left pass: ``⟨⟨x y u⟩ ⟨x y v⟩ z⟩ → ⟨x y ⟨u v z⟩⟩``.
+
+    Applied only when both inner gates have a single fanout in the original
+    graph, so the rewrite removes one node (the paper: "Distributivity from
+    right to left also reduces the number of nodes by one").  Edge polarity
+    is handled through Ω.I (:func:`effective_children`).
+    """
+    fanouts = fanout_counts(mig)
+
+    def gate_fn(new: Mig, old: int, mapped):
+        old_children = mig.children(old)
+        # Try each unordered pair of children as the two inner gates.
+        for i, j in ((0, 1), (0, 2), (1, 2)):
+            gi, gj = mapped[i], mapped[j]
+            oi, oj = old_children[i], old_children[j]
+            if gi.node == gj.node:
+                continue
+            if not (mig.is_gate(oi.node) and mig.is_gate(oj.node)):
+                continue
+            if fanouts[oi.node] != 1 or fanouts[oj.node] != 1:
+                continue
+            inner_i = effective_children(new, gi)
+            inner_j = effective_children(new, gj)
+            if inner_i is None or inner_j is None:
+                continue
+            common = _common_pair(inner_i, inner_j)
+            if common is None:
+                continue
+            (x, y), p, q = common
+            k = 3 - i - j  # index of the third child
+            z = mapped[k]
+            inner = new.add_maj(p, q, z)
+            return new.add_maj(x, y, inner)
+        return new.add_maj(*mapped)
+
+    new, _ = mig.rebuild(gate_fn)
+    # Pattern replacements can orphan freshly built inner gates; sweep them.
+    new, _ = new.rebuild()
+    return new
+
+
+def _common_pair(
+    a: tuple[Signal, Signal, Signal], b: tuple[Signal, Signal, Signal]
+) -> Optional[tuple[tuple[Signal, Signal], Signal, Signal]]:
+    """Find two signals shared by triples ``a`` and ``b`` (as multisets).
+
+    Returns ``((x, y), p, q)`` where ``x, y`` are the shared signals and
+    ``p`` / ``q`` the leftovers of ``a`` / ``b``, or ``None`` if fewer than
+    two signals are shared.
+    """
+    rest_b = list(b)
+    shared: list[Signal] = []
+    rest_a: list[Signal] = []
+    for s in a:
+        if s in rest_b:
+            rest_b.remove(s)
+            shared.append(s)
+        else:
+            rest_a.append(s)
+    if len(shared) < 2:
+        return None
+    if len(shared) == 3:
+        # Identical gates would have been merged by strashing; treat the
+        # third shared signal as the leftover on both sides.
+        rest_a.append(shared.pop())
+        rest_b.append(shared[-1])
+    return (shared[0], shared[1]), rest_a[0], rest_b[0]
+
+
+def pass_distributivity_lr(mig: Mig) -> Mig:
+    """Ω.D left-to-right pass: ``⟨x y ⟨u v z⟩⟩ → ⟨⟨x y u⟩ ⟨x y v⟩ z⟩``.
+
+    The expanding direction; only applied when at least one of the two new
+    inner gates already exists (strash hit), so the pass never grows the
+    graph.  Provided for completeness of Ω and for the test suite.
+    """
+    fanouts = fanout_counts(mig)
+
+    def gate_fn(new: Mig, old: int, mapped):
+        old_children = mig.children(old)
+        for k in range(3):
+            g = mapped[k]
+            og = old_children[k]
+            if not mig.is_gate(og.node) or fanouts[og.node] != 1:
+                continue
+            inner = effective_children(new, g)
+            if inner is None:
+                continue
+            u, v, z = inner
+            others = [mapped[i] for i in range(3) if i != k]
+            x, y = others
+            before = len(new)
+            left = new.add_maj(x, y, u)
+            right = new.add_maj(x, y, v)
+            if len(new) <= before + 1:  # at most one fresh gate: net size kept
+                return new.add_maj(left, right, z)
+        return new.add_maj(*mapped)
+
+    new, _ = mig.rebuild(gate_fn)
+    # Pattern replacements can orphan freshly built inner gates; sweep them.
+    new, _ = new.rebuild()
+    return new
+
+
+def pass_associativity(mig: Mig) -> Mig:
+    """Ω.A pass: ``⟨x u ⟨y u z⟩⟩ = ⟨z u ⟨y u x⟩⟩`` where it helps.
+
+    The swap is accepted only when the replacement inner gate simplifies or
+    structurally hashes to an existing node, i.e. when it opens a sharing or
+    Ω.M opportunity (the paper's "reshaping ... which may provide further
+    size reduction opportunities").
+    """
+    fanouts = fanout_counts(mig)
+
+    def gate_fn(new: Mig, old: int, mapped):
+        old_children = mig.children(old)
+        for k in range(3):  # position of the inner gate child
+            g = mapped[k]
+            og = old_children[k]
+            if not mig.is_gate(og.node) or fanouts[og.node] != 1:
+                continue
+            inner = effective_children(new, g)
+            if inner is None:
+                continue
+            others = [mapped[i] for i in range(3) if i != k]
+            for u_pos in range(2):  # which outer child is the shared u
+                u = others[u_pos]
+                x = others[1 - u_pos]
+                if u not in inner:
+                    continue
+                rest = list(inner)
+                rest.remove(u)
+                y, z = rest
+                # ⟨x u ⟨y u z⟩⟩ = ⟨z u ⟨y u x⟩⟩ — accept if ⟨y u x⟩ is free.
+                before = len(new)
+                swapped = new.add_maj(y, u, x)
+                if len(new) == before:
+                    return new.add_maj(z, u, swapped)
+        return new.add_maj(*mapped)
+
+    new, _ = mig.rebuild(gate_fn)
+    # Pattern replacements can orphan freshly built inner gates; sweep them.
+    new, _ = new.rebuild()
+    return new
+
+
+def pass_complementary_associativity(mig: Mig) -> Mig:
+    """Ψ.A (complementary associativity): ``⟨x u ⟨y ū z⟩⟩ = ⟨x u ⟨y x z⟩⟩``.
+
+    Part of the derived rule set Ψ that the MIG papers add on top of Ω: an
+    inner occurrence of ``ū`` is irrelevant when ``u`` is decided at the
+    outer gate, so it may be replaced by the *other* outer child — which
+    frequently lets Ω.M fire (e.g. the inner gate collapses when ``y`` or
+    ``z`` equals ``x``) or re-shares an existing gate.  Applied only when
+    the replacement gate is free (simplifies or strash-hits), so the pass
+    never grows the graph.
+    """
+    fanouts = fanout_counts(mig)
+
+    def gate_fn(new: Mig, old: int, mapped):
+        old_children = mig.children(old)
+        for k in range(3):  # position of the inner gate child
+            og = old_children[k]
+            if not mig.is_gate(og.node) or fanouts[og.node] != 1:
+                continue
+            inner = effective_children(new, mapped[k])
+            if inner is None:
+                continue
+            others = [mapped[i] for i in range(3) if i != k]
+            for u_pos in range(2):
+                u = others[u_pos]
+                x = others[1 - u_pos]
+                if ~u not in inner:
+                    continue
+                replaced = tuple(x if s == ~u else s for s in inner)
+                before = len(new)
+                new_inner = new.add_maj(*replaced)
+                if len(new) == before:  # free: simplified or shared
+                    return new.add_maj(x, u, new_inner)
+        return new.add_maj(*mapped)
+
+    new, _ = mig.rebuild(gate_fn)
+    # Pattern replacements can orphan freshly built inner gates; sweep them.
+    new, _ = new.rebuild()
+    return new
+
+
+def pass_associativity_depth(mig: Mig) -> Mig:
+    """Ω.A pass targeting *depth*: move late signals out of deep gates.
+
+    In ``⟨x u ⟨y u z⟩⟩`` the inner gate adds a level on top of ``z``; when
+    ``z`` arrives later than ``x`` (higher topological level), the swap
+    ``⟨z u ⟨y u x⟩⟩`` takes ``z`` off the inner critical path.  This is the
+    depth-rewriting move of the MIG papers (Amarù et al.) restricted to
+    strictly improving applications, used by
+    :func:`repro.core.rewriting.rewrite_depth`.
+    """
+    fanouts = fanout_counts(mig)
+    new_levels: dict[int, int] = {}
+
+    def gate_fn(new: Mig, old: int, mapped):
+        def level_of(signal: Signal) -> int:
+            v = signal.node
+            if v not in new_levels:
+                if not new.is_gate(v):
+                    new_levels[v] = 0
+                else:
+                    new_levels[v] = 1 + max(
+                        level_of(c) for c in new.children(v)
+                    )
+            return new_levels[v]
+
+        old_children = mig.children(old)
+        for k in range(3):  # position of the inner gate child
+            og = old_children[k]
+            if not mig.is_gate(og.node) or fanouts[og.node] != 1:
+                continue
+            inner = effective_children(new, mapped[k])
+            if inner is None:
+                continue
+            others = [mapped[i] for i in range(3) if i != k]
+            for u_pos in range(2):
+                u = others[u_pos]
+                x = others[1 - u_pos]
+                if u not in inner:
+                    continue
+                rest = list(inner)
+                rest.remove(u)
+                # shallower inner child is y, deeper is z
+                y, z = sorted(rest, key=level_of)
+                before = 1 + max(level_of(x), level_of(u), 1 + max(
+                    level_of(y), level_of(u), level_of(z)))
+                after = 1 + max(level_of(z), level_of(u), 1 + max(
+                    level_of(y), level_of(u), level_of(x)))
+                if after >= before:
+                    continue  # no strict depth win
+                swapped = new.add_maj(y, u, x)
+                return new.add_maj(z, u, swapped)
+        return new.add_maj(*mapped)
+
+    new, _ = mig.rebuild(gate_fn)
+    new, _ = new.rebuild()  # sweep any orphaned inner gates
+    return new
+
+
+def pass_push_inverters(mig: Mig, threshold: int = 2) -> Mig:
+    """Unconditional Ω.I right-to-left pass.
+
+    Every gate with at least ``threshold`` complemented non-constant
+    children is replaced by its complement with all child polarities
+    flipped (``⟨x̄ ȳ z̄⟩ → ¬⟨x y z⟩`` and ``⟨x̄ ȳ z⟩ → ¬⟨x y z̄⟩``), pushing
+    the inversion onto the fanout edges.  This is the mechanical core of
+    the paper's Ω.I(R→L); the cost-aware variant that decides *whether* a
+    push pays off lives in :mod:`repro.core.rewriting`.  Algorithm 1's
+    final sweep uses ``threshold=3`` — it only removes the most costly
+    case, leaving cost-rejected two-complement gates alone.
+    """
+
+    def gate_fn(new: Mig, _old: int, mapped):
+        inverted_nonconst = sum(1 for s in mapped if s.inverted and not s.is_const)
+        if inverted_nonconst >= threshold:
+            flipped = tuple(~s for s in mapped)
+            return ~new.add_maj(*flipped)
+        return new.add_maj(*mapped)
+
+    new, _ = mig.rebuild(gate_fn)
+    return new

@@ -1,0 +1,116 @@
+"""Structural analysis of MIGs: levels, fanout, complement statistics.
+
+These are the measurements the compiler's heuristics consume — the
+candidate priority queue compares parent levels and releasing children, and
+the rewriting cost model counts complemented edges per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mig.graph import Mig
+
+
+def levels(mig: Mig) -> dict[int, int]:
+    """Topological level of every node (constant and PIs are level 0)."""
+    result = {0: 0}
+    for pi in mig.pis():
+        result[pi.node] = 0
+    for v in mig.gates():
+        result[v] = 1 + max(result[c.node] for c in mig.children(v))
+    return result
+
+
+def depth(mig: Mig) -> int:
+    """Number of gate levels on the longest PI→PO path."""
+    if mig.num_gates == 0:
+        return 0
+    lv = levels(mig)
+    if mig.num_pos:
+        return max((lv[po.node] for po in mig.pos()), default=0)
+    return max(lv.values())
+
+
+def fanout_counts(mig: Mig) -> dict[int, int]:
+    """Number of reader edges per node (gate children + primary outputs)."""
+    counts = {v: 0 for v in mig.nodes()}
+    for v in mig.gates():
+        for child in mig.children(v):
+            counts[child.node] += 1
+    for po in mig.pos():
+        counts[po.node] += 1
+    return counts
+
+
+def parents_of(mig: Mig) -> dict[int, list[int]]:
+    """Gate parents of every node (a parent appears once per child edge)."""
+    parents: dict[int, list[int]] = {v: [] for v in mig.nodes()}
+    for v in mig.gates():
+        for child in mig.children(v):
+            parents[child.node].append(v)
+    return parents
+
+
+def complemented_child_count(mig: Mig, node: int, count_constants: bool = False) -> int:
+    """Complemented child edges of a gate.
+
+    Constant children are excluded by default: a complemented edge to the
+    constant node is just the constant 1 and costs nothing to compute, so
+    the compiler's cost analysis must not count it as an inversion.
+    """
+    return sum(
+        1
+        for child in mig.children(node)
+        if child.inverted and (count_constants or not child.is_const)
+    )
+
+
+@dataclass(frozen=True)
+class ComplementStats:
+    """Distribution of (non-constant) complemented edges over gates."""
+
+    num_gates: int
+    by_count: tuple[int, int, int, int]  # gates with 0, 1, 2, 3 complements
+
+    @property
+    def multi_complement_gates(self) -> int:
+        """Gates with two or more complemented children — the costly ones."""
+        return self.by_count[2] + self.by_count[3]
+
+
+def complement_stats(mig: Mig) -> ComplementStats:
+    """Histogram of complemented-child counts over all gates."""
+    histogram = [0, 0, 0, 0]
+    for v in mig.gates():
+        histogram[complemented_child_count(mig, v)] += 1
+    return ComplementStats(num_gates=mig.num_gates, by_count=tuple(histogram))
+
+
+@dataclass(frozen=True)
+class MigStats:
+    """Summary used by reports and the CLI."""
+
+    num_pis: int
+    num_pos: int
+    num_gates: int
+    depth: int
+    complements: ComplementStats
+
+    def __str__(self) -> str:
+        c = self.complements.by_count
+        return (
+            f"PIs={self.num_pis} POs={self.num_pos} gates={self.num_gates} "
+            f"depth={self.depth} complements(0/1/2/3)={c[0]}/{c[1]}/{c[2]}/{c[3]}"
+        )
+
+
+def stats(mig: Mig) -> MigStats:
+    """Collect :class:`MigStats` for ``mig``."""
+    return MigStats(
+        num_pis=mig.num_pis,
+        num_pos=mig.num_pos,
+        num_gates=mig.num_gates,
+        depth=depth(mig),
+        complements=complement_stats(mig),
+    )

@@ -1,0 +1,160 @@
+"""Gate-level construction helpers on top of :class:`~repro.mig.graph.Mig`.
+
+Two construction styles are supported:
+
+* ``"aoig"`` (default) — AND/OR gates become majority nodes with a constant
+  child, inverters become complemented edges.  This mirrors how the paper
+  obtains its *initial non-optimized MIGs* ("AND/OR operators are replaced
+  node-wise by MAJ operators with a constant input"), so circuits built this
+  way are faithful starting points for the rewriting experiments.
+* ``"maj"`` — exploits the majority operator with non-constant inputs where
+  profitable (e.g. a 3-node full adder instead of a 9-node one).  Used to
+  demonstrate what optimized MIGs look like (paper Fig. 1(b)).
+
+The builder works in terms of :class:`~repro.mig.signal.Signal`; inversion
+is free (``~s``), as in the MIG model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import MigError
+from repro.mig.graph import Mig
+from repro.mig.signal import Signal
+
+
+class LogicBuilder:
+    """Convenience wrapper for building MIGs from conventional gates."""
+
+    STYLES = ("aoig", "maj")
+
+    def __init__(self, mig: Optional[Mig] = None, style: str = "aoig", name: Optional[str] = None):
+        if style not in self.STYLES:
+            raise MigError(f"unknown builder style {style!r}; expected one of {self.STYLES}")
+        self.mig = mig if mig is not None else Mig(name=name)
+        self.style = style
+
+    # -- leaf creation ---------------------------------------------------
+
+    def const(self, value: int) -> Signal:
+        """The constant signal 0 or 1."""
+        if value not in (0, 1):
+            raise MigError(f"constant must be 0 or 1, got {value!r}")
+        return Signal.CONST1 if value else Signal.CONST0
+
+    def input(self, name: Optional[str] = None) -> Signal:
+        """Add one primary input."""
+        return self.mig.add_pi(name)
+
+    def inputs(self, count: int, prefix: str) -> list[Signal]:
+        """Add ``count`` primary inputs named ``prefix0 .. prefix{count-1}``."""
+        return [self.mig.add_pi(f"{prefix}{i}") for i in range(count)]
+
+    def output(self, signal: Signal, name: Optional[str] = None) -> int:
+        """Register a primary output."""
+        return self.mig.add_po(signal, name)
+
+    def outputs(self, signals: Sequence[Signal], prefix: str) -> None:
+        """Register outputs named ``prefix0 .. prefixN``."""
+        for i, signal in enumerate(signals):
+            self.mig.add_po(signal, f"{prefix}{i}")
+
+    # -- primitive gates -------------------------------------------------
+
+    def not_(self, a: Signal) -> Signal:
+        """Inversion — free in an MIG (complemented edge)."""
+        return ~a
+
+    def and_(self, a: Signal, b: Signal) -> Signal:
+        """``a ∧ b = ⟨a b 0⟩``."""
+        return self.mig.add_maj(a, b, Signal.CONST0)
+
+    def or_(self, a: Signal, b: Signal) -> Signal:
+        """``a ∨ b = ⟨a b 1⟩``."""
+        return self.mig.add_maj(a, b, Signal.CONST1)
+
+    def nand(self, a: Signal, b: Signal) -> Signal:
+        """``¬(a ∧ b)``."""
+        return ~self.and_(a, b)
+
+    def nor(self, a: Signal, b: Signal) -> Signal:
+        """``¬(a ∨ b)``."""
+        return ~self.or_(a, b)
+
+    def maj(self, a: Signal, b: Signal, c: Signal) -> Signal:
+        """The native majority gate ``⟨a b c⟩``."""
+        return self.mig.add_maj(a, b, c)
+
+    def xor(self, a: Signal, b: Signal) -> Signal:
+        """``a ⊕ b`` — three majority nodes: ``(a ∨ b) ∧ ¬(a ∧ b)``.
+
+        Constant operands fold for free (AND/OR fold inside ``add_maj``
+        already; XOR needs the explicit short-circuit).
+        """
+        if a.is_const:
+            return ~b if a.const_value else b
+        if b.is_const:
+            return ~a if b.const_value else a
+        return self.and_(self.or_(a, b), self.nand(a, b))
+
+    def xnor(self, a: Signal, b: Signal) -> Signal:
+        """``¬(a ⊕ b)``."""
+        return ~self.xor(a, b)
+
+    def implies(self, a: Signal, b: Signal) -> Signal:
+        """``a → b = ¬a ∨ b``."""
+        return self.or_(~a, b)
+
+    def mux(self, select: Signal, if_true: Signal, if_false: Signal) -> Signal:
+        """2:1 multiplexer ``select ? if_true : if_false``."""
+        return self.or_(self.and_(select, if_true), self.and_(~select, if_false))
+
+    # -- wide gates ------------------------------------------------------
+
+    def and_reduce(self, signals: Iterable[Signal]) -> Signal:
+        """Balanced AND of arbitrarily many signals (1 for empty input)."""
+        return self._reduce(list(signals), self.and_, self.const(1))
+
+    def or_reduce(self, signals: Iterable[Signal]) -> Signal:
+        """Balanced OR of arbitrarily many signals (0 for empty input)."""
+        return self._reduce(list(signals), self.or_, self.const(0))
+
+    def xor_reduce(self, signals: Iterable[Signal]) -> Signal:
+        """Balanced XOR of arbitrarily many signals (0 for empty input)."""
+        return self._reduce(list(signals), self.xor, self.const(0))
+
+    @staticmethod
+    def _reduce(items: list[Signal], op, empty: Signal) -> Signal:
+        if not items:
+            return empty
+        while len(items) > 1:
+            items = [
+                op(items[i], items[i + 1]) if i + 1 < len(items) else items[i]
+                for i in range(0, len(items), 2)
+            ]
+        return items[0]
+
+    # -- arithmetic cells ------------------------------------------------
+
+    def half_adder(self, a: Signal, b: Signal) -> tuple[Signal, Signal]:
+        """Return ``(sum, carry)`` of a half adder."""
+        return self.xor(a, b), self.and_(a, b)
+
+    def full_adder(self, a: Signal, b: Signal, c: Signal) -> tuple[Signal, Signal]:
+        """Return ``(sum, carry)`` of a full adder.
+
+        In ``maj`` style this is the 3-node construction
+        ``carry = ⟨a b c⟩``, ``sum = ⟨c ¬carry ⟨a b ¬c⟩⟩``; in ``aoig``
+        style the conventional XOR/AND/OR decomposition (9 nodes), which is
+        what a straightforward AOIG-to-MIG transposition produces.
+        """
+        if self.style == "maj":
+            carry = self.maj(a, b, c)
+            inner = self.maj(a, b, ~c)
+            total = self.maj(c, ~carry, inner)
+            return total, carry
+        axb = self.xor(a, b)
+        total = self.xor(axb, c)
+        carry = self.or_(self.and_(a, b), self.and_(axb, c))
+        return total, carry

@@ -1,0 +1,308 @@
+"""The Majority-Inverter Graph data structure.
+
+An :class:`Mig` is a DAG with three kinds of nodes:
+
+* the constant-zero node (always index 0);
+* primary inputs (no children);
+* majority gates with exactly three child edges, each optionally
+  complemented (:class:`~repro.mig.signal.Signal`).
+
+Outputs are a list of signals.  Gates are created strictly after their
+children, so node indices are already a topological order — every traversal
+in this package relies on that invariant.
+
+Structural hashing (strash) is performed on the *sorted* child triple, which
+makes node sharing insensitive to commutativity (Ω.C), while the child order
+given at construction time is preserved for storage.  The stored order
+matters: the paper's naïve translator picks RM3 operands "in order of their
+children (from left to right)", so builders control what naïve compilation
+sees.
+
+Trivial majority simplifications (Ω.M: ``⟨x x z⟩ = x``, ``⟨x x̄ z⟩ = z``) are
+applied on construction unless ``simplify=False`` is passed, which tests and
+the algebra module use to create reducible nodes on purpose.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro.errors import MigError
+from repro.mig.signal import Signal
+
+
+class Mig:
+    """A majority-inverter graph with named primary inputs and outputs."""
+
+    def __init__(self, name: Optional[str] = None):
+        self.name = name
+        # _children[v] is None for the constant and for PIs, otherwise a
+        # 3-tuple of Signals in the order the builder supplied them.
+        self._children: list[Optional[tuple[Signal, Signal, Signal]]] = [None]
+        self._pi_ids: list[int] = []
+        self._pi_names: list[str] = []
+        self._name_to_pi: dict[str, int] = {}
+        self._pos: list[Signal] = []
+        self._po_names: list[Optional[str]] = []
+        self._strash: dict[tuple[int, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_pi(self, name: Optional[str] = None) -> Signal:
+        """Append a primary input and return its (plain) signal."""
+        index = len(self._children)
+        if name is None:
+            name = f"i{len(self._pi_ids) + 1}"
+        if name in self._name_to_pi:
+            raise MigError(f"duplicate primary input name {name!r}")
+        self._children.append(None)
+        self._pi_ids.append(index)
+        self._pi_names.append(name)
+        self._name_to_pi[name] = index
+        return Signal.make(index)
+
+    def add_maj(self, a: Signal, b: Signal, c: Signal, *, simplify: bool = True) -> Signal:
+        """Add (or reuse) a majority gate ``⟨a b c⟩`` and return its signal.
+
+        With ``simplify=True`` (the default) the trivial Ω.M rules are
+        applied first, so the result may be one of the inputs rather than a
+        fresh gate.  Structural hashing reuses an existing gate with the
+        same child set regardless of child order.
+        """
+        a, b, c = self._check_signal(a), self._check_signal(b), self._check_signal(c)
+        if simplify:
+            # Ω.M: two equal children decide; a pair of complementary
+            # children leaves the third.
+            if a == b or a == c:
+                return a
+            if b == c:
+                return b
+            if a == ~b or a == ~c:
+                return c if a == ~b else b
+            if b == ~c:
+                return a
+        key = self._strash_key(a, b, c)
+        existing = self._strash.get(key)
+        if existing is not None:
+            return Signal.make(existing)
+        index = len(self._children)
+        self._children.append((a, b, c))
+        self._strash[key] = index
+        return Signal.make(index)
+
+    def add_po(self, signal: Signal, name: Optional[str] = None) -> int:
+        """Register ``signal`` as a primary output; returns the PO index."""
+        signal = self._check_signal(signal)
+        if name is None:
+            name = f"o{len(self._pos) + 1}"
+        self._pos.append(signal)
+        self._po_names.append(name)
+        return len(self._pos) - 1
+
+    def _check_signal(self, signal: Signal) -> Signal:
+        if not isinstance(signal, Signal):
+            raise MigError(f"expected a Signal, got {signal!r}")
+        if signal.node >= len(self._children):
+            raise MigError(f"signal {signal!r} refers to a node that does not exist yet")
+        return signal
+
+    @staticmethod
+    def _strash_key(a: Signal, b: Signal, c: Signal) -> tuple[int, int, int]:
+        x, y, z = sorted((int(a), int(b), int(c)))
+        return (x, y, z)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_pis(self) -> int:
+        """Number of primary inputs."""
+        return len(self._pi_ids)
+
+    @property
+    def num_pos(self) -> int:
+        """Number of primary outputs."""
+        return len(self._pos)
+
+    @property
+    def num_gates(self) -> int:
+        """Number of majority gates (the paper's #N)."""
+        return len(self._children) - 1 - len(self._pi_ids)
+
+    def __len__(self) -> int:
+        """Total node count including the constant and the PIs."""
+        return len(self._children)
+
+    def is_const(self, node: int) -> bool:
+        """True for the constant-zero node."""
+        return node == 0
+
+    def is_pi(self, node: int) -> bool:
+        """True for primary-input nodes."""
+        return node != 0 and self._children[node] is None
+
+    def is_gate(self, node: int) -> bool:
+        """True for majority-gate nodes."""
+        return self._children[node] is not None
+
+    def children(self, node: int) -> tuple[Signal, Signal, Signal]:
+        """The three child edges of a gate, in stored order."""
+        triple = self._children[node]
+        if triple is None:
+            raise MigError(f"node {node} is not a gate")
+        return triple
+
+    def pis(self) -> list[Signal]:
+        """Signals of all primary inputs, in declaration order."""
+        return [Signal.make(v) for v in self._pi_ids]
+
+    def pi_names(self) -> list[str]:
+        """Names of all primary inputs, in declaration order."""
+        return list(self._pi_names)
+
+    def pi_name(self, node: int) -> str:
+        """Name of the primary input with node index ``node``."""
+        if not self.is_pi(node):
+            raise MigError(f"node {node} is not a primary input")
+        return self._pi_names[self._pi_ids.index(node)]
+
+    def pi_by_name(self, name: str) -> Signal:
+        """Signal of the primary input called ``name``."""
+        try:
+            return Signal.make(self._name_to_pi[name])
+        except KeyError:
+            raise MigError(f"no primary input named {name!r}") from None
+
+    def pos(self) -> list[Signal]:
+        """Primary-output signals, in declaration order."""
+        return list(self._pos)
+
+    def po_names(self) -> list[Optional[str]]:
+        """Primary-output names, in declaration order."""
+        return list(self._po_names)
+
+    def gates(self) -> Iterator[int]:
+        """Gate node indices in topological (creation) order."""
+        for v in range(1, len(self._children)):
+            if self._children[v] is not None:
+                yield v
+
+    def nodes(self) -> Iterator[int]:
+        """All node indices (constant, PIs, gates) in creation order."""
+        return iter(range(len(self._children)))
+
+    # ------------------------------------------------------------------
+    # rebuilding (the engine under cleanup and all rewriting passes)
+    # ------------------------------------------------------------------
+
+    def rebuild(
+        self,
+        gate_fn: Optional[Callable[["Mig", int, tuple[Signal, Signal, Signal]], Signal]] = None,
+        keep_dead: bool = False,
+    ) -> tuple["Mig", dict[int, Signal]]:
+        """Copy this MIG into a fresh one, applying ``gate_fn`` per gate.
+
+        ``gate_fn(new_mig, old_node, mapped_children)`` must return the
+        signal in ``new_mig`` that represents ``old_node``'s function — it
+        may create nodes, reuse existing ones, or return a complemented
+        signal (phase changes are how inverter propagation is expressed).
+        The default rebuilds each gate with ``add_maj`` (which resimplifies
+        and re-hashes, so a plain rebuild is already a cleanup pass).
+
+        Only gates in the transitive fan-in of the outputs are visited
+        unless ``keep_dead`` is true.  Returns the new MIG and a map from
+        old node index to new signal.
+        """
+        new = Mig(name=self.name)
+        mapping: dict[int, Signal] = {0: Signal.CONST0}
+        for node, name in zip(self._pi_ids, self._pi_names):
+            mapping[node] = new.add_pi(name)
+        live = self._live_set() if not keep_dead else None
+        for v in self.gates():
+            if live is not None and v not in live:
+                continue
+            a, b, c = self._children[v]
+            mapped = (
+                mapping[a.node].xor_inversion(a.inverted),
+                mapping[b.node].xor_inversion(b.inverted),
+                mapping[c.node].xor_inversion(c.inverted),
+            )
+            if gate_fn is None:
+                mapping[v] = new.add_maj(*mapped)
+            else:
+                mapping[v] = gate_fn(new, v, mapped)
+        for po, name in zip(self._pos, self._po_names):
+            new.add_po(mapping[po.node].xor_inversion(po.inverted), name)
+        return new, mapping
+
+    def _live_set(self) -> set[int]:
+        """Gates reachable from the primary outputs."""
+        live: set[int] = set()
+        stack = [po.node for po in self._pos if self.is_gate(po.node)]
+        while stack:
+            v = stack.pop()
+            if v in live:
+                continue
+            live.add(v)
+            for child in self._children[v]:
+                if self.is_gate(child.node) and child.node not in live:
+                    stack.append(child.node)
+        return live
+
+    def cleanup(self) -> tuple["Mig", dict[int, Signal]]:
+        """Remove dead gates and re-hash; returns (new MIG, node map)."""
+        return self.rebuild()
+
+    def clone(self) -> "Mig":
+        """Deep copy preserving node indices (including dead gates)."""
+        new = Mig(name=self.name)
+        new._children = list(self._children)
+        new._pi_ids = list(self._pi_ids)
+        new._pi_names = list(self._pi_names)
+        new._name_to_pi = dict(self._name_to_pi)
+        new._pos = list(self._pos)
+        new._po_names = list(self._po_names)
+        new._strash = dict(self._strash)
+        return new
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+
+    def signal_name(self, signal: Signal) -> str:
+        """Readable name for a signal (used by listings and dot output)."""
+        prefix = "~" if signal.inverted else ""
+        if signal.is_const:
+            return str(signal.const_value)
+        if self.is_pi(signal.node):
+            return prefix + self.pi_name(signal.node)
+        return f"{prefix}n{signal.node}"
+
+    def to_dot(self) -> str:
+        """Graphviz dot rendering (complemented edges drawn dashed)."""
+        lines = ["digraph mig {", "  rankdir=BT;"]
+        lines.append('  n0 [label="0", shape=box];')
+        for node, name in zip(self._pi_ids, self._pi_names):
+            lines.append(f'  n{node} [label="{name}", shape=triangle];')
+        for v in self.gates():
+            lines.append(f'  n{v} [label="MAJ {v}", shape=ellipse];')
+            for child in self.children(v):
+                style = ", style=dashed" if child.inverted else ""
+                lines.append(f"  n{child.node} -> n{v} [arrowhead=none{style}];")
+        for index, (po, name) in enumerate(zip(self._pos, self._po_names)):
+            label = name or f"po{index}"
+            lines.append(f'  po{index} [label="{label}", shape=invtriangle];')
+            style = ", style=dashed" if po.inverted else ""
+            lines.append(f"  n{po.node} -> po{index} [arrowhead=none{style}];")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        name = f" {self.name!r}" if self.name else ""
+        return (
+            f"<Mig{name}: {self.num_pis} PIs, {self.num_pos} POs, "
+            f"{self.num_gates} gates>"
+        )

@@ -1,0 +1,159 @@
+"""ASCII AIGER (``.aag``) reader and writer.
+
+AIGs (And-Inverter Graphs) are the lingua franca of logic synthesis tools;
+reading them gives this package access to standard benchmark circuits, and
+AND nodes transpose directly to majority nodes with a constant-0 child —
+the AOIG→MIG embedding of paper Fig. 1(a).
+
+Only the combinational subset is supported (no latches); symbols and
+comments are honoured on read and emitted on write.  Writing decomposes
+each majority gate into its AND/OR form ``⟨abc⟩ = (a∧b) ∨ (a∧c) ∨ (b∧c)``
+(four AIG nodes), since AIGs have no native majority.
+"""
+
+from __future__ import annotations
+
+from typing import TextIO
+
+from repro.errors import ParseError
+from repro.mig.build import LogicBuilder
+from repro.mig.graph import Mig
+from repro.mig.signal import Signal
+
+
+def read_aiger(path_or_file) -> Mig:
+    """Parse an ASCII AIGER file into an MIG (ANDs become ⟨a b 0⟩)."""
+    if hasattr(path_or_file, "read"):
+        return _read(path_or_file)
+    with open(path_or_file, "r", encoding="utf-8") as handle:
+        return _read(handle)
+
+
+def _read(handle: TextIO) -> Mig:
+    header = handle.readline().split()
+    if len(header) != 6 or header[0] != "aag":
+        raise ParseError("expected header 'aag M I L O A'", 1)
+    try:
+        max_var, num_in, num_latch, num_out, num_and = (int(x) for x in header[1:])
+    except ValueError:
+        raise ParseError("non-numeric AIGER header fields", 1) from None
+    if num_latch:
+        raise ParseError("sequential AIGER (latches) is not supported", 1)
+
+    builder = LogicBuilder()
+    literal_map: dict[int, Signal] = {0: Signal.CONST0, 1: Signal.CONST1}
+
+    input_literals: list[int] = []
+    for i in range(num_in):
+        literal = int(handle.readline())
+        if literal % 2:
+            raise ParseError(f"input literal {literal} must be even", 2 + i)
+        input_literals.append(literal)
+
+    output_literals: list[int] = []
+    for i in range(num_out):
+        output_literals.append(int(handle.readline()))
+
+    and_rows: list[tuple[int, int, int]] = []
+    for i in range(num_and):
+        parts = handle.readline().split()
+        if len(parts) != 3:
+            raise ParseError("malformed AND row", 2 + num_in + num_out + i)
+        and_rows.append(tuple(int(p) for p in parts))
+
+    # Symbol table and comments.
+    input_names: dict[int, str] = {}
+    output_names: dict[int, str] = {}
+    for raw in handle:
+        line = raw.rstrip("\n")
+        if line.startswith("c"):
+            break
+        if line.startswith("i"):
+            pos, name = line[1:].split(" ", 1)
+            input_names[int(pos)] = name
+        elif line.startswith("o"):
+            pos, name = line[1:].split(" ", 1)
+            output_names[int(pos)] = name
+
+    for pos, literal in enumerate(input_literals):
+        literal_map[literal] = builder.input(input_names.get(pos, f"i{pos}"))
+
+    def resolve(literal: int) -> Signal:
+        base = literal_map.get(literal & ~1)
+        if base is None:
+            raise ParseError(f"literal {literal} used before definition")
+        return ~base if literal & 1 else base
+
+    for lhs, rhs0, rhs1 in and_rows:
+        if lhs % 2:
+            raise ParseError(f"AND literal {lhs} must be even")
+        literal_map[lhs] = builder.and_(resolve(rhs0), resolve(rhs1))
+
+    for pos, literal in enumerate(output_literals):
+        builder.output(resolve(literal), output_names.get(pos, f"o{pos}"))
+    return builder.mig
+
+
+def write_aiger(mig: Mig, path_or_file) -> None:
+    """Serialize ``mig`` as ASCII AIGER (majority → 4 AND nodes)."""
+    if hasattr(path_or_file, "write"):
+        _write(mig, path_or_file)
+    else:
+        with open(path_or_file, "w", encoding="utf-8") as handle:
+            _write(mig, handle)
+
+
+def _write(mig: Mig, out: TextIO) -> None:
+    next_var = [0]
+    literal_of: dict[int, int] = {}  # MIG signal int -> AIG literal
+    and_rows: list[tuple[int, int, int]] = []
+
+    def fresh() -> int:
+        next_var[0] += 1
+        return 2 * next_var[0]
+
+    def emit_and(a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        if a == 1:
+            return b
+        if b == 1:
+            return a
+        lhs = fresh()
+        and_rows.append((lhs, max(a, b), min(a, b)))
+        return lhs
+
+    def emit_or(a: int, b: int) -> int:
+        return emit_and(a ^ 1, b ^ 1) ^ 1
+
+    literal_of[int(Signal.CONST0)] = 0
+    literal_of[int(Signal.CONST1)] = 1
+    input_literals = []
+    for pi in mig.pis():
+        literal = fresh()
+        literal_of[int(pi)] = literal
+        literal_of[int(~pi)] = literal ^ 1
+        input_literals.append(literal)
+
+    for v in mig.gates():
+        a, b, c = (literal_of[int(s)] for s in mig.children(v))
+        # ⟨abc⟩ = (a∧b) ∨ (c∧(a∨b)): four AND nodes instead of five.
+        result = emit_or(emit_and(a, b), emit_and(c, emit_or(a, b)))
+        literal_of[v << 1] = result
+        literal_of[(v << 1) | 1] = result ^ 1
+
+    output_literals = [literal_of[int(po)] for po in mig.pos()]
+    out.write(
+        f"aag {next_var[0]} {mig.num_pis} 0 {mig.num_pos} {len(and_rows)}\n"
+    )
+    for literal in input_literals:
+        out.write(f"{literal}\n")
+    for literal in output_literals:
+        out.write(f"{literal}\n")
+    for lhs, rhs0, rhs1 in and_rows:
+        out.write(f"{lhs} {rhs0} {rhs1}\n")
+    for pos, name in enumerate(mig.pi_names()):
+        out.write(f"i{pos} {name}\n")
+    for pos, name in enumerate(mig.po_names()):
+        out.write(f"o{pos} {name}\n")
+    out.write(f"c\nwritten by repro {mig.name or ''}\n".rstrip() + "\n")

@@ -1,0 +1,15 @@
+"""PLiM architecture substrate.
+
+Models the Programmable Logic-in-Memory computer of Gaillardon et al.
+(DATE'16) that the compiler targets: the single-instruction ISA (``RM3``),
+the program container, an executable machine model of the RRAM array with
+its controller (paper Fig. 2), functional verification of compiled programs,
+and endurance (write-wear) analysis.
+"""
+
+from repro.plim.isa import Instruction, Operand
+from repro.plim.program import Program
+from repro.plim.machine import PlimMachine
+from repro.plim.verify import verify_program
+
+__all__ = ["Instruction", "Operand", "Program", "PlimMachine", "verify_program"]

@@ -1,0 +1,109 @@
+"""The PLiM controller as a von Neumann machine over one RRAM array.
+
+:class:`~repro.plim.machine.PlimMachine` executes instruction objects
+directly — convenient for verification, but the real PLiM (paper Fig. 2)
+stores the *program in the same resistive array as the data* and the
+controller FSM fetches, decodes, and executes it:
+
+    "The PLiM controller consists of a wrapper of the RRAM array and works
+    as a simple processor core, reading instructions from the memory array
+    and performing computing operations (majority) within the memory
+    array. [...] When the write operation is completed, a program counter
+    is incremented, and a new cycle of operation is triggered."
+
+:class:`FetchingController` models exactly that: the encoded program
+(:mod:`repro.plim.encoding`) is written into an instruction region above
+the data cells; each step fetches ``bits_per_instruction`` cells, decodes
+the RM3, applies it to the data region, and advances the program counter.
+Cycle accounting covers fetch reads, operand reads, and the write.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import MachineError
+from repro.plim.encoding import ProgramImage, decode_instruction, encode_program
+from repro.plim.machine import PlimMachine
+from repro.plim.program import Program
+
+
+class FetchingController:
+    """Fetch–decode–execute FSM over a single PLiM array."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.data_cells = max(program.num_cells, 1)
+        self.image: ProgramImage = encode_program(program)
+        #: first cell of the instruction region (directly above the data)
+        self.code_base = self.data_cells
+        total = self.data_cells + len(self.image.bits)
+        self.machine = PlimMachine(total, width=1)
+        self.pc = 0
+        self.halted = False
+        #: cycles spent fetching instruction bits
+        self.fetch_cycles = 0
+        #: cycles spent reading operands and writing destinations
+        self.execute_cycles = 0
+        self._load_image()
+
+    def _load_image(self) -> None:
+        """RAM-mode write of the encoded program into the array."""
+        for offset, bit in enumerate(self.image.bits):
+            self.machine.write(self.code_base + offset, bit)
+
+    # ------------------------------------------------------------------
+
+    def load_inputs(self, values: dict[str, int]) -> None:
+        """RAM-mode load of the program's input cells."""
+        self.machine.load_inputs(self.program, values)
+
+    def fetch(self) -> int:
+        """Read the current instruction's bits from the array."""
+        width = self.image.bits_per_instruction
+        base = self.code_base + self.pc * width
+        word = 0
+        for i in range(width):
+            word |= self.machine.read(base + i) << i
+        self.fetch_cycles += width
+        return word
+
+    def step(self) -> bool:
+        """One fetch–decode–execute cycle; returns False once halted."""
+        if self.halted:
+            return False
+        if self.pc >= self.image.num_instructions:
+            self.halted = True
+            return False
+        word = self.fetch()
+        instruction = decode_instruction(word, self.image.addr_bits)
+        if instruction.z >= self.data_cells:
+            raise MachineError(
+                f"instruction at pc={self.pc} writes into the code region "
+                f"(cell {instruction.z})"
+            )
+        self.machine.set_lim(True)
+        self.machine.execute(instruction)
+        self.machine.set_lim(False)
+        self.execute_cycles += 3
+        self.pc += 1
+        return True
+
+    def run(self, inputs: Optional[dict[str, int]] = None) -> dict[str, int]:
+        """Execute the whole stored program; returns the program outputs."""
+        if inputs is not None:
+            self.load_inputs(inputs)
+        while self.step():
+            pass
+        return self.machine.read_outputs(self.program)
+
+    @property
+    def total_cycles(self) -> int:
+        """Fetch plus execute cycles so far."""
+        return self.fetch_cycles + self.execute_cycles
+
+    def __repr__(self) -> str:
+        return (
+            f"<FetchingController: pc={self.pc}/{self.image.num_instructions}, "
+            f"{self.data_cells} data cells + {len(self.image.bits)} code bits>"
+        )

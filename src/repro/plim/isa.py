@@ -1,0 +1,103 @@
+"""The PLiM instruction set: a single instruction, RM3.
+
+``RM3(A, B, Z)`` updates the RRAM cell at address ``Z`` to the resistive
+majority ``Z ← ⟨A, ¬B, Z⟩`` (paper §2.2 / §4.2.2): operand ``B`` enters the
+majority complemented — that is what the physical bipolar RRAM write does —
+and the destination cell contributes its *current* value and receives the
+result.
+
+Operands ``A`` and ``B`` are single-bit values read either from constants or
+from the memory array; ``Z`` is always a cell address.  Useful idioms (all
+taken from the paper's program listings):
+
+====================  =========================  ======================
+instruction           effect                     note
+====================  =========================  ======================
+``RM3(0, 1, @X)``     ``X ← 0``                  works from any state
+``RM3(1, 0, @X)``     ``X ← 1``                  works from any state
+``RM3(v, 0, @X)``     ``X ← v``   (if X = 0)     load
+``RM3(1, v, @X)``     ``X ← ¬v``  (if X = 0)     inverted load
+====================  =========================  ======================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.errors import MachineError
+
+
+@dataclass(frozen=True, slots=True)
+class Operand:
+    """An RM3 source operand: a constant bit or a cell address.
+
+    ``is_const`` selects the interpretation of ``value``: the literal bit
+    (0/1) for constants, the cell address otherwise.
+    """
+
+    is_const: bool
+    value: int
+
+    @classmethod
+    def const(cls, bit: int) -> "Operand":
+        """Constant operand 0 or 1."""
+        if bit not in (0, 1):
+            raise MachineError(f"constant operand must be 0 or 1, got {bit!r}")
+        return cls(True, bit)
+
+    @classmethod
+    def cell(cls, address: int) -> "Operand":
+        """Operand read from the cell at ``address``."""
+        if address < 0:
+            raise MachineError(f"cell address must be non-negative, got {address}")
+        return cls(False, address)
+
+    def render(self, cell_namer=None) -> str:
+        """Paper-style text: ``0``/``1`` for constants, ``@X`` for cells."""
+        if self.is_const:
+            return str(self.value)
+        if cell_namer is not None:
+            return cell_namer(self.value)
+        return f"@{self.value}"
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+#: Shared constant operands (the overwhelmingly common ones).
+ZERO = Operand.const(0)
+ONE = Operand.const(1)
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One RM3 instruction ``Z ← ⟨A, ¬B, Z⟩``.
+
+    ``comment`` is free-form provenance recorded by the compiler (e.g.
+    ``"X1 <- N3"``); it has no semantic effect.
+    """
+
+    a: Operand
+    b: Operand
+    z: int
+    comment: str = ""
+
+    def __post_init__(self):
+        if self.z < 0:
+            raise MachineError(f"destination address must be non-negative, got {self.z}")
+
+    def render(self, cell_namer=None) -> str:
+        """Paper-style rendering: ``A, B, @Z``."""
+        z = f"@{self.z}" if cell_namer is None else cell_namer(self.z)
+        return f"{self.a.render(cell_namer)}, {self.b.render(cell_namer)}, {z}"
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def rm3(a: int, not_b: int, z: int) -> int:
+    """The pure majority update: ``⟨a, ¬b, z⟩`` with ``¬b`` already applied.
+
+    Operates bitwise so callers can pack many evaluation patterns into each
+    integer (bit-parallel execution).
+    """
+    return (a & not_b) | (a & z) | (not_b & z)

@@ -1,0 +1,154 @@
+"""Executable model of the PLiM architecture (paper Fig. 2).
+
+The machine is an RRAM array wrapped by a controller.  With ``LiM = 0`` the
+array behaves as a standard RAM (read/write); with ``LiM = 1`` the
+controller executes RM3 instructions: per instruction it reads operands
+``A`` and ``B`` (from constants or from the array), then performs the write
+``Z ← ⟨A, ¬B, Z⟩`` in place at the destination cell.
+
+The model is *bit-parallel*: each cell stores a ``width``-bit integer whose
+bit ``p`` is the cell's value in an independent evaluation universe ``p``.
+``width=1`` is the physical machine; verification uses wide words to run
+thousands of input patterns per pass.  Endurance accounting (device writes
+and actual value flips per cell) is independent of width — one RM3 is one
+programming pulse on one cell regardless of how many universes we simulate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import MachineError
+from repro.plim.isa import Instruction, Operand, rm3
+from repro.plim.program import Program
+from repro.utils.bits import full_mask
+
+
+class PlimMachine:
+    """RRAM array + controller with LiM and RAM operating modes."""
+
+    def __init__(self, num_cells: int, width: int = 1):
+        if num_cells < 0:
+            raise MachineError(f"num_cells must be non-negative, got {num_cells}")
+        if width < 1:
+            raise MachineError(f"width must be positive, got {width}")
+        self.width = width
+        self.mask = full_mask(width)
+        self.cells: list[int] = [0] * num_cells
+        self.lim_enabled = False
+        #: programming pulses per cell (every RM3/RAM write counts once)
+        self.write_counts: list[int] = [0] * num_cells
+        #: writes that actually changed the stored value
+        self.flip_counts: list[int] = [0] * num_cells
+        #: executed RM3 instructions
+        self.instruction_count = 0
+        #: controller cycles: read A, read B, write Z per RM3 (3 per instr)
+        self.cycle_count = 0
+
+    # ------------------------------------------------------------------
+    # RAM mode
+    # ------------------------------------------------------------------
+
+    def read(self, address: int) -> int:
+        """RAM-mode read of one cell."""
+        self._check_address(address)
+        return self.cells[address]
+
+    def write(self, address: int, value: int) -> None:
+        """RAM-mode write of one cell (counts as a programming pulse)."""
+        if self.lim_enabled:
+            raise MachineError("RAM write while LiM mode is active")
+        self._check_address(address)
+        value &= self.mask
+        self._program_cell(address, value)
+
+    # ------------------------------------------------------------------
+    # LiM mode
+    # ------------------------------------------------------------------
+
+    def set_lim(self, enabled: bool) -> None:
+        """Toggle logic-in-memory mode."""
+        self.lim_enabled = bool(enabled)
+
+    def execute(self, instruction: Instruction) -> int:
+        """Execute one RM3 instruction; returns the value written to Z."""
+        if not self.lim_enabled:
+            raise MachineError("RM3 execution requires LiM mode (set_lim(True))")
+        self._check_address(instruction.z)
+        a = self._load_operand(instruction.a)
+        not_b = self._load_operand(instruction.b) ^ self.mask
+        z_old = self.cells[instruction.z]
+        result = rm3(a, not_b, z_old) & self.mask
+        self._program_cell(instruction.z, result)
+        self.instruction_count += 1
+        self.cycle_count += 3  # read A, read B, write Z
+        return result
+
+    def run(self, program: Program | Iterable[Instruction]) -> None:
+        """Execute a whole program (or raw instruction sequence) in LiM mode."""
+        was_lim = self.lim_enabled
+        self.set_lim(True)
+        instructions = program.instructions if isinstance(program, Program) else program
+        for instruction in instructions:
+            self.execute(instruction)
+        self.set_lim(was_lim)
+
+    # ------------------------------------------------------------------
+    # program-level convenience
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def for_program(cls, program: Program, width: int = 1) -> "PlimMachine":
+        """Machine sized to fit every cell a program touches."""
+        return cls(max(program.num_cells, 1), width=width)
+
+    def load_inputs(self, program: Program, values: dict[str, int]) -> None:
+        """RAM-mode load of the program's input cells from ``values``."""
+        for name, address in program.input_cells.items():
+            try:
+                self.write(address, values[name])
+            except KeyError:
+                raise MachineError(f"no value provided for input {name!r}") from None
+
+    def read_outputs(self, program: Program) -> dict[str, int]:
+        """Read the program's outputs, honouring polarity flags."""
+        outputs: dict[str, int] = {}
+        for name, location in program.output_cells.items():
+            value = self.read(location.cell)
+            if location.inverted:
+                value ^= self.mask
+            outputs[name] = value
+        return outputs
+
+    def run_program(self, program: Program, inputs: dict[str, int]) -> dict[str, int]:
+        """Load inputs, run in LiM mode, read outputs."""
+        self.load_inputs(program, inputs)
+        self.run(program)
+        return self.read_outputs(program)
+
+    # ------------------------------------------------------------------
+
+    def _load_operand(self, operand: Operand) -> int:
+        if operand.is_const:
+            return self.mask if operand.value else 0
+        self._check_address(operand.value)
+        return self.cells[operand.value]
+
+    def _program_cell(self, address: int, value: int) -> None:
+        if self.cells[address] != value:
+            self.flip_counts[address] += 1
+        self.cells[address] = value
+        self.write_counts[address] += 1
+
+    def _check_address(self, address: int) -> None:
+        if not 0 <= address < len(self.cells):
+            raise MachineError(
+                f"cell address {address} out of range (array has {len(self.cells)} cells)"
+            )
+
+    def __repr__(self) -> str:
+        mode = "LiM" if self.lim_enabled else "RAM"
+        return (
+            f"<PlimMachine: {len(self.cells)} cells x {self.width} bit(s), "
+            f"mode={mode}, executed={self.instruction_count}>"
+        )

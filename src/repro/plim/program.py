@@ -1,0 +1,210 @@
+"""PLiM programs: instruction sequences plus the memory-layout contract.
+
+A :class:`Program` owns
+
+* the ordered RM3 instructions,
+* the input contract: which cell holds which primary input,
+* the output contract: which cell holds which primary output on completion
+  (with a polarity flag — rewriting may legally leave an output stored
+  complemented when ``fix_output_polarity`` is off, matching the paper's
+  listings), and
+* the work-cell inventory, whose size is the paper's ``#R`` metric.
+
+Programs can be pretty-printed in the paper's listing style and serialized
+to/from a small text format (``.plim``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import ParseError
+from repro.plim.isa import Instruction, Operand
+
+
+@dataclass(frozen=True, slots=True)
+class OutputLocation:
+    """Where a primary output lives when the program halts."""
+
+    cell: int
+    inverted: bool = False  # True: the cell holds the *complement*
+
+
+class Program:
+    """An executable PLiM program with its I/O contract."""
+
+    def __init__(
+        self,
+        input_cells: Optional[dict[str, int]] = None,
+        name: Optional[str] = None,
+    ):
+        self.name = name
+        self.instructions: list[Instruction] = []
+        #: PI name → cell address (cells pre-loaded before execution).
+        self.input_cells: dict[str, int] = dict(input_cells or {})
+        #: PO name → :class:`OutputLocation`.
+        self.output_cells: dict[str, OutputLocation] = {}
+        #: Work cells ever allocated (the paper's #R), in allocation order.
+        self.work_cells: list[int] = []
+        self._work_cell_set: set[int] = set()
+
+    # ------------------------------------------------------------------
+
+    def append(self, instruction: Instruction) -> None:
+        """Add one instruction to the end of the program."""
+        self.instructions.append(instruction)
+
+    def extend(self, instructions: Iterable[Instruction]) -> None:
+        """Add several instructions."""
+        self.instructions.extend(instructions)
+
+    def register_work_cell(self, address: int) -> None:
+        """Record that ``address`` is used as a work cell."""
+        if address not in self._work_cell_set:
+            self._work_cell_set.add(address)
+            self.work_cells.append(address)
+
+    def set_output(self, name: str, cell: int, inverted: bool = False) -> None:
+        """Declare where output ``name`` lives after execution."""
+        self.output_cells[name] = OutputLocation(cell, inverted)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_instructions(self) -> int:
+        """The paper's #I metric."""
+        return len(self.instructions)
+
+    @property
+    def num_rrams(self) -> int:
+        """The paper's #R metric: distinct work RRAMs used."""
+        return len(self.work_cells)
+
+    @property
+    def num_cells(self) -> int:
+        """Total cells touched (inputs + work cells)."""
+        highest = -1
+        for instr in self.instructions:
+            highest = max(highest, instr.z)
+            for op in (instr.a, instr.b):
+                if not op.is_const:
+                    highest = max(highest, op.value)
+        for addr in self.input_cells.values():
+            highest = max(highest, addr)
+        return highest + 1
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+
+    def cell_namer(self):
+        """Callable mapping a cell address to a paper-style name.
+
+        Input cells render as their PI name; work cells as ``@X1 ...`` in
+        allocation order; anything else as ``@addr``.
+        """
+        input_names = {addr: name for name, addr in self.input_cells.items()}
+        work_names = {addr: f"@X{i + 1}" for i, addr in enumerate(self.work_cells)}
+
+        def namer(address: int) -> str:
+            if address in input_names:
+                return input_names[address]
+            if address in work_names:
+                return work_names[address]
+            return f"@{address}"
+
+        return namer
+
+    def listing(self, with_comments: bool = True) -> str:
+        """Paper-style listing, e.g. ``01: 0, 1, @X1   X1 <- 0``."""
+        namer = self.cell_namer()
+        width = max(2, len(str(len(self.instructions))))
+        lines = []
+        for index, instr in enumerate(self.instructions, start=1):
+            text = f"{index:0{width}d}: {instr.render(namer)}"
+            if with_comments and instr.comment:
+                text = f"{text:<36} {instr.comment}"
+            lines.append(text)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        name = f" {self.name!r}" if self.name else ""
+        return (
+            f"<Program{name}: {self.num_instructions} instructions, "
+            f"{self.num_rrams} work RRAMs>"
+        )
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def to_text(self) -> str:
+        """Serialize to the ``.plim`` text format."""
+        lines = [f".plim {self.name or ''}".rstrip()]
+        for name, addr in self.input_cells.items():
+            lines.append(f".input {name} {addr}")
+        for name, loc in self.output_cells.items():
+            inv = " inv" if loc.inverted else ""
+            lines.append(f".output {name} {loc.cell}{inv}")
+        if self.work_cells:
+            lines.append(".work " + " ".join(str(c) for c in self.work_cells))
+        for instr in self.instructions:
+            a, b = (op.render() for op in (instr.a, instr.b))
+            comment = f" ; {instr.comment}" if instr.comment else ""
+            lines.append(f"{a} {b} @{instr.z}{comment}")
+        lines.append(".end")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_text(cls, text: str) -> "Program":
+        """Parse the ``.plim`` text format produced by :meth:`to_text`."""
+        program: Optional[Program] = None
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split(";")[0].strip()
+            comment = raw.split(";", 1)[1].strip() if ";" in raw else ""
+            if not line:
+                continue
+            if line.startswith(".plim"):
+                name = line[len(".plim"):].strip() or None
+                program = cls(name=name)
+                continue
+            if program is None:
+                raise ParseError("file must start with a .plim header", lineno)
+            if line == ".end":
+                break
+            if line.startswith(".input"):
+                _, name, addr = line.split()
+                program.input_cells[name] = int(addr)
+            elif line.startswith(".output"):
+                parts = line.split()
+                inverted = len(parts) == 4 and parts[3] == "inv"
+                program.set_output(parts[1], int(parts[2]), inverted)
+            elif line.startswith(".work"):
+                for token in line.split()[1:]:
+                    program.register_work_cell(int(token))
+            else:
+                parts = line.split()
+                if len(parts) != 3:
+                    raise ParseError(f"malformed instruction {line!r}", lineno)
+                a, b = (cls._parse_operand(tok, lineno) for tok in parts[:2])
+                if not parts[2].startswith("@"):
+                    raise ParseError(f"destination must be @addr, got {parts[2]!r}", lineno)
+                program.append(Instruction(a, b, int(parts[2][1:]), comment))
+        if program is None:
+            raise ParseError("no .plim header found")
+        return program
+
+    @staticmethod
+    def _parse_operand(token: str, lineno: int) -> Operand:
+        if token in ("0", "1"):
+            return Operand.const(int(token))
+        if token.startswith("@"):
+            return Operand.cell(int(token[1:]))
+        raise ParseError(f"malformed operand {token!r}", lineno)

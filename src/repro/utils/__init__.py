@@ -1,0 +1,19 @@
+"""Small shared helpers: bit manipulation and iteration utilities."""
+
+from repro.utils.bits import (
+    bit_length_of_mask,
+    bits_of,
+    from_bits,
+    full_mask,
+    pattern_mask,
+    popcount,
+)
+
+__all__ = [
+    "bit_length_of_mask",
+    "bits_of",
+    "from_bits",
+    "full_mask",
+    "pattern_mask",
+    "popcount",
+]

@@ -1,0 +1,80 @@
+"""Bit-manipulation helpers used by simulation and the word-level builders.
+
+Bit-parallel simulation represents a signal's value under many input
+patterns as one arbitrary-precision integer: bit ``p`` of the integer is the
+signal's value under pattern ``p``.  Python integers make this both simple
+and fast — a single ``&``/``|`` simulates every pattern at once.
+"""
+
+from __future__ import annotations
+
+
+def full_mask(width: int) -> int:
+    """Return an integer with the ``width`` lowest bits set.
+
+    >>> full_mask(4)
+    15
+    """
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def pattern_mask(var_index: int, num_vars: int) -> int:
+    """Truth-table column of input variable ``var_index`` over ``num_vars``.
+
+    Bit ``p`` of the result is bit ``var_index`` of the pattern number ``p``,
+    for all ``2**num_vars`` patterns — the classic cofactor mask.
+
+    >>> bin(pattern_mask(0, 3))
+    '0b10101010'
+    >>> bin(pattern_mask(2, 3))
+    '0b11110000'
+    """
+    if not 0 <= var_index < num_vars:
+        raise ValueError(f"var_index {var_index} out of range for {num_vars} variables")
+    block = full_mask(1 << var_index) << (1 << var_index)
+    repeats = 1 << (num_vars - var_index - 1)
+    stride = 1 << (var_index + 1)
+    value = 0
+    for i in range(repeats):
+        value |= block << (i * stride)
+    return value
+
+
+def popcount(value: int) -> int:
+    """Number of set bits of a non-negative integer."""
+    if value < 0:
+        raise ValueError("popcount is defined for non-negative integers")
+    return value.bit_count()
+
+
+def bits_of(value: int, width: int) -> list[int]:
+    """Little-endian list of the ``width`` lowest bits of ``value``.
+
+    >>> bits_of(6, 4)
+    [0, 1, 1, 0]
+    """
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def from_bits(bits: list[int]) -> int:
+    """Inverse of :func:`bits_of`: assemble a little-endian bit list.
+
+    >>> from_bits([0, 1, 1, 0])
+    6
+    """
+    value = 0
+    for i, bit in enumerate(bits):
+        if bit not in (0, 1):
+            raise ValueError(f"bit {i} is {bit!r}, expected 0 or 1")
+        value |= bit << i
+    return value
+
+
+def bit_length_of_mask(mask: int) -> int:
+    """Number of patterns a simulation mask covers (its bit length rounded up).
+
+    Used to recover the pattern count from a full mask.
+    """
+    return mask.bit_length()

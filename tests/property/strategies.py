@@ -1,0 +1,38 @@
+"""Hypothesis strategies shared by the property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.mig.graph import Mig
+from repro.mig.signal import Signal
+
+
+@st.composite
+def migs(draw, max_pis: int = 5, max_gates: int = 25, min_pis: int = 2):
+    """Arbitrary well-formed MIGs with named PIs/POs."""
+    num_pis = draw(st.integers(min_pis, max_pis))
+    num_gates = draw(st.integers(1, max_gates))
+    mig = Mig(name="prop")
+    signals = [mig.add_pi(f"x{i}") for i in range(num_pis)]
+    signals.append(Signal.CONST0)
+    for _ in range(num_gates):
+        picks = draw(
+            st.lists(st.integers(0, len(signals) - 1), min_size=3, max_size=3)
+        )
+        flips = draw(st.lists(st.booleans(), min_size=3, max_size=3))
+        children = [
+            ~signals[i] if flip else signals[i] for i, flip in zip(picks, flips)
+        ]
+        signals.append(mig.add_maj(*children))
+    num_pos = draw(st.integers(1, 3))
+    for k in range(num_pos):
+        index = draw(st.integers(0, len(signals) - 1))
+        flip = draw(st.booleans())
+        mig.add_po(~signals[index] if flip else signals[index], f"f{k}")
+    return mig
+
+
+def packed_bits(width: int = 64):
+    """Packed evaluation words for bit-parallel identities."""
+    return st.integers(0, (1 << width) - 1)

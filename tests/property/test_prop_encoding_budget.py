@@ -1,0 +1,89 @@
+"""Property-based tests for instruction encoding, the fetching controller,
+and RRAM-budgeted compilation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compiler import CompilerOptions, PlimCompiler
+from repro.errors import CompilationError
+from repro.plim.controller import FetchingController
+from repro.plim.encoding import (
+    decode_instruction,
+    encode_instruction,
+    instruction_bits,
+)
+from repro.plim.isa import Instruction, Operand
+from repro.plim.machine import PlimMachine
+from repro.plim.verify import verify_program
+
+from .strategies import migs
+
+FAST = settings(max_examples=50, deadline=None)
+SLOW = settings(max_examples=20, deadline=None)
+
+
+@st.composite
+def instructions(draw, addr_bits=8):
+    top = (1 << addr_bits) - 1
+
+    def operand():
+        if draw(st.booleans()):
+            return Operand.const(draw(st.integers(0, 1)))
+        return Operand.cell(draw(st.integers(0, top)))
+
+    return Instruction(operand(), operand(), draw(st.integers(0, top)))
+
+
+class TestEncodingRoundtrip:
+    @FAST
+    @given(instruction=instructions())
+    def test_roundtrip(self, instruction):
+        word = encode_instruction(instruction, 8)
+        assert 0 <= word < (1 << instruction_bits(8))
+        back = decode_instruction(word, 8)
+        assert (back.a, back.b, back.z) == (
+            instruction.a,
+            instruction.b,
+            instruction.z,
+        )
+
+    @FAST
+    @given(instruction=instructions(addr_bits=4), other=instructions(addr_bits=4))
+    def test_injective(self, instruction, other):
+        """Distinct instructions encode to distinct words."""
+        same = (instruction.a, instruction.b, instruction.z) == (
+            other.a,
+            other.b,
+            other.z,
+        )
+        words_equal = encode_instruction(instruction, 4) == encode_instruction(other, 4)
+        assert words_equal == same
+
+
+class TestControllerAgreement:
+    @SLOW
+    @given(mig=migs(max_gates=12), data=st.data())
+    def test_fetching_controller_matches_machine(self, mig, data):
+        program = PlimCompiler(CompilerOptions()).compile(mig)
+        inputs = {
+            name: data.draw(st.integers(0, 1), label=name)
+            for name in mig.pi_names()
+        }
+        direct = PlimMachine.for_program(program).run_program(program, inputs)
+        fetched = FetchingController(program).run(inputs)
+        assert fetched == direct
+
+
+class TestBudgetProperties:
+    @SLOW
+    @given(mig=migs(max_gates=15), slack=st.integers(0, 3))
+    def test_budget_respected_or_infeasible(self, mig, slack):
+        free = PlimCompiler(CompilerOptions(fix_output_polarity=False)).compile(mig)
+        budget = max(1, free.num_rrams - slack)
+        options = CompilerOptions(fix_output_polarity=False, max_work_cells=budget)
+        try:
+            program = PlimCompiler(options).compile(mig)
+        except CompilationError:
+            return
+        assert program.num_rrams <= budget
+        assert verify_program(mig, program, raise_on_mismatch=True).ok

@@ -1,0 +1,130 @@
+"""Property-based tests of the word-level builders against Python ints."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mig.build import LogicBuilder
+from repro.mig.simulate import evaluate
+from repro.mig.words import (
+    add,
+    barrel_rotate_left,
+    divide,
+    isqrt,
+    less_than,
+    multiply,
+    popcount,
+    sub,
+)
+
+FAST = settings(max_examples=25, deadline=None)
+
+
+def assignment(prefix, value, width):
+    return {f"{prefix}{i}": (value >> i) & 1 for i in range(width)}
+
+
+def read(outputs, prefix, width):
+    return sum((outputs[f"{prefix}{i}"] & 1) << i for i in range(width))
+
+
+@FAST
+@given(data=st.data(), width=st.integers(2, 8))
+def test_add(data, width):
+    top = (1 << width) - 1
+    x = data.draw(st.integers(0, top))
+    y = data.draw(st.integers(0, top))
+    builder = LogicBuilder()
+    total, carry = add(builder, builder.inputs(width, "a"), builder.inputs(width, "b"))
+    builder.outputs(total, "s")
+    builder.output(carry, "c")
+    out = evaluate(builder.mig, assignment("a", x, width) | assignment("b", y, width))
+    assert read(out, "s", width) | (out["c"] << width) == x + y
+
+
+@FAST
+@given(data=st.data(), width=st.integers(2, 8))
+def test_sub_and_less_than(data, width):
+    top = (1 << width) - 1
+    x = data.draw(st.integers(0, top))
+    y = data.draw(st.integers(0, top))
+    builder = LogicBuilder()
+    a, b = builder.inputs(width, "a"), builder.inputs(width, "b")
+    difference, no_borrow = sub(builder, a, b)
+    builder.outputs(difference, "d")
+    builder.output(no_borrow, "nb")
+    builder.output(less_than(builder, a, b), "lt")
+    out = evaluate(builder.mig, assignment("a", x, width) | assignment("b", y, width))
+    assert read(out, "d", width) == (x - y) % (1 << width)
+    assert out["nb"] == int(x >= y)
+    assert out["lt"] == int(x < y)
+
+
+@FAST
+@given(data=st.data(), width=st.integers(2, 6))
+def test_multiply(data, width):
+    top = (1 << width) - 1
+    x = data.draw(st.integers(0, top))
+    y = data.draw(st.integers(0, top))
+    builder = LogicBuilder()
+    product = multiply(builder, builder.inputs(width, "a"), builder.inputs(width, "b"))
+    builder.outputs(product, "p")
+    out = evaluate(builder.mig, assignment("a", x, width) | assignment("b", y, width))
+    assert read(out, "p", 2 * width) == x * y
+
+
+@FAST
+@given(data=st.data(), width=st.integers(2, 6))
+def test_divide(data, width):
+    top = (1 << width) - 1
+    n = data.draw(st.integers(0, top))
+    d = data.draw(st.integers(1, top))
+    builder = LogicBuilder()
+    q, r = divide(builder, builder.inputs(width, "n"), builder.inputs(width, "d"))
+    builder.outputs(q, "q")
+    builder.outputs(r, "r")
+    out = evaluate(builder.mig, assignment("n", n, width) | assignment("d", d, width))
+    assert read(out, "q", width) == n // d
+    assert read(out, "r", width) == n % d
+
+
+@FAST
+@given(data=st.data(), width=st.integers(2, 8))
+def test_isqrt(data, width):
+    import math
+
+    x = data.draw(st.integers(0, (1 << width) - 1))
+    builder = LogicBuilder()
+    root = isqrt(builder, builder.inputs(width, "x"))
+    builder.outputs(root, "rt")
+    out = evaluate(builder.mig, assignment("x", x, width))
+    assert read(out, "rt", (width + 1) // 2) == math.isqrt(x)
+
+
+@FAST
+@given(data=st.data(), width=st.integers(1, 10))
+def test_popcount(data, width):
+    x = data.draw(st.integers(0, (1 << width) - 1))
+    builder = LogicBuilder()
+    count = popcount(builder, builder.inputs(width, "v"))
+    builder.outputs(count, "c")
+    out = evaluate(builder.mig, assignment("v", x, width))
+    assert read(out, "c", len(count)) == bin(x).count("1")
+
+
+@FAST
+@given(data=st.data(), width=st.sampled_from([4, 8]))
+def test_rotate(data, width):
+    select = width.bit_length() - 1
+    x = data.draw(st.integers(0, (1 << width) - 1))
+    amount = data.draw(st.integers(0, width - 1))
+    builder = LogicBuilder()
+    rotated = barrel_rotate_left(
+        builder, builder.inputs(width, "d"), builder.inputs(select, "s")
+    )
+    builder.outputs(rotated, "q")
+    out = evaluate(
+        builder.mig, assignment("d", x, width) | assignment("s", amount, select)
+    )
+    mask = (1 << width) - 1
+    expected = ((x << amount) | (x >> (width - amount))) & mask if amount else x
+    assert read(out, "q", width) == expected

@@ -1,0 +1,90 @@
+"""Unit tests for repro.utils.bits."""
+
+import pytest
+
+from repro.utils.bits import (
+    bit_length_of_mask,
+    bits_of,
+    from_bits,
+    full_mask,
+    pattern_mask,
+    popcount,
+)
+
+
+class TestFullMask:
+    def test_zero_width(self):
+        assert full_mask(0) == 0
+
+    def test_small_widths(self):
+        assert full_mask(1) == 1
+        assert full_mask(4) == 0b1111
+        assert full_mask(8) == 255
+
+    def test_large_width(self):
+        assert full_mask(200) == (1 << 200) - 1
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            full_mask(-1)
+
+
+class TestPatternMask:
+    def test_three_variables(self):
+        assert pattern_mask(0, 3) == 0b10101010
+        assert pattern_mask(1, 3) == 0b11001100
+        assert pattern_mask(2, 3) == 0b11110000
+
+    def test_single_variable(self):
+        assert pattern_mask(0, 1) == 0b10
+
+    def test_columns_enumerate_all_patterns(self):
+        n = 4
+        masks = [pattern_mask(i, n) for i in range(n)]
+        seen = set()
+        for p in range(1 << n):
+            pattern = tuple((m >> p) & 1 for m in masks)
+            seen.add(pattern)
+        assert len(seen) == 1 << n
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            pattern_mask(3, 3)
+        with pytest.raises(ValueError):
+            pattern_mask(-1, 3)
+
+
+class TestPopcount:
+    def test_values(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+        assert popcount(full_mask(100)) == 100
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+
+class TestBitsRoundtrip:
+    def test_bits_of(self):
+        assert bits_of(6, 4) == [0, 1, 1, 0]
+
+    def test_from_bits(self):
+        assert from_bits([0, 1, 1, 0]) == 6
+
+    def test_roundtrip(self):
+        for value in (0, 1, 5, 1023, 2**40 + 17):
+            width = max(1, value.bit_length())
+            assert from_bits(bits_of(value, width)) == value
+
+    def test_from_bits_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            from_bits([0, 2, 1])
+
+    def test_truncation(self):
+        assert bits_of(0b111, 2) == [1, 1]
+
+
+def test_bit_length_of_mask():
+    assert bit_length_of_mask(full_mask(7)) == 7
+    assert bit_length_of_mask(0) == 0

@@ -1,0 +1,141 @@
+"""Unit tests for repro.mig.build (gate-level builders)."""
+
+import pytest
+
+from repro.errors import MigError
+from repro.mig.build import LogicBuilder
+from repro.mig.simulate import truth_tables
+
+
+def tt(builder, signal):
+    builder.mig.add_po(signal, "tt")
+    tables = truth_tables(builder.mig)
+    builder.mig._pos.pop()
+    builder.mig._po_names.pop()
+    return tables["tt"]
+
+
+@pytest.fixture
+def bld():
+    builder = LogicBuilder()
+    a = builder.input("a")
+    b = builder.input("b")
+    c = builder.input("c")
+    return builder, a, b, c
+
+
+# Truth-table columns over (a, b, c) with a toggling fastest.
+A = 0b10101010
+B = 0b11001100
+C = 0b11110000
+FULL = 0b11111111
+
+
+class TestPrimitives:
+    def test_and(self, bld):
+        builder, a, b, _ = bld
+        assert tt(builder, builder.and_(a, b)) == A & B
+
+    def test_or(self, bld):
+        builder, a, b, _ = bld
+        assert tt(builder, builder.or_(a, b)) == A | B
+
+    def test_nand_nor(self, bld):
+        builder, a, b, _ = bld
+        assert tt(builder, builder.nand(a, b)) == (A & B) ^ FULL
+        assert tt(builder, builder.nor(a, b)) == (A | B) ^ FULL
+
+    def test_xor_xnor(self, bld):
+        builder, a, b, _ = bld
+        assert tt(builder, builder.xor(a, b)) == A ^ B
+        assert tt(builder, builder.xnor(a, b)) == (A ^ B) ^ FULL
+
+    def test_not(self, bld):
+        builder, a, _, _ = bld
+        assert tt(builder, builder.not_(a)) == A ^ FULL
+
+    def test_maj(self, bld):
+        builder, a, b, c = bld
+        assert tt(builder, builder.maj(a, b, c)) == (A & B) | (A & C) | (B & C)
+
+    def test_implies(self, bld):
+        builder, a, b, _ = bld
+        assert tt(builder, builder.implies(a, b)) == (A ^ FULL) | B
+
+    def test_mux(self, bld):
+        builder, a, b, c = bld
+        # a selects: b when a=1 else c
+        assert tt(builder, builder.mux(a, b, c)) == (A & B) | ((A ^ FULL) & C)
+
+    def test_const(self, bld):
+        builder, *_ = bld
+        assert tt(builder, builder.const(0)) == 0
+        assert tt(builder, builder.const(1)) == FULL
+        with pytest.raises(MigError):
+            builder.const(2)
+
+
+class TestXorConstantFolding:
+    def test_xor_with_const(self, bld):
+        builder, a, _, _ = bld
+        before = builder.mig.num_gates
+        assert tt(builder, builder.xor(a, builder.const(0))) == A
+        assert tt(builder, builder.xor(a, builder.const(1))) == A ^ FULL
+        assert tt(builder, builder.xor(builder.const(1), a)) == A ^ FULL
+        assert builder.mig.num_gates == before  # no gates created
+
+
+class TestWideGates:
+    def test_and_reduce(self, bld):
+        builder, a, b, c = bld
+        assert tt(builder, builder.and_reduce([a, b, c])) == A & B & C
+        assert tt(builder, builder.and_reduce([])) == FULL
+        assert tt(builder, builder.and_reduce([a])) == A
+
+    def test_or_reduce(self, bld):
+        builder, a, b, c = bld
+        assert tt(builder, builder.or_reduce([a, b, c])) == A | B | C
+        assert tt(builder, builder.or_reduce([])) == 0
+
+    def test_xor_reduce(self, bld):
+        builder, a, b, c = bld
+        assert tt(builder, builder.xor_reduce([a, b, c])) == A ^ B ^ C
+
+
+class TestAdders:
+    @pytest.mark.parametrize("style", ["aoig", "maj"])
+    def test_full_adder_function(self, style):
+        builder = LogicBuilder(style=style)
+        a, b, c = builder.input("a"), builder.input("b"), builder.input("c")
+        total, carry = builder.full_adder(a, b, c)
+        assert tt(builder, total) == A ^ B ^ C
+        assert tt(builder, carry) == (A & B) | (A & C) | (B & C)
+
+    def test_maj_style_is_smaller(self):
+        sizes = {}
+        for style in ("aoig", "maj"):
+            builder = LogicBuilder(style=style)
+            a, b, c = builder.input("a"), builder.input("b"), builder.input("c")
+            builder.full_adder(a, b, c)
+            sizes[style] = builder.mig.num_gates
+        assert sizes["maj"] < sizes["aoig"]
+        assert sizes["maj"] == 3
+
+    def test_half_adder(self, bld):
+        builder, a, b, _ = bld
+        total, carry = builder.half_adder(a, b)
+        assert tt(builder, total) == A ^ B
+        assert tt(builder, carry) == A & B
+
+
+class TestBuilderConfig:
+    def test_unknown_style_rejected(self):
+        with pytest.raises(MigError):
+            LogicBuilder(style="nonsense")
+
+    def test_inputs_and_outputs_helpers(self):
+        builder = LogicBuilder()
+        word = builder.inputs(3, "w")
+        builder.outputs(word, "y")
+        assert builder.mig.pi_names() == ["w0", "w1", "w2"]
+        assert builder.mig.po_names() == ["y0", "y1", "y2"]

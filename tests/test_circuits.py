@@ -1,0 +1,343 @@
+"""Functional tests for the EPFL benchmark generators.
+
+Exact-function circuits are checked against Python reference models over
+many random (plus corner-case) inputs using bit-parallel simulation;
+same-family circuits (sin, log2) against ``math`` with precision-derived
+tolerances; surrogates for determinism and calibrated size.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.circuits import arithmetic, control, cordic, divider, random_control
+from repro.mig.simulate import evaluate, simulate, truth_tables
+
+from conftest import read_word, word_assignment
+
+
+def random_cases(count, width, seed):
+    rng = random.Random(seed)
+    top = (1 << width) - 1
+    values = [0, 1, top]
+    values += [rng.randint(0, top) for _ in range(count)]
+    return values
+
+
+class TestAdder:
+    def test_signature(self):
+        mig = arithmetic.make_adder(bits=128)
+        assert (mig.num_pis, mig.num_pos) == (256, 129)
+
+    def test_exhaustive_small(self):
+        mig = arithmetic.make_adder(bits=3)
+        for a in range(8):
+            for b in range(8):
+                out = evaluate(
+                    mig, word_assignment("a", a, 3) | word_assignment("b", b, 3)
+                )
+                assert read_word(out, "s", 3) | (out["cout"] << 3) == a + b
+
+    def test_random_wide(self):
+        mig = arithmetic.make_adder(bits=32)
+        for a in random_cases(8, 32, 1):
+            for b in random_cases(2, 32, a):
+                out = evaluate(
+                    mig, word_assignment("a", a, 32) | word_assignment("b", b, 32)
+                )
+                assert read_word(out, "s", 32) | (out["cout"] << 32) == a + b
+
+
+class TestBar:
+    def test_signature(self):
+        mig = arithmetic.make_bar(bits=128)
+        assert (mig.num_pis, mig.num_pos) == (135, 128)
+
+    @pytest.mark.parametrize("shift", range(8))
+    def test_rotation(self, shift):
+        mig = arithmetic.make_bar(bits=8)
+        x = 0b11010010
+        out = evaluate(
+            mig, word_assignment("d", x, 8) | word_assignment("s", shift, 3)
+        )
+        expected = ((x << shift) | (x >> (8 - shift))) & 0xFF if shift else x
+        assert read_word(out, "q", 8) == expected
+
+
+class TestMax:
+    def test_signature(self):
+        mig = arithmetic.make_max(bits=128)
+        assert (mig.num_pis, mig.num_pos) == (512, 130)
+
+    def test_values_and_index(self):
+        mig = arithmetic.make_max(bits=6)
+        rng = random.Random(3)
+        for _ in range(12):
+            words = [rng.randint(0, 63) for _ in range(4)]
+            assignment = {}
+            for k, value in enumerate(words):
+                assignment |= word_assignment(f"w{k}_", value, 6)
+            out = evaluate(mig, assignment)
+            assert read_word(out, "m", 6) == max(words)
+            index = out["idx0"] | (out["idx1"] << 1)
+            assert words[index] == max(words)
+
+    def test_wrong_word_count_rejected(self):
+        with pytest.raises(ValueError):
+            arithmetic.make_max(bits=8, words=3)
+
+
+class TestMultiplierSquare:
+    def test_signatures(self):
+        assert arithmetic.make_multiplier(bits=64).num_pis == 128
+        assert arithmetic.make_square(bits=64).num_pos == 128
+
+    def test_multiplier_values(self):
+        mig = arithmetic.make_multiplier(bits=7)
+        for a in random_cases(6, 7, 5):
+            for b in random_cases(2, 7, a + 1):
+                out = evaluate(
+                    mig, word_assignment("a", a, 7) | word_assignment("b", b, 7)
+                )
+                assert read_word(out, "p", 14) == a * b
+
+    def test_square_values(self):
+        mig = arithmetic.make_square(bits=7)
+        for a in random_cases(10, 7, 6):
+            out = evaluate(mig, word_assignment("a", a, 7))
+            assert read_word(out, "p", 14) == a * a
+
+
+class TestDivSqrt:
+    def test_signatures(self):
+        assert divider.make_div(bits=64).num_pis == 128
+        assert divider.make_sqrt(bits=128).num_pos == 64
+
+    def test_div_values(self):
+        mig = divider.make_div(bits=6)
+        rng = random.Random(9)
+        cases = [(13, 3), (63, 1), (5, 7), (42, 6)]
+        cases += [(rng.randint(0, 63), rng.randint(1, 63)) for _ in range(10)]
+        for n, d in cases:
+            out = evaluate(
+                mig, word_assignment("n", n, 6) | word_assignment("d", d, 6)
+            )
+            assert read_word(out, "q", 6) == n // d
+            assert read_word(out, "r", 6) == n % d
+
+    def test_sqrt_values(self):
+        mig = divider.make_sqrt(bits=10)
+        for x in random_cases(14, 10, 11):
+            out = evaluate(mig, word_assignment("x", x, 10))
+            assert read_word(out, "rt", 5) == math.isqrt(x)
+
+
+class TestSin:
+    def test_signature(self):
+        mig = cordic.make_sin(bits=24)
+        assert (mig.num_pis, mig.num_pos) == (24, 25)
+
+    def test_accuracy(self):
+        bits, iters = 12, 10
+        mig = cordic.make_sin(bits=bits, iterations=iters)
+        scale = 1 << (bits - 1)
+        for theta in random_cases(10, bits, 13):
+            out = evaluate(mig, word_assignment("a", theta, bits))
+            raw = read_word(out, "s", bits + 1)
+            if raw >= 1 << bits:  # sign-extend the (bits+1)-wide output
+                raw -= 1 << (bits + 1)
+            angle = theta / (1 << bits) * math.pi / 2
+            expected = math.sin(angle) * scale
+            # CORDIC converges ~1 bit/iteration plus rounding slack.
+            tolerance = scale * (2 ** -(iters - 1)) + 4
+            assert abs(raw - expected) <= tolerance
+
+
+class TestLog2:
+    def test_signature(self):
+        mig = cordic.make_log2(bits=32)
+        assert (mig.num_pis, mig.num_pos) == (32, 32)
+
+    def test_integer_part_exact(self):
+        mig = cordic.make_log2(bits=8, frac_bits=4, mantissa_bits=6)
+        for x in [1, 2, 3, 8, 100, 255]:
+            out = evaluate(mig, word_assignment("x", x, 8))
+            exponent = read_word(out, "e", 3)
+            assert exponent == x.bit_length() - 1
+
+    def test_fraction_accuracy(self):
+        frac, mant = 5, 8
+        mig = cordic.make_log2(bits=8, frac_bits=frac, mantissa_bits=mant)
+        for x in [3, 7, 100, 201, 255]:
+            out = evaluate(mig, word_assignment("x", x, 8))
+            got = read_word(out, "e", 3) + read_word(out, "f", frac) / (1 << frac)
+            # truncation error: 2^-frac plus mantissa truncation noise
+            assert abs(got - math.log2(x)) <= 2 ** -frac + 2 ** -(mant - 3)
+
+    def test_zero_input(self):
+        mig = cordic.make_log2(bits=8, frac_bits=4, mantissa_bits=6)
+        out = evaluate(mig, word_assignment("x", 0, 8))
+        assert all(v == 0 for v in out.values())
+
+
+class TestDec:
+    def test_signature(self):
+        mig = control.make_dec(bits=8)
+        assert (mig.num_pis, mig.num_pos) == (8, 256)
+
+    def test_one_hot_exhaustive(self):
+        mig = control.make_dec(bits=4)
+        tables = truth_tables(mig)
+        for k in range(16):
+            assert tables[f"y{k}"] == 1 << k
+
+
+class TestPriority:
+    def test_signature(self):
+        mig = control.make_priority(bits=128)
+        assert (mig.num_pis, mig.num_pos) == (128, 8)
+
+    def test_highest_wins(self):
+        mig = control.make_priority(bits=16)
+        rng = random.Random(17)
+        for _ in range(12):
+            x = rng.getrandbits(16)
+            out = evaluate(mig, word_assignment("r", x, 16))
+            assert out["valid"] == int(x != 0)
+            if x:
+                assert read_word(out, "y", 4) == x.bit_length() - 1
+
+
+class TestInt2Float:
+    def test_signature(self):
+        mig = control.make_int2float()
+        assert (mig.num_pis, mig.num_pos) == (11, 7)
+
+    @staticmethod
+    def reference(x, bits=11, exp_bits=3, mant_bits=3):
+        sign = (x >> (bits - 1)) & 1
+        magnitude = (-x if sign else x) % (1 << (bits - 1))
+        if magnitude == 0:
+            return sign, 0, 0
+        exponent = magnitude.bit_length() - 1
+        mantissa = 0
+        for j in range(mant_bits):
+            pos = exponent - 1 - j
+            bit = (magnitude >> pos) & 1 if pos >= 0 else 0
+            mantissa |= bit << (mant_bits - 1 - j)
+        # little-endian mantissa output: m0 is the bit right below the MSB
+        mantissa_le = 0
+        for j in range(mant_bits):
+            pos = exponent - 1 - j
+            bit = (magnitude >> pos) & 1 if pos >= 0 else 0
+            mantissa_le |= bit << j
+        if exponent >= (1 << exp_bits):
+            return sign, (1 << exp_bits) - 1, (1 << mant_bits) - 1
+        return sign, exponent, mantissa_le
+
+    def test_against_reference(self):
+        mig = control.make_int2float()
+        rng = random.Random(23)
+        values = [0, 1, -1, 5, -1024, 1023, 512]
+        values += [rng.randint(-1024, 1023) for _ in range(20)]
+        for value in values:
+            x = value % (1 << 11)
+            out = evaluate(mig, word_assignment("x", x, 11))
+            sign, exponent, mantissa = self.reference(value)
+            assert out["sign"] == sign
+            assert read_word(out, "e", 3) == exponent, value
+            assert read_word(out, "m", 3) == mantissa, value
+
+
+class TestVoter:
+    def test_signature(self):
+        mig = control.make_voter(inputs=1001)
+        assert (mig.num_pis, mig.num_pos) == (1001, 1)
+
+    def test_majority_threshold(self):
+        mig = control.make_voter(inputs=15)
+        rng = random.Random(29)
+        for _ in range(12):
+            x = rng.getrandbits(15)
+            out = evaluate(mig, word_assignment("v", x, 15))
+            assert out["majority"] == int(bin(x).count("1") >= 8)
+
+    def test_even_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            control.make_voter(inputs=10)
+
+
+class TestCtrlRouter:
+    def test_ctrl_signature(self):
+        mig = control.make_ctrl()
+        assert (mig.num_pis, mig.num_pos) == (7, 26)
+
+    def test_ctrl_one_hot_decode(self):
+        mig = control.make_ctrl()
+        for op in range(8):
+            out = evaluate(
+                mig, word_assignment("op", op, 3) | word_assignment("f", 0, 4)
+            )
+            assert [out[f"dec{k}"] for k in range(8)] == [
+                int(k == op) for k in range(8)
+            ]
+
+    def test_router_signature(self):
+        mig = control.make_router()
+        assert (mig.num_pis, mig.num_pos) == (60, 30)
+
+    def test_router_xy_direction(self):
+        mig = control.make_router()
+        base = {name: 0 for name in mig.pi_names()}
+        base |= {"p0_valid": 1, "credit0": 1, "credit1": 1, "credit2": 1, "credit3": 1}
+        base |= word_assignment("cur_x", 3, 5) | word_assignment("cur_y", 3, 5)
+        # destination east of the router
+        a = dict(base) | word_assignment("p0_x", 7, 5) | word_assignment("p0_y", 3, 5)
+        out = evaluate(mig, a)
+        assert out["p0_e"] == 1 and out["p0_w"] == 0 and out["p0_l"] == 0
+        # destination at the router → local
+        b = dict(base) | word_assignment("p0_x", 3, 5) | word_assignment("p0_y", 3, 5)
+        out = evaluate(mig, b)
+        assert out["p0_l"] == 1 and out["p0_e"] == 0
+        # grant goes to the only valid port
+        assert out["grant0"] == 1
+
+    def test_router_priority_rotates(self):
+        mig = control.make_router()
+        base = {name: 0 for name in mig.pi_names()}
+        base |= {"p0_valid": 1, "p1_valid": 1}
+        base |= {f"credit{k}": 1 for k in range(4)}
+        out0 = evaluate(mig, dict(base) | word_assignment("rr", 0, 2))
+        out1 = evaluate(mig, dict(base) | word_assignment("rr", 1, 2))
+        assert out0["grant0"] == 1 and out0["grant1"] == 0
+        assert out1["grant1"] == 1 and out1["grant0"] == 0
+
+
+class TestSurrogates:
+    def test_signatures(self):
+        assert random_control.make_cavlc().num_pis == 10
+        assert random_control.make_i2c().num_pos == 142
+        mc = random_control.make_mem_ctrl(num_inputs=40, num_outputs=30)
+        assert (mc.num_pis, mc.num_pos) == (40, 30)
+
+    def test_deterministic(self):
+        a = random_control.make_cavlc()
+        b = random_control.make_cavlc()
+        assert truth_tables(a) == truth_tables(b)
+
+    def test_calibrated_sizes(self):
+        """Surrogate sizes stay within 2x of the paper's node counts."""
+        assert 350 <= random_control.make_cavlc().num_gates <= 1400
+        assert 650 <= random_control.make_i2c().num_gates <= 2700
+
+    def test_outputs_not_constant(self):
+        tables = truth_tables(random_control.make_cavlc())
+        nonconst = sum(1 for v in tables.values() if v not in (0, 2**10 - 1))
+        assert nonconst >= len(tables) - 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            random_control.make_pla_surrogate("x", 4, 2, 0, 1, 2, seed=0)
+        with pytest.raises(ValueError):
+            random_control.make_pla_surrogate("x", 4, 2, 1, 3, 2, seed=0)

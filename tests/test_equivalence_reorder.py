@@ -1,0 +1,141 @@
+"""Unit tests for repro.mig.equivalence and repro.mig.reorder."""
+
+import pytest
+
+from repro.errors import MigError
+from repro.mig.equivalence import equivalent
+from repro.mig.graph import Mig
+from repro.mig.reorder import reorder_dfs, shuffle_topological
+from repro.mig.signal import Signal
+from repro.mig.simulate import truth_tables
+
+from conftest import random_mig
+
+
+def xor_mig(flip: bool = False) -> Mig:
+    mig = Mig()
+    a, b = mig.add_pi("a"), mig.add_pi("b")
+    o = mig.add_maj(a, b, Signal.CONST1)
+    n = mig.add_maj(a, b, Signal.CONST0)
+    x = mig.add_maj(o, ~n, Signal.CONST0)
+    mig.add_po(~x if flip else x, "f")
+    return mig
+
+
+class TestEquivalence:
+    def test_identical(self):
+        assert equivalent(xor_mig(), xor_mig())
+
+    def test_structural_variants(self):
+        a_mig = xor_mig()
+        # different structure, same function: (a ∧ ~b) ∨ (~a ∧ b)
+        mig = Mig()
+        a, b = mig.add_pi("a"), mig.add_pi("b")
+        left = mig.add_maj(a, ~b, Signal.CONST0)
+        right = mig.add_maj(~a, b, Signal.CONST0)
+        mig.add_po(mig.add_maj(left, right, Signal.CONST1), "f")
+        result = equivalent(a_mig, mig)
+        assert result
+        assert result.mode == "exhaustive"
+
+    def test_detects_difference(self):
+        result = equivalent(xor_mig(), xor_mig(flip=True))
+        assert not result
+        assert result.failing_output == "f"
+        assert result.counterexample is not None
+
+    def test_counterexample_is_real(self):
+        a_mig, b_mig = xor_mig(), xor_mig(flip=True)
+        result = equivalent(a_mig, b_mig)
+        cex = result.counterexample
+        from repro.mig.simulate import evaluate
+
+        assert evaluate(a_mig, cex)["f"] != evaluate(b_mig, cex)["f"]
+
+    def test_random_mode_for_wide_inputs(self):
+        mig = Mig()
+        pis = [mig.add_pi(f"x{i}") for i in range(20)]
+        f = pis[0]
+        for p in pis[1:]:
+            f = mig.add_maj(f, p, Signal.CONST0)
+        mig.add_po(f, "f")
+        result = equivalent(mig, mig.clone(), exhaustive_limit=10)
+        assert result
+        assert result.mode == "random"
+
+    def test_random_mode_detects_difference(self):
+        mig = Mig()
+        pis = [mig.add_pi(f"x{i}") for i in range(20)]
+        f = pis[0]
+        for p in pis[1:]:
+            f = mig.add_maj(f, p, Signal.CONST1)
+        mig.add_po(f, "f")
+        other, _ = mig.rebuild()
+        other._pos[0] = ~other._pos[0]
+        result = equivalent(mig, other, exhaustive_limit=10)
+        assert not result
+
+    def test_interface_mismatch_rejected(self):
+        mig = Mig()
+        mig.add_pi("a")
+        other = Mig()
+        other.add_pi("b")
+        with pytest.raises(MigError):
+            equivalent(mig, other)
+
+
+class TestReorderDfs:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_preserves_function(self, seed):
+        mig = random_mig(seed, num_pis=5, num_gates=30)
+        assert truth_tables(reorder_dfs(mig)) == truth_tables(mig)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_same_gate_count(self, seed):
+        mig = random_mig(seed, num_pis=5, num_gates=30)
+        assert reorder_dfs(mig).num_gates == mig.cleanup()[0].num_gates
+
+    def test_consumers_close_to_producers(self):
+        """DFS order: at least one child of each gate is recent."""
+        mig = random_mig(9, num_pis=6, num_gates=40)
+        ordered = reorder_dfs(mig)
+        distances = []
+        for v in ordered.gates():
+            gate_children = [c.node for c in ordered.children(v) if ordered.is_gate(c.node)]
+            if gate_children:
+                distances.append(v - max(gate_children))
+        assert distances and sorted(distances)[len(distances) // 2] <= 3
+
+    def test_idempotent(self):
+        mig = random_mig(4, num_pis=5, num_gates=25)
+        once = reorder_dfs(mig)
+        twice = reorder_dfs(once)
+        assert [once.children(v) for v in once.gates()] == [
+            twice.children(v) for v in twice.gates()
+        ]
+
+
+class TestShuffle:
+    @pytest.mark.parametrize("seed", [0, 7, 1234])
+    def test_preserves_function(self, seed):
+        mig = random_mig(2, num_pis=5, num_gates=30)
+        assert truth_tables(shuffle_topological(mig, seed)) == truth_tables(mig)
+
+    def test_deterministic(self):
+        mig = random_mig(2, num_pis=5, num_gates=30)
+        a = shuffle_topological(mig, 5)
+        b = shuffle_topological(mig, 5)
+        assert [a.children(v) for v in a.gates()] == [b.children(v) for v in b.gates()]
+
+    def test_seed_changes_order(self):
+        mig = random_mig(2, num_pis=6, num_gates=40)
+        a = shuffle_topological(mig, 1)
+        b = shuffle_topological(mig, 2)
+        assert [a.children(v) for v in a.gates()] != [b.children(v) for v in b.gates()]
+
+    def test_still_topological(self):
+        mig = random_mig(3, num_pis=5, num_gates=30)
+        shuffled = shuffle_topological(mig, 99)
+        for v in shuffled.gates():
+            for child in shuffled.children(v):
+                assert child.node < v

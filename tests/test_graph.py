@@ -1,0 +1,217 @@
+"""Unit tests for repro.mig.graph (the MIG data structure)."""
+
+import pytest
+
+from repro.errors import MigError
+from repro.mig.graph import Mig
+from repro.mig.signal import Signal
+from repro.mig.simulate import truth_tables
+
+
+@pytest.fixture
+def abc_mig():
+    mig = Mig(name="abc")
+    a, b, c = mig.add_pi("a"), mig.add_pi("b"), mig.add_pi("c")
+    return mig, a, b, c
+
+
+class TestPis:
+    def test_add_pi_returns_plain_signal(self, abc_mig):
+        mig, a, _, _ = abc_mig
+        assert not a.inverted
+        assert mig.is_pi(a.node)
+
+    def test_names(self, abc_mig):
+        mig, a, b, c = abc_mig
+        assert mig.pi_names() == ["a", "b", "c"]
+        assert mig.pi_name(a.node) == "a"
+        assert mig.pi_by_name("b") == b
+
+    def test_duplicate_name_rejected(self, abc_mig):
+        mig, *_ = abc_mig
+        with pytest.raises(MigError):
+            mig.add_pi("a")
+
+    def test_unknown_name(self, abc_mig):
+        mig, *_ = abc_mig
+        with pytest.raises(MigError):
+            mig.pi_by_name("zz")
+
+    def test_auto_names(self):
+        mig = Mig()
+        mig.add_pi()
+        mig.add_pi()
+        assert mig.pi_names() == ["i1", "i2"]
+
+
+class TestAddMaj:
+    def test_creates_gate(self, abc_mig):
+        mig, a, b, c = abc_mig
+        f = mig.add_maj(a, b, c)
+        assert mig.is_gate(f.node)
+        assert mig.children(f.node) == (a, b, c)
+        assert mig.num_gates == 1
+
+    def test_child_order_preserved(self, abc_mig):
+        mig, a, b, c = abc_mig
+        f = mig.add_maj(c, a, b)
+        assert mig.children(f.node) == (c, a, b)
+
+    def test_strash_ignores_order(self, abc_mig):
+        mig, a, b, c = abc_mig
+        f = mig.add_maj(a, b, c)
+        g = mig.add_maj(c, b, a)
+        assert f == g
+        assert mig.num_gates == 1
+
+    def test_strash_respects_polarity(self, abc_mig):
+        mig, a, b, c = abc_mig
+        f = mig.add_maj(a, b, c)
+        g = mig.add_maj(a, b, ~c)
+        assert f != g
+        assert mig.num_gates == 2
+
+    def test_majority_rule_equal_children(self, abc_mig):
+        mig, a, b, _ = abc_mig
+        assert mig.add_maj(a, a, b) == a
+        assert mig.add_maj(a, b, a) == a
+        assert mig.add_maj(b, a, a) == a
+        assert mig.num_gates == 0
+
+    def test_majority_rule_complementary_children(self, abc_mig):
+        mig, a, b, _ = abc_mig
+        assert mig.add_maj(a, ~a, b) == b
+        assert mig.add_maj(a, b, ~a) == b
+        assert mig.add_maj(b, a, ~a) == b
+
+    def test_constant_simplifications(self, abc_mig):
+        mig, a, _, _ = abc_mig
+        assert mig.add_maj(Signal.CONST0, Signal.CONST1, a) == a
+        assert mig.add_maj(Signal.CONST0, Signal.CONST0, a) == Signal.CONST0
+
+    def test_simplify_false_keeps_structure(self, abc_mig):
+        mig, a, b, _ = abc_mig
+        f = mig.add_maj(a, a, b, simplify=False)
+        assert mig.is_gate(f.node)
+        assert mig.children(f.node) == (a, a, b)
+
+    def test_dangling_signal_rejected(self, abc_mig):
+        mig, a, b, _ = abc_mig
+        with pytest.raises(MigError):
+            mig.add_maj(a, b, Signal.make(99))
+
+    def test_non_signal_rejected(self, abc_mig):
+        mig, a, b, _ = abc_mig
+        with pytest.raises(MigError):
+            mig.add_maj(a, b, 3)
+
+
+class TestOutputs:
+    def test_add_po(self, abc_mig):
+        mig, a, b, c = abc_mig
+        f = mig.add_maj(a, b, c)
+        mig.add_po(f, "f")
+        mig.add_po(~f, "g")
+        assert mig.pos() == [f, ~f]
+        assert mig.po_names() == ["f", "g"]
+
+    def test_auto_name(self, abc_mig):
+        mig, a, _, _ = abc_mig
+        mig.add_po(a)
+        assert mig.po_names() == ["o1"]
+
+
+class TestTraversal:
+    def test_gates_topological(self, abc_mig):
+        mig, a, b, c = abc_mig
+        f = mig.add_maj(a, b, c)
+        g = mig.add_maj(f, a, b)
+        order = list(mig.gates())
+        assert order.index(f.node) < order.index(g.node)
+
+    def test_len_counts_all_nodes(self, abc_mig):
+        mig, a, b, c = abc_mig
+        mig.add_maj(a, b, c)
+        assert len(mig) == 1 + 3 + 1  # const + PIs + gate
+
+    def test_node_kinds(self, abc_mig):
+        mig, a, _, _ = abc_mig
+        f = mig.add_maj(a, mig.add_pi("d"), Signal.CONST1)
+        assert mig.is_const(0)
+        assert mig.is_pi(a.node)
+        assert mig.is_gate(f.node)
+        assert not mig.is_gate(a.node)
+        with pytest.raises(MigError):
+            mig.children(a.node)
+
+
+class TestRebuildCleanup:
+    def test_cleanup_drops_dead_gates(self, abc_mig):
+        mig, a, b, c = abc_mig
+        live = mig.add_maj(a, b, c)
+        mig.add_maj(a, b, ~c)  # dead
+        mig.add_po(live, "f")
+        clean, mapping = mig.cleanup()
+        assert clean.num_gates == 1
+        assert clean.num_pis == 3
+
+    def test_cleanup_preserves_function(self, abc_mig):
+        mig, a, b, c = abc_mig
+        f = mig.add_maj(a, b, ~c)
+        g = mig.add_maj(f, ~a, c)
+        mig.add_po(~g, "f")
+        clean, _ = mig.cleanup()
+        assert truth_tables(mig) == truth_tables(clean)
+
+    def test_rebuild_mapping(self, abc_mig):
+        mig, a, b, c = abc_mig
+        f = mig.add_maj(a, b, c)
+        mig.add_po(f, "f")
+        new, mapping = mig.rebuild()
+        assert mapping[a.node] == new.pi_by_name("a")
+        assert new.is_gate(mapping[f.node].node)
+
+    def test_rebuild_gate_fn_phase_change(self, abc_mig):
+        """gate_fn may return complemented signals; POs must stay correct."""
+        mig, a, b, c = abc_mig
+        f = mig.add_maj(a, b, c)
+        mig.add_po(f, "f")
+
+        def gate_fn(new, _old, mapped):
+            return ~new.add_maj(*(~s for s in mapped))
+
+        new, _ = mig.rebuild(gate_fn)
+        assert truth_tables(mig) == truth_tables(new)
+
+    def test_clone_independent(self, abc_mig):
+        mig, a, b, c = abc_mig
+        mig.add_po(mig.add_maj(a, b, c), "f")
+        twin = mig.clone()
+        twin.add_pi("extra")
+        assert mig.num_pis == 3
+        assert twin.num_pis == 4
+
+
+class TestMisc:
+    def test_signal_name(self, abc_mig):
+        mig, a, _, _ = abc_mig
+        f = mig.add_maj(a, mig.pi_by_name("b"), Signal.CONST0)
+        assert mig.signal_name(a) == "a"
+        assert mig.signal_name(~a) == "~a"
+        assert mig.signal_name(Signal.CONST1) == "1"
+        assert mig.signal_name(f).startswith("n")
+
+    def test_to_dot_contains_all_nodes(self, abc_mig):
+        mig, a, b, c = abc_mig
+        f = mig.add_maj(a, b, ~c)
+        mig.add_po(f, "out")
+        dot = mig.to_dot()
+        assert "digraph" in dot
+        assert "out" in dot
+        assert "style=dashed" in dot  # the complemented edge
+
+    def test_repr(self, abc_mig):
+        mig, a, b, c = abc_mig
+        mig.add_po(mig.add_maj(a, b, c), "f")
+        assert "3 PIs" in repr(mig)
+        assert "1 POs" in repr(mig)

@@ -1,0 +1,83 @@
+"""Unit tests for repro.plim.isa (operands, instructions, RM3 semantics)."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.plim.isa import Instruction, ONE, Operand, ZERO, rm3
+
+
+class TestOperand:
+    def test_const(self):
+        op = Operand.const(1)
+        assert op.is_const and op.value == 1
+
+    def test_const_validation(self):
+        with pytest.raises(MachineError):
+            Operand.const(2)
+
+    def test_cell(self):
+        op = Operand.cell(7)
+        assert not op.is_const and op.value == 7
+
+    def test_cell_validation(self):
+        with pytest.raises(MachineError):
+            Operand.cell(-1)
+
+    def test_shared_constants(self):
+        assert ZERO == Operand.const(0)
+        assert ONE == Operand.const(1)
+
+    def test_render(self):
+        assert str(Operand.const(0)) == "0"
+        assert str(Operand.cell(3)) == "@3"
+        assert Operand.cell(3).render(lambda a: f"cell{a}") == "cell3"
+
+    def test_hashable(self):
+        assert len({Operand.const(0), Operand.const(0), Operand.cell(0)}) == 2
+
+
+class TestInstruction:
+    def test_fields(self):
+        instr = Instruction(ONE, ZERO, 4, "X <- 1")
+        assert instr.a == ONE and instr.b == ZERO and instr.z == 4
+
+    def test_negative_destination_rejected(self):
+        with pytest.raises(MachineError):
+            Instruction(ONE, ZERO, -1)
+
+    def test_render(self):
+        instr = Instruction(Operand.cell(0), ONE, 2)
+        assert str(instr) == "@0, 1, @2"
+
+
+class TestRm3Semantics:
+    """Z ← ⟨A, ¬B, Z⟩ — exhaustively and idiom by idiom."""
+
+    def test_exhaustive_majority(self):
+        for a in (0, 1):
+            for not_b in (0, 1):
+                for z in (0, 1):
+                    assert rm3(a, not_b, z) == int(a + not_b + z >= 2)
+
+    def test_bitwise_packing(self):
+        assert rm3(0b1100, 0b1010, 0b1111) == 0b1110
+
+    def test_reset_idiom(self):
+        """RM3(0, 1, @X): X <- 0 from any state (A=0, ¬B=0)."""
+        for z in (0, 1):
+            assert rm3(0, 0, z) == 0
+
+    def test_set_idiom(self):
+        """RM3(1, 0, @X): X <- 1 from any state (A=1, ¬B=1)."""
+        for z in (0, 1):
+            assert rm3(1, 1, z) == 1
+
+    def test_load_idiom(self):
+        """RM3(v, 0, @X) with X=0: X <- v."""
+        for v in (0, 1):
+            assert rm3(v, 1, 0) == v
+
+    def test_inverted_load_idiom(self):
+        """RM3(1, v, @X) with X=0: X <- ¬v."""
+        for v in (0, 1):
+            assert rm3(1, v ^ 1, 0) == v ^ 1

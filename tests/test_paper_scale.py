@@ -1,0 +1,44 @@
+"""Paper-scale smoke tests (marked slow; deselect with -m "not slow").
+
+A handful of full-size Table 1 circuits through the complete pipeline with
+randomized machine verification — evidence that the stack holds at the
+paper's problem sizes, not just at CI scale.
+"""
+
+import pytest
+
+from repro.circuits.registry import benchmark_info, build
+from repro.core.compiler import CompilerOptions
+from repro.core.pipeline import compile_mig
+from repro.plim.verify import verify_program
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.mark.parametrize("name", ["adder", "bar", "sin", "priority"])
+def test_paper_scale_pipeline(name):
+    info = benchmark_info(name)
+    mig = build(name, "paper")
+    assert (mig.num_pis, mig.num_pos) == (info.paper.pi, info.paper.po)
+    result = compile_mig(
+        mig, compiler_options=CompilerOptions(fix_output_polarity=False)
+    )
+    # The compiled program must be in the paper's order of magnitude.
+    assert 0.2 * info.paper.full_i <= result.num_instructions <= 5 * info.paper.full_i
+    check = verify_program(
+        mig, result.program, num_random_rounds=1, patterns_per_round=64
+    )
+    assert check.ok
+
+
+def test_paper_scale_voter_headline():
+    """voter at full scale: 1001 inputs, single output, large #R win."""
+    from repro.core.compiler import PlimCompiler
+
+    mig = build("voter", "paper")
+    naive = PlimCompiler(CompilerOptions.naive(fix_output_polarity=False)).compile(mig)
+    smart = compile_mig(
+        mig, compiler_options=CompilerOptions(fix_output_polarity=False)
+    ).program
+    assert smart.num_instructions < 0.7 * naive.num_instructions
+    assert verify_program(mig, smart, num_random_rounds=1, patterns_per_round=32).ok

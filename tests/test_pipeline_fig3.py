@@ -1,0 +1,117 @@
+"""Tests for the end-to-end pipeline and the Fig. 3 paper regressions."""
+
+import pytest
+
+from repro.core.compiler import CompilerOptions
+from repro.core.pipeline import compile_mig
+from repro.core.rewriting import RewriteOptions
+from repro.eval import fig3
+from repro.mig.equivalence import equivalent
+from repro.mig.simulate import truth_tables
+from repro.plim.verify import verify_program
+
+from conftest import random_mig
+
+
+class TestPipeline:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_default_pipeline_correct(self, seed):
+        mig = random_mig(seed + 60, num_pis=5, num_gates=30)
+        result = compile_mig(mig)
+        assert verify_program(mig, result.program, raise_on_mismatch=True).ok
+
+    def test_no_rewrite(self):
+        mig = random_mig(1, num_pis=4, num_gates=20)
+        result = compile_mig(mig, rewrite=False)
+        assert result.rewrite_options is None
+        assert result.compiled_mig is mig
+        assert verify_program(mig, result.program).ok
+
+    def test_effort_forwarded(self):
+        mig = random_mig(2, num_pis=4, num_gates=20)
+        result = compile_mig(mig, effort=2)
+        assert result.rewrite_options.effort == 2
+
+    def test_po_cost_follows_accounting(self):
+        mig = random_mig(3, num_pis=4, num_gates=20)
+        honest = compile_mig(mig)
+        paper = compile_mig(
+            mig, compiler_options=CompilerOptions(fix_output_polarity=False)
+        )
+        assert honest.rewrite_options.po_negation_cost == 2
+        assert paper.rewrite_options.po_negation_cost == 0
+
+    def test_explicit_rewrite_options_win(self):
+        mig = random_mig(4, num_pis=4, num_gates=20)
+        opts = RewriteOptions(effort=1, po_negation_cost=9)
+        result = compile_mig(mig, effort=5, rewrite_options=opts)
+        assert result.rewrite_options is opts
+
+    def test_result_metrics(self):
+        mig = random_mig(5, num_pis=4, num_gates=20)
+        result = compile_mig(mig)
+        assert result.num_instructions == result.program.num_instructions
+        assert result.num_rrams == result.program.num_rrams
+        assert result.num_gates == result.compiled_mig.num_gates
+        assert "I=" in repr(result)
+
+
+class TestFig3Structures:
+    def test_fig3a_pair_equivalent(self):
+        assert equivalent(fig3.fig3a_before(), fig3.fig3a_after())
+
+    def test_fig3b_structure(self):
+        mig = fig3.fig3b()
+        assert mig.num_pis == 3
+        assert mig.num_gates == 6
+        assert mig.num_pos == 1
+
+    def test_fig3b_no_dead_gates(self):
+        mig = fig3.fig3b()
+        assert mig.cleanup()[0].num_gates == 6
+
+
+class TestFig3PaperCounts:
+    """The headline regressions: exact counts from the paper's listings."""
+
+    def test_fig3a_before_naive(self):
+        program = fig3.naive_compiler().compile(fig3.fig3a_before())
+        assert program.num_instructions == fig3.FIG3A_BEFORE_INSTRUCTIONS
+        assert program.num_rrams == fig3.FIG3A_BEFORE_RRAMS
+
+    def test_fig3a_after_smart(self):
+        program = fig3.smart_compiler().compile(fig3.fig3a_after())
+        assert program.num_instructions == fig3.FIG3A_AFTER_INSTRUCTIONS
+        assert program.num_rrams == fig3.FIG3A_AFTER_RRAMS
+
+    def test_fig3a_rewriting_reaches_optimum(self):
+        """Algorithm 1 itself finds the 'after' form from 'before'."""
+        result = compile_mig(
+            fig3.fig3a_before(),
+            compiler_options=CompilerOptions(fix_output_polarity=False, reorder="none"),
+        )
+        assert result.num_instructions == fig3.FIG3A_AFTER_INSTRUCTIONS
+        assert result.num_rrams == fig3.FIG3A_AFTER_RRAMS
+
+    def test_fig3b_naive_counts(self):
+        program = fig3.naive_compiler().compile(fig3.fig3b())
+        assert program.num_instructions == fig3.FIG3B_NAIVE_INSTRUCTIONS
+        assert program.num_rrams == fig3.FIG3B_NAIVE_RRAMS_FIFO
+
+    def test_fig3b_smart_counts(self):
+        program = fig3.smart_compiler().compile(fig3.fig3b())
+        assert program.num_instructions == fig3.FIG3B_SMART_INSTRUCTIONS
+        assert program.num_rrams == fig3.FIG3B_SMART_RRAMS
+
+    def test_all_fig3_programs_verify(self):
+        report = fig3.run_fig3()
+        for mig_fn, program in [
+            (fig3.fig3a_before, report.fig3a_before_naive),
+            (fig3.fig3a_after, report.fig3a_after_smart),
+            (fig3.fig3b, report.fig3b_naive),
+            (fig3.fig3b, report.fig3b_smart),
+        ]:
+            assert verify_program(mig_fn(), program, raise_on_mismatch=True).ok
+
+    def test_summary_mentions_paper_numbers(self):
+        assert "(paper: 15, 4)" in fig3.run_fig3().summary()

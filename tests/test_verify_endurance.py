@@ -1,0 +1,134 @@
+"""Unit tests for repro.plim.verify and repro.plim.endurance."""
+
+import pytest
+
+from repro.core.compiler import CompilerOptions, PlimCompiler
+from repro.errors import VerificationError
+from repro.mig.graph import Mig
+from repro.mig.signal import Signal
+from repro.plim.endurance import report_from_counts, wear_report, work_cell_wear
+from repro.plim.isa import Instruction, ONE, ZERO
+from repro.plim.machine import PlimMachine
+from repro.plim.verify import verify_program
+
+from conftest import random_mig
+
+
+def compile_default(mig):
+    return PlimCompiler(CompilerOptions()).compile(mig)
+
+
+class TestVerifyProgram:
+    def test_correct_program_passes_exhaustive(self):
+        mig = random_mig(1, num_pis=4, num_gates=12)
+        result = verify_program(mig, compile_default(mig))
+        assert result.ok
+        assert result.mode == "exhaustive"
+        assert result.patterns_checked == 16
+
+    def test_correct_program_passes_random(self):
+        mig = random_mig(2, num_pis=16, num_gates=40)
+        result = verify_program(mig, compile_default(mig), exhaustive_limit=8)
+        assert result.ok
+        assert result.mode == "random"
+
+    def test_detects_corruption(self):
+        mig = random_mig(3, num_pis=4, num_gates=12)
+        program = compile_default(mig)
+        # Corrupt: flip the polarity flag of the first output.
+        name, loc = next(iter(program.output_cells.items()))
+        program.set_output(name, loc.cell, not loc.inverted)
+        result = verify_program(mig, program)
+        assert not result.ok
+        assert result.failing_output == name
+        assert result.counterexample is not None
+
+    def test_detects_instruction_corruption(self):
+        # a XOR b — never constant, so forcing the output cell must fail.
+        mig = Mig()
+        a, b = mig.add_pi("a"), mig.add_pi("b")
+        o = mig.add_maj(a, b, Signal.CONST1)
+        n = mig.add_maj(a, b, Signal.CONST0)
+        mig.add_po(mig.add_maj(o, ~n, Signal.CONST0), "f")
+        program = compile_default(mig)
+        loc = program.output_cells["f"]
+        program.append(Instruction(ZERO, ONE, loc.cell))  # force the cell to 0
+        assert not verify_program(mig, program).ok
+
+    def test_raise_on_mismatch(self):
+        mig = random_mig(5, num_pis=4, num_gates=12)
+        program = compile_default(mig)
+        name, loc = next(iter(program.output_cells.items()))
+        program.set_output(name, loc.cell, not loc.inverted)
+        with pytest.raises(VerificationError):
+            verify_program(mig, program, raise_on_mismatch=True)
+
+    def test_missing_io_rejected(self):
+        mig = random_mig(6, num_pis=3, num_gates=8)
+        program = compile_default(mig)
+        del program.input_cells[mig.pi_names()[0]]
+        with pytest.raises(VerificationError):
+            verify_program(mig, program)
+
+    def test_constant_output(self):
+        mig = Mig()
+        mig.add_pi("a")
+        mig.add_po(Signal.CONST1, "one")
+        assert verify_program(mig, compile_default(mig)).ok
+
+
+class TestEndurance:
+    def test_report_from_counts(self):
+        report = report_from_counts([2, 2, 2, 2])
+        assert report.max_writes == 2
+        assert report.mean_writes == 2
+        assert report.gini == pytest.approx(0.0)
+        assert report.cells_written == 4
+
+    def test_gini_concentrated(self):
+        even = report_from_counts([5, 5, 5, 5])
+        skewed = report_from_counts([20, 0, 0, 0])
+        assert skewed.gini > even.gini
+        assert skewed.gini > 0.7
+
+    def test_empty(self):
+        report = report_from_counts([])
+        assert report.total_writes == 0
+        assert report.gini == 0.0
+
+    def test_wear_report_from_machine(self):
+        machine = PlimMachine(4)
+        machine.set_lim(True)
+        for _ in range(3):
+            machine.execute(Instruction(ONE, ZERO, 1))
+        report = wear_report(machine)
+        assert report.total_writes == 3
+        assert report.max_writes == 3
+        restricted = wear_report(machine, cells=[0, 2])
+        assert restricted.total_writes == 0
+
+    def test_work_cell_wear_for_program(self):
+        mig = random_mig(7, num_pis=4, num_gates=14)
+        program = compile_default(mig)
+        machine = PlimMachine.for_program(program)
+        machine.run_program(program, {n: 1 for n in mig.pi_names()})
+        report = work_cell_wear(machine, program)
+        assert report.num_cells == program.num_rrams
+        assert report.total_writes > 0
+
+    def test_fifo_spreads_wear_vs_lifo(self):
+        """The paper's endurance argument: FIFO reuse lowers peak wear."""
+        mig = random_mig(8, num_pis=6, num_gates=60, num_pos=2)
+        peaks = {}
+        for policy in ("fifo", "lifo"):
+            program = PlimCompiler(
+                CompilerOptions(allocator_policy=policy)
+            ).compile(mig)
+            machine = PlimMachine.for_program(program)
+            machine.run_program(program, {n: 0 for n in mig.pi_names()})
+            peaks[policy] = work_cell_wear(machine, program).max_writes
+        assert peaks["fifo"] <= peaks["lifo"]
+
+    def test_str_rendering(self):
+        report = report_from_counts([1, 2, 3])
+        assert "max=3" in str(report)
