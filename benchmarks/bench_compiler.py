@@ -3,9 +3,16 @@
 Measures compilation throughput and compares scheduling/translation rule
 sets on both as-built and shuffled (netlist-file-like) gate orders, which
 is where candidate selection earns the paper's #R reductions.
+
+Run directly (``python benchmarks/bench_compiler.py [--scale ci] [--workers N]``)
+to emit ``BENCH_compiler.json`` next to this file: wall time plus #I/#R per
+registry circuit, so successive PRs have a machine-readable perf trajectory.
 """
 
-import pytest
+try:
+    import pytest
+except ModuleNotFoundError:  # standalone snapshot mode needs no pytest
+    pytest = None
 
 from repro.circuits.registry import benchmark_info
 from repro.core.compiler import CompilerOptions, PlimCompiler
@@ -15,48 +22,99 @@ from repro.mig.reorder import shuffle_topological
 
 REPRESENTATIVE = ["bar", "mem_ctrl"]
 
+if pytest is not None:
 
-@pytest.mark.parametrize("name", REPRESENTATIVE)
-def test_compile_throughput(benchmark, name, scale):
-    mig = rewrite_for_plim(benchmark_info(name).build(scale))
-    compiler = PlimCompiler(CompilerOptions(fix_output_polarity=False))
-    program = benchmark(compiler.compile, mig)
-    benchmark.extra_info.update(
-        {
-            "scale": scale,
-            "gates": mig.num_gates,
-            "instructions": program.num_instructions,
-            "work_rrams": program.num_rrams,
-        }
+    @pytest.mark.parametrize("name", REPRESENTATIVE)
+    def test_compile_throughput(benchmark, name, scale):
+        mig = rewrite_for_plim(benchmark_info(name).build(scale))
+        compiler = PlimCompiler(CompilerOptions(fix_output_polarity=False))
+        program = benchmark(compiler.compile, mig)
+        benchmark.extra_info.update(
+            {
+                "scale": scale,
+                "gates": mig.num_gates,
+                "instructions": program.num_instructions,
+                "work_rrams": program.num_rrams,
+            }
+        )
+
+    @pytest.mark.parametrize("config", list(SELECTION_CONFIGS))
+    @pytest.mark.parametrize("order", ["as-built", "shuffled"])
+    def test_selection_rules(benchmark, config, order, scale):
+        """X2/X5: every scheduling rule set on friendly and hostile orders."""
+        mig = rewrite_for_plim(benchmark_info("mem_ctrl").build(scale))
+        if order == "shuffled":
+            mig = shuffle_topological(mig, seed=42)
+        compiler = PlimCompiler(SELECTION_CONFIGS[config])
+        program = benchmark(compiler.compile, mig)
+        benchmark.extra_info.update(
+            {
+                "scale": scale,
+                "order": order,
+                "instructions": program.num_instructions,
+                "work_rrams": program.num_rrams,
+            }
+        )
+
+    def test_scheduler_beats_naive_on_hostile_order(scale):
+        """The paper's central #R claim, on netlist-file-like gate order."""
+        mig = rewrite_for_plim(benchmark_info("mem_ctrl").build(scale))
+        hostile = shuffle_topological(mig, seed=42)
+        naive = PlimCompiler(
+            CompilerOptions.naive(fix_output_polarity=False)
+        ).compile(hostile)
+        smart = PlimCompiler(CompilerOptions(fix_output_polarity=False)).compile(hostile)
+        assert smart.num_rrams < naive.num_rrams
+        assert smart.num_instructions < naive.num_instructions
+
+
+# ----------------------------------------------------------------------
+# standalone mode: machine-readable perf trajectory (BENCH_compiler.json)
+# ----------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    """Compile the registry and write BENCH_compiler.json (time, #I, #R)."""
+    import argparse
+    import json
+    import platform
+    import time
+    from pathlib import Path
+
+    from repro._version import __version__
+    from repro.circuits.registry import BENCHMARK_NAMES
+    from repro.core.batch import compile_many
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("--scale", default="ci", choices=("ci", "default", "paper"))
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(Path(__file__).with_name("BENCH_compiler.json")),
+        help="output path (default: BENCH_compiler.json next to this file)",
     )
+    args = parser.parse_args(argv)
+
+    specs = [(name, args.scale) for name in BENCHMARK_NAMES]
+    option_sets = {"full": CompilerOptions(), "naive": CompilerOptions.naive()}
+    start = time.perf_counter()
+    results = compile_many(specs, option_sets, workers=args.workers, rewrite=True)
+    wall = time.perf_counter() - start
+
+    report = {
+        "bench": "compiler",
+        "version": __version__,
+        "python": platform.python_version(),
+        "scale": args.scale,
+        "workers": args.workers,
+        "wall_seconds": round(wall, 4),
+        "circuits": [r.to_dict() for r in results],
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output} ({len(results)} rows, {wall:.2f}s wall)")
+    return 0
 
 
-@pytest.mark.parametrize("config", list(SELECTION_CONFIGS))
-@pytest.mark.parametrize("order", ["as-built", "shuffled"])
-def test_selection_rules(benchmark, config, order, scale):
-    """X2/X5: every scheduling rule set on friendly and hostile orders."""
-    mig = rewrite_for_plim(benchmark_info("mem_ctrl").build(scale))
-    if order == "shuffled":
-        mig = shuffle_topological(mig, seed=42)
-    compiler = PlimCompiler(SELECTION_CONFIGS[config])
-    program = benchmark(compiler.compile, mig)
-    benchmark.extra_info.update(
-        {
-            "scale": scale,
-            "order": order,
-            "instructions": program.num_instructions,
-            "work_rrams": program.num_rrams,
-        }
-    )
-
-
-def test_scheduler_beats_naive_on_hostile_order(scale):
-    """The paper's central #R claim, on netlist-file-like gate order."""
-    mig = rewrite_for_plim(benchmark_info("mem_ctrl").build(scale))
-    hostile = shuffle_topological(mig, seed=42)
-    naive = PlimCompiler(
-        CompilerOptions.naive(fix_output_polarity=False)
-    ).compile(hostile)
-    smart = PlimCompiler(CompilerOptions(fix_output_polarity=False)).compile(hostile)
-    assert smart.num_rrams < naive.num_rrams
-    assert smart.num_instructions < naive.num_instructions
+if __name__ == "__main__":
+    raise SystemExit(main())

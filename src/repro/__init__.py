@@ -34,7 +34,9 @@ Quickstart::
 
 from repro._version import __version__
 from repro.mig.graph import Mig
+from repro.mig.context import AnalysisContext
 from repro.mig.signal import Signal
+from repro.core.batch import BatchResult, compile_many
 from repro.core.pipeline import CompileResult, compile_mig
 from repro.core.compiler import CompilerOptions, PlimCompiler
 from repro.core.rewriting import RewriteOptions, rewrite_for_plim
@@ -43,6 +45,8 @@ from repro.plim.machine import PlimMachine
 
 __all__ = [
     "__version__",
+    "AnalysisContext",
+    "BatchResult",
     "Mig",
     "Signal",
     "Program",
@@ -52,5 +56,6 @@ __all__ = [
     "CompileResult",
     "RewriteOptions",
     "compile_mig",
+    "compile_many",
     "rewrite_for_plim",
 ]

@@ -6,9 +6,10 @@ Subcommands::
     plimc stats <circuit>
     plimc run <program.plim> --set a=1 --set b=0 ...
     plimc bench <name> [--scale ci|default|paper]
-    plimc table1 [--scale ...] [--shuffled] [--csv]
+    plimc batch <circuit|name>... [--configs full,naive] [--workers N] [--json]
+    plimc table1 [--scale ...] [--shuffled] [--csv] [--workers N]
     plimc fig3
-    plimc ablate <name> [--scale ...]
+    plimc ablate <name> [--scale ...] [--workers N]
 
 Circuit files are detected by extension: ``.mig`` (native), ``.blif``,
 ``.aag`` (ASCII AIGER).
@@ -17,6 +18,7 @@ Circuit files are detected by extension: ``.mig`` (native), ``.blif``,
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -169,6 +171,60 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+#: named option sets for ``plimc batch`` (kept minimal and composable)
+BATCH_CONFIGS = {
+    "full": lambda: CompilerOptions(),
+    "naive": lambda: CompilerOptions.naive(),
+    "no-selection": lambda: CompilerOptions.no_selection(),
+    "paper-rules": lambda: CompilerOptions.paper_selection(),
+}
+
+
+def _cmd_batch(args) -> int:
+    """Compile many circuits under many option sets via the batch driver."""
+    from repro.core.batch import compile_many
+    from repro.eval.reporting import format_table
+
+    option_sets = {}
+    for label in (args.configs or "full").split(","):
+        label = label.strip()
+        if label not in BATCH_CONFIGS:
+            raise ReproError(
+                f"unknown batch config {label!r}; available: {sorted(BATCH_CONFIGS)}"
+            )
+        option_sets[label] = BATCH_CONFIGS[label]()
+
+    specs = []
+    for item in args.circuits:
+        if item in BENCHMARK_NAMES:
+            specs.append((item, args.scale))
+        elif Path(item).suffix.lower() in READERS:
+            specs.append(load_circuit(item))
+        else:
+            raise ReproError(
+                f"{item!r} is neither a registry benchmark nor a known "
+                f"circuit file; benchmarks: {BENCHMARK_NAMES}"
+            )
+
+    results = compile_many(
+        specs,
+        option_sets,
+        workers=args.workers,
+        rewrite=args.rewrite,
+        effort=args.effort,
+    )
+    if args.json:
+        print(json.dumps([r.to_dict() for r in results], indent=2))
+    else:
+        rows = [
+            [r.circuit, r.option_label, r.num_gates, r.num_instructions,
+             r.num_rrams, f"{r.seconds:.2f}s"]
+            for r in results
+        ]
+        print(format_table(["circuit", "config", "#N", "#I", "#R", "time"], rows))
+    return 0
+
+
 def _cmd_table1(args) -> int:
     def progress(name, row):
         print(
@@ -184,6 +240,7 @@ def _cmd_table1(args) -> int:
         shuffled=args.shuffled,
         paper_accounting=not args.honest,
         progress=progress,
+        workers=args.workers,
     )
     print(table1_csv(result) if args.csv else format_table1(result))
     return 0
@@ -204,7 +261,7 @@ def _cmd_fig3(args) -> int:
 
 
 def _cmd_ablate(args) -> int:
-    print(ablations.run_benchmark_ablations(args.name, args.scale))
+    print(ablations.run_benchmark_ablations(args.name, args.scale, workers=args.workers))
     return 0
 
 
@@ -271,6 +328,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--honest", action="store_true", help="charge output polarity fix-ups")
     p.set_defaults(func=_cmd_bench)
 
+    p = sub.add_parser(
+        "batch", help="compile many circuits under many option sets (process pool)"
+    )
+    p.add_argument(
+        "circuits",
+        nargs="+",
+        metavar="CIRCUIT",
+        help="registry benchmark names and/or circuit files (.mig, .blif, .aag)",
+    )
+    p.add_argument("--scale", choices=SCALES, default="default")
+    p.add_argument(
+        "--configs",
+        default="full",
+        metavar="A,B,...",
+        help=f"comma-separated option sets (default: full; available: {','.join(BATCH_CONFIGS)})",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool size (default: one per CPU)",
+    )
+    p.add_argument("--rewrite", action="store_true", help="run Algorithm 1 first")
+    p.add_argument("--effort", type=int, default=4, help="rewriting effort (default 4)")
+    p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    p.set_defaults(func=_cmd_batch)
+
     p = sub.add_parser("table1", help="reproduce the paper's Table 1")
     p.add_argument("--names", nargs="*", choices=BENCHMARK_NAMES, help="subset of benchmarks")
     p.add_argument("--scale", choices=SCALES, default="default")
@@ -278,6 +363,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shuffled", action="store_true", help="shuffle gate order first (file-like order)")
     p.add_argument("--honest", action="store_true", help="charge output polarity fix-ups")
     p.add_argument("--csv", action="store_true", help="emit CSV instead of the ASCII table")
+    p.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="parallel benchmark processes (default 1)",
+    )
     p.set_defaults(func=_cmd_table1)
 
     p = sub.add_parser("fig3", help="regenerate the paper's motivating examples")
@@ -287,6 +376,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("ablate", help="run the DESIGN.md ablations on one benchmark")
     p.add_argument("name", choices=BENCHMARK_NAMES)
     p.add_argument("--scale", choices=SCALES, default="default")
+    p.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="run the four ablation studies in parallel processes",
+    )
     p.set_defaults(func=_cmd_ablate)
 
     return parser

@@ -8,19 +8,24 @@
 * :mod:`repro.core.allocator` — §4.2.3 RRAM allocation (FIFO free list).
 * :mod:`repro.core.cost` — the static cost model driving rewriting choices.
 * :mod:`repro.core.pipeline` — the end-to-end convenience API.
+* :mod:`repro.core.batch` — the batched parallel compilation driver.
 """
 
 from repro.core.allocator import RramAllocator
+from repro.core.batch import BatchResult, compile_many, parallel_map
 from repro.core.compiler import CompilerOptions, PlimCompiler
 from repro.core.pipeline import CompileResult, compile_mig
 from repro.core.rewriting import RewriteOptions, rewrite_for_plim
 
 __all__ = [
     "RramAllocator",
+    "BatchResult",
     "CompilerOptions",
     "PlimCompiler",
     "CompileResult",
     "compile_mig",
+    "compile_many",
+    "parallel_map",
     "RewriteOptions",
     "rewrite_for_plim",
 ]

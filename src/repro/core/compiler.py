@@ -23,14 +23,18 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.core.allocator import POLICIES, RramAllocator
-from repro.core.schedule import IndexScheduler, PriorityScheduler, make_key
+from repro.core.schedule import make_scheduler
 from repro.core.translate import CONSUMED, TranslationState, translate_node
 from repro.errors import CompilationError
-from repro.mig.analysis import levels as compute_levels
-from repro.mig.analysis import parents_of
+from repro.mig.context import AnalysisContext
 from repro.mig.graph import Mig
-from repro.mig.reorder import reorder_dfs
 from repro.plim.program import Program
+
+
+def _program_cost(program: Program) -> tuple[int, int]:
+    """Ranking for ``reorder="best"``: fewest work RRAMs, then fewest
+    instructions."""
+    return (program.num_rrams, program.num_instructions)
 
 SCHEDULING_MODES = ("priority", "index")
 OPERAND_MODES = ("cases", "child_order")
@@ -124,21 +128,28 @@ class PlimCompiler:
     def __init__(self, options: Optional[CompilerOptions] = None):
         self.options = options if options is not None else CompilerOptions()
 
-    def compile(self, mig: Mig) -> Program:
-        """Translate ``mig`` into an executable :class:`Program`."""
-        if self.options.clean:
-            mig, _ = mig.cleanup()
-        if self.options.reorder == "dfs":
-            return self._compile_ordered(reorder_dfs(mig))
-        if self.options.reorder == "best":
-            as_given = self._compile_ordered(mig)
-            dfs = self._compile_ordered(reorder_dfs(mig))
-            key = lambda p: (p.num_rrams, p.num_instructions)
-            return dfs if key(dfs) < key(as_given) else as_given
-        return self._compile_ordered(mig)
+    def compile(self, mig: Mig, context: Optional[AnalysisContext] = None) -> Program:
+        """Translate ``mig`` into an executable :class:`Program`.
 
-    def _compile_ordered(self, mig: Mig) -> Program:
+        Pass the same :class:`AnalysisContext` to repeated calls on one MIG
+        (e.g. when sweeping option sets) and the per-order structural
+        analyses — cleanup, DFS reorder, parents, levels, use counts — are
+        computed once and shared across all of them.
+        """
+        ctx = AnalysisContext.of(mig, context)
+        if self.options.clean:
+            ctx = ctx.cleaned()
+        if self.options.reorder == "dfs":
+            return self._compile_ordered(ctx.reordered_dfs())
+        if self.options.reorder == "best":
+            as_given = self._compile_ordered(ctx)
+            dfs = self._compile_ordered(ctx.reordered_dfs())
+            return dfs if _program_cost(dfs) < _program_cost(as_given) else as_given
+        return self._compile_ordered(ctx)
+
+    def _compile_ordered(self, ctx: AnalysisContext) -> Program:
         """Run Algorithm 2 on an MIG whose node order is final."""
+        mig = ctx.mig
         program = Program(
             input_cells={name: i for i, name in enumerate(mig.pi_names())},
             name=mig.name,
@@ -146,32 +157,27 @@ class PlimCompiler:
         allocator = RramAllocator(
             first_address=mig.num_pis, policy=self.options.allocator_policy
         )
-        remaining_uses = self._initial_uses(mig)
         state = TranslationState(
-            mig,
+            ctx,
             program,
             allocator,
-            remaining_uses,
             complement_caching=self.options.complement_caching,
             max_work_cells=self.options.max_work_cells,
         )
         naive = self.options.operand_selection == "child_order"
 
-        parents = parents_of(mig)
-        node_levels = compute_levels(mig)
+        parents = ctx.parents
 
         computed: set[int] = {0}
         for pi in mig.pis():
             computed.add(pi.node)
         pending_children: dict[int, int] = {}
-        for v in mig.gates():
+        for v in ctx.gate_order:
             pending_children[v] = sum(
                 1 for c in mig.children(v) if c.node not in computed
             )
-        scheduler = self._make_scheduler(
-            mig, state, parents, node_levels, pending_children
-        )
-        for v in mig.gates():
+        scheduler = make_scheduler(self.options, ctx, state, pending_children)
+        for v in ctx.gate_order:
             if pending_children[v] == 0:
                 scheduler.push(v)
 
@@ -207,49 +213,6 @@ class PlimCompiler:
         return program
 
     # ------------------------------------------------------------------
-
-    @staticmethod
-    def _initial_uses(mig: Mig) -> dict[int, int]:
-        """Readers per node: gate child edges plus primary-output edges."""
-        uses = {v: 0 for v in mig.nodes()}
-        for v in mig.gates():
-            for child in mig.children(v):
-                if not child.is_const:
-                    uses[child.node] += 1
-        for po in mig.pos():
-            if not po.is_const:
-                uses[po.node] += 1
-        return uses
-
-    def _make_scheduler(self, mig, state, parents, node_levels, pending_children):
-        if self.options.scheduling == "index":
-            return IndexScheduler()
-
-        # A primary output consumes its node "right above" it: model it as
-        # a parent one level up, otherwise PO feeders would be deferred to
-        # the end of the schedule while their children sit in live cells.
-        po_fed: set[int] = {po.node for po in mig.pos() if not po.is_const}
-        use_unblocks = self.options.unblocking_rule
-        use_levels = self.options.level_rule
-
-        def key_fn(node: int) -> "CandidateKey":
-            releasing = sum(
-                1
-                for child in mig.children(node)
-                if mig.is_gate(child.node) and state.remaining_uses[child.node] == 1
-            )
-            unblocks = 0
-            if use_unblocks:
-                unblocks = sum(1 for p in parents[node] if pending_children[p] == 1)
-            if use_levels:
-                parent_levels = [node_levels[p] for p in parents[node]]
-                if node in po_fed:
-                    parent_levels.append(node_levels[node] + 1)
-            else:
-                parent_levels = [0]  # constant: the level rule never fires
-            return make_key(node, releasing, parent_levels, unblocks)
-
-        return PriorityScheduler(key_fn)
 
     def _finalize_outputs(self, mig: Mig, state: TranslationState, program: Program) -> None:
         """Record (and, in honest mode, fix up) every output's location."""

@@ -19,6 +19,7 @@ from typing import Optional
 
 from repro.core.compiler import CompilerOptions, PlimCompiler
 from repro.core.rewriting import RewriteOptions, rewrite_for_plim
+from repro.mig.context import AnalysisContext
 from repro.mig.graph import Mig
 from repro.plim.program import Program
 
@@ -62,6 +63,7 @@ def compile_mig(
     effort: int = 4,
     compiler_options: Optional[CompilerOptions] = None,
     rewrite_options: Optional[RewriteOptions] = None,
+    context: Optional[AnalysisContext] = None,
 ) -> CompileResult:
     """Rewrite (optional) and compile ``mig`` into a PLiM program.
 
@@ -69,6 +71,12 @@ def compile_mig(
     ``rewrite_options`` is given).  When the compiler is configured to fix
     output polarity (the default), the rewriter is told to charge
     complemented outputs accordingly.
+
+    ``context`` is an optional :class:`AnalysisContext` of the graph the
+    compiler will actually see (i.e. of ``mig`` itself when
+    ``rewrite=False``); pass the same one across repeated calls to share
+    the structural analyses.  It is ignored when rewriting is enabled,
+    since rewriting produces a fresh graph.
     """
     copts = compiler_options if compiler_options is not None else CompilerOptions()
     ropts: Optional[RewriteOptions] = None
@@ -80,7 +88,8 @@ def compile_mig(
             po_cost = 2 if copts.fix_output_polarity else 0
             ropts = RewriteOptions(effort=effort, po_negation_cost=po_cost)
         compiled = rewrite_for_plim(mig, ropts)
-    program = PlimCompiler(copts).compile(compiled)
+        context = None
+    program = PlimCompiler(copts).compile(compiled, context=context)
     return CompileResult(
         program=program,
         source_mig=mig,

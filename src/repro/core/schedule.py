@@ -143,6 +143,50 @@ class IndexScheduler:
         return len(self._heap)
 
 
+def make_scheduler(options, context, state, pending_children) -> "Scheduler":
+    """Build the candidate scheduler for one compilation run.
+
+    ``options`` is duck-typed (``scheduling``, ``unblocking_rule``,
+    ``level_rule``) so this module stays import-independent of the
+    compiler; ``context`` is the :class:`~repro.mig.context.AnalysisContext`
+    of the graph being compiled — its cached parents and levels feed the
+    priority key, so repeated compilations of the same node order share
+    them.  ``state.remaining_uses`` and ``pending_children`` are the
+    dynamic tables the key reads at refresh time.
+    """
+    if options.scheduling == "index":
+        return IndexScheduler()
+
+    mig = context.mig
+    parents = context.parents
+    node_levels = context.levels
+    # A primary output consumes its node "right above" it: model it as
+    # a parent one level up, otherwise PO feeders would be deferred to
+    # the end of the schedule while their children sit in live cells.
+    po_fed: set[int] = {po.node for po in mig.pos() if not po.is_const}
+    use_unblocks = options.unblocking_rule
+    use_levels = options.level_rule
+
+    def key_fn(node: int) -> CandidateKey:
+        releasing = sum(
+            1
+            for child in mig.children(node)
+            if mig.is_gate(child.node) and state.remaining_uses[child.node] == 1
+        )
+        unblocks = 0
+        if use_unblocks:
+            unblocks = sum(1 for p in parents[node] if pending_children[p] == 1)
+        if use_levels:
+            parent_levels = [node_levels[p] for p in parents[node]]
+            if node in po_fed:
+                parent_levels.append(node_levels[node] + 1)
+        else:
+            parent_levels = [0]  # constant: the level rule never fires
+        return make_key(node, releasing, parent_levels, unblocks)
+
+    return PriorityScheduler(key_fn)
+
+
 def make_key(
     node: int,
     releasing_children: int,

@@ -29,6 +29,7 @@ from typing import Optional
 
 from repro.core.allocator import RramAllocator
 from repro.errors import CompilationError
+from repro.mig.context import AnalysisContext
 from repro.mig.graph import Mig
 from repro.mig.signal import Signal
 from repro.plim.isa import Instruction, Operand, ONE, ZERO
@@ -43,14 +44,23 @@ class TranslationState:
 
     def __init__(
         self,
-        mig: Mig,
+        source: "Mig | AnalysisContext",
         program: Program,
         allocator: RramAllocator,
-        remaining_uses: dict[int, int],
+        remaining_uses: Optional[dict[int, int]] = None,
         complement_caching: bool = True,
         max_work_cells: Optional[int] = None,
     ):
-        self.mig = mig
+        """``source`` is the graph being translated, either bare or wrapped
+        in an :class:`AnalysisContext` (the compiler passes the context so
+        the initial use counts come from its cache).  ``remaining_uses``
+        may override the context-derived counts; it is mutated in place.
+        """
+        context = source if isinstance(source, AnalysisContext) else AnalysisContext(source)
+        self.context = context
+        self.mig = context.mig
+        if remaining_uses is None:
+            remaining_uses = context.fresh_uses()
         self.program = program
         self.allocator = allocator
         self.complement_caching = complement_caching
@@ -73,8 +83,8 @@ class TranslationState:
         self._pending_temps: list[int] = []
         #: incremental cell → display-name map (input names, then @X1, @X2 ...)
         self._cell_names: dict[int, str] = {}
-        for pi in mig.pis():
-            name = mig.pi_name(pi.node)
+        for pi in self.mig.pis():
+            name = self.mig.pi_name(pi.node)
             address = program.input_cells[name]
             self.value_cell[pi.node] = address
             self._cell_names[address] = name

@@ -12,12 +12,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.circuits.registry import benchmark_info
+from repro.core.batch import parallel_map
 from repro.core.compiler import CompilerOptions, PlimCompiler
 from repro.core.rewriting import RewriteOptions, rewrite_for_plim
 from repro.eval.reporting import format_table
+from repro.mig.context import AnalysisContext
 from repro.mig.graph import Mig
 from repro.mig.reorder import shuffle_topological
 from repro.plim.endurance import EnduranceReport, work_cell_wear
@@ -100,14 +102,16 @@ def selection_ablation(
 ) -> list[SelectionPoint]:
     """All selection configs on as-built and shuffled gate orders."""
     rewritten = rewrite_for_plim(mig, RewriteOptions(effort=rewrite_effort))
+    # One AnalysisContext per gate order: all six option sets of an order
+    # share its parents/levels/use-count analyses.
     orders = [
-        ("as-built", rewritten),
-        ("shuffled", shuffle_topological(rewritten, seed=shuffle_seed)),
+        ("as-built", AnalysisContext(rewritten)),
+        ("shuffled", AnalysisContext(shuffle_topological(rewritten, seed=shuffle_seed))),
     ]
     points = []
     for label, options in SELECTION_CONFIGS.items():
-        for order_label, graph in orders:
-            program = PlimCompiler(options).compile(graph)
+        for order_label, context in orders:
+            program = PlimCompiler(options).compile(context.mig, context=context)
             points.append(
                 SelectionPoint(
                     config=label,
@@ -152,12 +156,13 @@ def allocator_ablation(
     pulses, not estimates.
     """
     rewritten = rewrite_for_plim(mig, RewriteOptions(effort=rewrite_effort))
+    context = AnalysisContext(rewritten)
     rng = random.Random(input_seed)
     inputs = {name: rng.randint(0, 1) for name in rewritten.pi_names()}
     points = []
     for policy in policies:
         options = CompilerOptions(allocator_policy=policy, fix_output_polarity=False)
-        program = PlimCompiler(options).compile(rewritten)
+        program = PlimCompiler(options).compile(rewritten, context=context)
         machine = PlimMachine.for_program(program)
         machine.run_program(program, inputs)
         points.append(
@@ -233,13 +238,31 @@ def format_polarity_ablation(name: str, points: Sequence[PolarityPoint]) -> str:
     )
 
 
-def run_benchmark_ablations(name: str, scale: str = "default") -> str:
-    """All four ablations on one benchmark; returns the combined report."""
+def _ablation_section(payload) -> str:
+    """One formatted ablation section (module-level for pool dispatch)."""
+    section, name, scale = payload
     mig = benchmark_info(name).build(scale)
-    sections = [
-        format_effort_sweep(name, effort_sweep(mig)),
-        format_selection_ablation(name, selection_ablation(mig)),
-        format_allocator_ablation(name, allocator_ablation(mig)),
-        format_polarity_ablation(name, polarity_ablation(mig)),
-    ]
-    return "\n\n".join(sections)
+    if section == "effort":
+        return format_effort_sweep(name, effort_sweep(mig))
+    if section == "selection":
+        return format_selection_ablation(name, selection_ablation(mig))
+    if section == "allocator":
+        return format_allocator_ablation(name, allocator_ablation(mig))
+    if section == "polarity":
+        return format_polarity_ablation(name, polarity_ablation(mig))
+    raise ValueError(f"unknown ablation section {section!r}")
+
+
+ABLATION_SECTIONS = ("effort", "selection", "allocator", "polarity")
+
+
+def run_benchmark_ablations(
+    name: str, scale: str = "default", *, workers: Optional[int] = 1
+) -> str:
+    """All four ablations on one benchmark; returns the combined report.
+
+    ``workers`` fans the four studies out over a process pool (they are
+    independent); the section order of the report is fixed either way.
+    """
+    payloads = [(section, name, scale) for section in ABLATION_SECTIONS]
+    return "\n\n".join(parallel_map(_ablation_section, payloads, workers=workers))

@@ -29,9 +29,11 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.circuits.registry import BENCHMARK_NAMES, benchmark_info
+from repro.core.batch import parallel_map, resolve_workers
 from repro.core.compiler import CompilerOptions, PlimCompiler
 from repro.core.rewriting import RewriteOptions, rewrite_for_plim
 from repro.eval.reporting import format_table, improvement, to_csv
+from repro.mig.context import AnalysisContext
 from repro.mig.graph import Mig
 from repro.mig.reorder import shuffle_topological
 
@@ -114,14 +116,18 @@ def measure_mig(
     naive_opts = CompilerOptions.naive(fix_output_polarity=fix)
     full_opts = compiler_options or CompilerOptions(fix_output_polarity=fix)
 
-    naive_prog = PlimCompiler(naive_opts).compile(mig)
-    clean, _ = mig.cleanup()
+    # One context per graph: the naive compile and the #N measurement share
+    # the cleanup; the two compiles of the rewritten MIG share all analyses.
+    context = AnalysisContext(mig)
+    naive_prog = PlimCompiler(naive_opts).compile(mig, context=context)
+    clean = context.cleaned().mig
 
     rewritten = rewrite_for_plim(
         mig, RewriteOptions(effort=effort, po_negation_cost=2 if fix else 0)
     )
-    rewr_prog = PlimCompiler(naive_opts).compile(rewritten)
-    full_prog = PlimCompiler(full_opts).compile(rewritten)
+    rewritten_context = AnalysisContext(rewritten)
+    rewr_prog = PlimCompiler(naive_opts).compile(rewritten, context=rewritten_context)
+    full_prog = PlimCompiler(full_opts).compile(rewritten, context=rewritten_context)
 
     return Table1Row(
         name=name,
@@ -157,6 +163,19 @@ def run_benchmark(
     )
 
 
+def _benchmark_task(payload) -> Table1Row:
+    """Module-level task so the table can fan out over a process pool."""
+    name, scale, effort, shuffled, shuffle_seed, paper_accounting = payload
+    return run_benchmark(
+        name,
+        scale,
+        effort=effort,
+        shuffled=shuffled,
+        shuffle_seed=shuffle_seed,
+        paper_accounting=paper_accounting,
+    )
+
+
 def run_table1(
     names: Optional[Sequence[str]] = None,
     scale: str = "default",
@@ -166,25 +185,33 @@ def run_table1(
     shuffle_seed: int = 42,
     paper_accounting: bool = True,
     progress=None,
+    workers: Optional[int] = 1,
 ) -> Table1Result:
     """Run the full Table 1 reproduction.
 
     ``progress`` is an optional callback ``(name, row)`` invoked per
-    benchmark (the CLI uses it for live output).
+    benchmark (the CLI uses it for live output).  ``workers`` fans the
+    benchmarks out over a process pool (``None`` = all CPUs); row order is
+    deterministic regardless.
     """
-    rows = []
-    for name in names if names is not None else BENCHMARK_NAMES:
-        row = run_benchmark(
-            name,
-            scale,
-            effort=effort,
-            shuffled=shuffled,
-            shuffle_seed=shuffle_seed,
-            paper_accounting=paper_accounting,
-        )
-        rows.append(row)
+    selected = list(names) if names is not None else list(BENCHMARK_NAMES)
+    payloads = [
+        (name, scale, effort, shuffled, shuffle_seed, paper_accounting)
+        for name in selected
+    ]
+    if resolve_workers(workers) <= 1:
+        # Inline path keeps the progress callback live, row by row.
+        rows = []
+        for name, payload in zip(selected, payloads):
+            row = _benchmark_task(payload)
+            rows.append(row)
+            if progress is not None:
+                progress(name, row)
+    else:
+        rows = parallel_map(_benchmark_task, payloads, workers=workers)
         if progress is not None:
-            progress(name, row)
+            for name, row in zip(selected, rows):
+                progress(name, row)
     return Table1Result(
         rows=rows,
         scale=scale,

@@ -10,6 +10,14 @@ structural analysis, equivalence checking, and file I/O.
 from repro.mig.signal import Signal
 from repro.mig.graph import Mig
 from repro.mig.build import LogicBuilder
+from repro.mig.context import AnalysisContext
 from repro.mig.simulate import simulate, truth_tables
 
-__all__ = ["Signal", "Mig", "LogicBuilder", "simulate", "truth_tables"]
+__all__ = [
+    "Signal",
+    "Mig",
+    "LogicBuilder",
+    "AnalysisContext",
+    "simulate",
+    "truth_tables",
+]

@@ -52,6 +52,25 @@ def parents_of(mig: Mig) -> dict[int, list[int]]:
     return parents
 
 
+def use_counts(mig: Mig) -> dict[int, int]:
+    """Non-constant readers per node (gate child edges plus PO edges).
+
+    This is the compiler's initial reference count: when it reaches zero
+    the node's cells are returned to the allocator (§4.2.3).  Unlike
+    :func:`fanout_counts`, edges to the constant node are not charged —
+    constants never occupy a work cell.
+    """
+    uses = {v: 0 for v in mig.nodes()}
+    for v in mig.gates():
+        for child in mig.children(v):
+            if not child.is_const:
+                uses[child.node] += 1
+    for po in mig.pos():
+        if not po.is_const:
+            uses[po.node] += 1
+    return uses
+
+
 def complemented_child_count(mig: Mig, node: int, count_constants: bool = False) -> int:
     """Complemented child edges of a gate.
 
