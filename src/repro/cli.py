@@ -26,6 +26,7 @@ from repro._version import __version__
 from repro.circuits.registry import BENCHMARK_NAMES, SCALES, benchmark_info
 from repro.core.compiler import CompilerOptions
 from repro.core.pipeline import compile_mig
+from repro.core.rewriting import ENGINES as REWRITE_ENGINES
 from repro.errors import ReproError
 from repro.eval import ablations
 from repro.eval.fig3 import run_fig3
@@ -72,6 +73,7 @@ def _cmd_compile(args) -> int:
         mig,
         rewrite=not args.no_rewrite,
         effort=args.effort,
+        engine=args.engine,
         compiler_options=options,
     )
     program = result.program
@@ -241,6 +243,7 @@ def _cmd_table1(args) -> int:
         paper_accounting=not args.honest,
         progress=progress,
         workers=args.workers,
+        engine=args.engine,
     )
     print(table1_csv(result) if args.csv else format_table1(result))
     return 0
@@ -279,6 +282,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", help="write the .plim program here")
     p.add_argument("--no-rewrite", action="store_true", help="skip Algorithm 1")
     p.add_argument("--effort", type=int, default=4, help="rewriting effort (default 4)")
+    p.add_argument(
+        "--engine",
+        choices=list(REWRITE_ENGINES),
+        default="worklist",
+        help="Algorithm 1 engine: in-place worklist (default) or the legacy "
+        "whole-graph rebuild pipeline",
+    )
     p.add_argument("--naive", action="store_true", help="use the naive baseline translator")
     p.add_argument("--listing", action="store_true", help="print the paper-style listing")
     p.add_argument("--verify", action="store_true", help="verify against the MIG on the machine model")
@@ -360,6 +370,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--names", nargs="*", choices=BENCHMARK_NAMES, help="subset of benchmarks")
     p.add_argument("--scale", choices=SCALES, default="default")
     p.add_argument("--effort", type=int, default=4)
+    p.add_argument(
+        "--engine",
+        choices=list(REWRITE_ENGINES),
+        default="worklist",
+        help="Algorithm 1 engine (default: worklist)",
+    )
     p.add_argument("--shuffled", action="store_true", help="shuffle gate order first (file-like order)")
     p.add_argument("--honest", action="store_true", help="charge output polarity fix-ups")
     p.add_argument("--csv", action="store_true", help="emit CSV instead of the ASCII table")

@@ -1,5 +1,18 @@
 """MIG rewriting for the PLiM architecture (paper §4.1, Algorithm 1).
 
+Two engines implement the algorithm:
+
+* ``engine="worklist"`` (the default) — an in-place, worklist-driven
+  sweep over one mutable graph: each effort cycle seeds every live gate in
+  topological order, applies the Ω rule sequence locally through
+  :meth:`~repro.mig.graph.Mig.replace_node`, and re-enqueues only the
+  fan-in/fan-out cone a rule touched.  The fixed-point signature is
+  maintained incrementally (O(1) per check), and dead-node compaction is
+  deferred to a single final cleanup;
+* ``engine="rebuild"`` — the original pass pipeline in which every Ω pass
+  is a full :meth:`~repro.mig.graph.Mig.rebuild` (one effort cycle copies
+  the whole MIG ~8 times).  Kept as the differential-testing oracle.
+
 Each effort cycle applies, in the paper's order:
 
 1. ``Ω.M`` — majority-rule node elimination,
@@ -24,11 +37,14 @@ with ``fix_output_polarity`` they cost 2 instructions each, which
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.cost import NEGATION_INSTRUCTIONS, estimate_instructions, negations_needed
+from repro.errors import ReproError
 from repro.mig.algebra import (
+    flip_complement,
     pass_associativity,
     pass_associativity_depth,
     pass_commutativity,
@@ -36,6 +52,11 @@ from repro.mig.algebra import (
     pass_distributivity_rl,
     pass_majority,
     pass_push_inverters,
+    try_associativity,
+    try_complementary_associativity,
+    try_distributivity_rl,
+    try_majority,
+    try_push_inverters,
 )
 from repro.mig.analysis import complement_stats, depth
 from repro.mig.graph import Mig
@@ -59,11 +80,31 @@ class RewriteOptions:
     #: reshaping step — not part of the paper's Algorithm 1, but part of
     #: the MIG algebra's derived rule set and strictly size-safe
     use_psi: bool = False
+    #: "worklist" (in-place, incremental — the default) or "rebuild" (the
+    #: original whole-graph pass pipeline, kept as the oracle)
+    engine: str = "worklist"
+
+
+ENGINES = ("worklist", "rebuild")
 
 
 def rewrite_for_plim(mig: Mig, options: Optional[RewriteOptions] = None) -> Mig:
-    """Run Algorithm 1 on ``mig`` and return the rewritten MIG."""
+    """Run Algorithm 1 on ``mig`` and return the rewritten MIG.
+
+    ``mig`` itself is never modified, whichever engine runs.
+    """
     opts = options if options is not None else RewriteOptions()
+    if opts.engine == "worklist":
+        return _rewrite_worklist(mig, opts)
+    if opts.engine == "rebuild":
+        return _rewrite_rebuild(mig, opts)
+    raise ReproError(
+        f"unknown rewrite engine {opts.engine!r}; expected one of {ENGINES}"
+    )
+
+
+def _rewrite_rebuild(mig: Mig, opts: RewriteOptions) -> Mig:
+    """The original pass pipeline: every Ω pass is a full graph rebuild."""
     for _cycle in range(opts.effort):
         before = _signature(mig)
         if opts.size_rules:
@@ -87,8 +128,249 @@ def rewrite_for_plim(mig: Mig, options: Optional[RewriteOptions] = None) -> Mig:
 
 
 def _signature(mig: Mig) -> tuple:
-    """Cheap fixed-point detector for the effort loop."""
+    """Cheap fixed-point detector for the effort loop (full traversal)."""
     return (mig.num_gates, complement_stats(mig).by_count, estimate_instructions(mig))
+
+
+# ----------------------------------------------------------------------
+# the worklist engine
+# ----------------------------------------------------------------------
+
+
+def _rewrite_worklist(mig: Mig, opts: RewriteOptions) -> Mig:
+    """Algorithm 1 as one incremental sweep per effort cycle.
+
+    Works on a private dead-free copy of ``mig`` with in-place maintenance
+    enabled; one final cleanup compacts the tombstones and restores a
+    creation-order index, and the closing Ω.C pass restores the
+    translation-friendly child order exactly like the rebuild engine.
+    """
+    work, _ = mig.rebuild()  # private copy; also the initial Ω.M cleanup
+    work.enable_inplace()
+    for _cycle in range(opts.effort):
+        # Cycle 0 measures the fixed point against the *raw* input, exactly
+        # like the rebuild engine: a first cycle that only cleans up or
+        # reshapes (no count change against the cleaned graph) must not
+        # exit early, because reshaping feeds the next cycle's Ω.D.
+        before = _signature(mig) if _cycle == 0 else _inplace_signature(work)
+        if opts.size_rules:
+            _worklist_size_sweep(work, opts)
+        if opts.inverter_rules:
+            _sweep_inverters_cost_aware(work, opts.po_negation_cost)
+            _sweep_push_inverters(work, threshold=3)
+        if opts.early_exit and _inplace_signature(work) == before:
+            break
+    # Inverter propagation may have changed which children are complemented;
+    # restore the translation-friendly child order (Ω.C) in place, then
+    # compact the tombstones with the single final cleanup.
+    _sweep_commutativity(work)
+    final, _ = work.rebuild()
+    return final
+
+
+def _inplace_signature(mig: Mig) -> tuple:
+    """O(1) counterpart of :func:`_signature` for in-place graphs.
+
+    Same (gate count, complement histogram, instruction estimate) triple,
+    but read from the incrementally maintained counters instead of a full
+    traversal.
+    """
+    num_gates, hist, zero_comp_no_const = mig.inplace_signature()
+    estimate = num_gates + NEGATION_INSTRUCTIONS * (
+        hist[2] + 2 * hist[3] + zero_comp_no_const
+    )
+    return (num_gates, hist, estimate)
+
+
+def _worklist_size_sweep(work: Mig, opts: RewriteOptions) -> None:
+    """One size-rule cycle: the paper's Ω.M; Ω.D; Ω.A[; Ψ.A]; Ω.C; Ω.M; Ω.D.
+
+    Each phase is a worklist that seeds every live gate in topological
+    order, applies its rule locally, and re-enqueues only the nodes a
+    rewrite touched (Ω.M and structural-hash merging additionally cascade
+    inside ``replace_node``, so every phase is also an Ω.M pass).  Keeping
+    the rebuild pipeline's phase order — all Ω.D applications before any
+    Ω.A reshaping, with the Ω.C reorder in between — keeps the two engines'
+    search order, and therefore their results, closely aligned.
+    """
+    _worklist_phase(work, (try_majority, try_distributivity_rl))
+    reshaping = [try_associativity]
+    if opts.use_psi:
+        reshaping.append(try_complementary_associativity)
+    _worklist_phase(work, tuple(reshaping))
+    # The reshaping rules keep rejected candidates as speculative
+    # zero-fanout gates (they seed sharing like a pass's abandoned nodes);
+    # sweep them at the phase boundary, like a pass's trailing rebuild.
+    work.collect_unused()
+    _sweep_commutativity(work)
+    _worklist_phase(work, (try_majority, try_distributivity_rl))
+
+
+def _worklist_phase(work: Mig, rules: tuple, revisit: bool = False) -> None:
+    """Run one rule family over a worklist seeded with all live gates.
+
+    With ``revisit=False`` (the pass-faithful default) every seed is
+    visited once, like one rebuild pass: merge/collapse cascades still run
+    inside ``replace_node``, and follow-up opportunities are picked up by
+    the next phase or cycle.  ``revisit=True`` re-enqueues the affected
+    cone until a local fixed point — more eager, but the greedier search
+    order can land in different (not reliably better) local optima, so the
+    engine keeps it off to stay aligned with the rebuild oracle.  A step
+    budget bounds pathological reshaping loops either way (Ω.A is
+    size-neutral, so a cycle of free swaps could otherwise ping-pong).
+    """
+    queue = deque(work.topo_gates())
+    queued = set(queue)
+    fanouts = work.fanout_snapshot()
+    budget = 20 * len(work) + 1000
+    while queue and budget > 0:
+        budget -= 1
+        v = queue.popleft()
+        queued.discard(v)
+        if not work.is_gate(v):
+            continue
+        for rule in rules:
+            affected = rule(work, v, fanouts)
+            if affected:
+                break
+        if revisit:
+            for u in affected:
+                if u not in queued and work.is_gate(u):
+                    queue.append(u)
+                    queued.add(u)
+
+
+def _sweep_commutativity(work: Mig) -> None:
+    """In-place Ω.C: per-gate slot permutation, same scoring and canonical
+    tie-breaking as :func:`~repro.mig.algebra.pass_commutativity`.
+
+    Purely a stored-order change (the strash key is order-insensitive), so
+    no worklist is needed — one linear sweep suffices.
+    """
+    from repro.mig.algebra import (
+        SLOT_SCORES_CONST,
+        SLOT_SCORES_INVERTED,
+        SLOT_SCORES_PLAIN,
+        SLOT_SCORES_PLAIN_SINGLE_GATE,
+        _best_permutation,
+        structural_keys,
+    )
+
+    keys = structural_keys(work)
+    children_list = work._children  # bound once: this sweep is a hot path
+    refs = work._refs
+    for v in list(work.topo_gates()):
+        triple = children_list[v]
+        if triple is None:
+            continue
+        scores = []
+        child_keys = []
+        for child in triple:
+            encoding = int(child)
+            n = encoding >> 1
+            child_keys.append(keys[n])
+            if n == 0:
+                scores.append(SLOT_SCORES_CONST)
+            elif encoding & 1:
+                scores.append(SLOT_SCORES_INVERTED)
+            elif children_list[n] is not None and refs[n] == 1:
+                scores.append(SLOT_SCORES_PLAIN_SINGLE_GATE)
+            else:
+                scores.append(SLOT_SCORES_PLAIN)
+        a, b, z = _best_permutation(scores, triple, child_keys)
+        new_triple = (triple[a], triple[b], triple[z])
+        if new_triple != triple:
+            work.reorder_children(v, new_triple)
+
+
+def _sweep_inverters_cost_aware(work: Mig, po_negation_cost: int = 0) -> None:
+    """In-place Ω.I(R→L)(1–3): benefit-checked flips, children before parents.
+
+    The same greedy decision as :func:`pass_inverter_cost_aware`: flips
+    already applied to earlier (topologically lower) nodes are exact, later
+    siblings are estimated at their current polarity — which is simply the
+    current in-place state.
+    """
+
+    def extra_cost(num_complemented: int, has_const: bool) -> int:
+        return NEGATION_INSTRUCTIONS * negations_needed(num_complemented, has_const)
+
+    order = list(work.topo_gates())
+    position = {v: i for i, v in enumerate(order)}
+    evicted: set[int] = set()
+    for v in order:
+        if not work.is_gate(v):  # replaced by an earlier flip's cascade
+            continue
+        nonconst = [s for s in work.children(v) if not s.is_const]
+        complemented = sum(1 for s in nonconst if s.inverted)
+        has_const = len(nonconst) < 3
+        flip = False
+        if complemented >= 2:
+            # Cost at this node if we flip: complements become k - c.
+            delta = extra_cost(len(nonconst) - complemented, has_const) - extra_cost(
+                complemented, has_const
+            )
+            # Cost at each fanout target: its edge to us toggles polarity.
+            for p in work.parents_of_node(v):
+                c_p, const_p = Mig._triple_profile(work.children(p))
+                for edge in work.children(p):
+                    if edge.node == v:
+                        c_p_flipped = c_p + (-1 if edge.inverted else 1)
+                        delta += extra_cost(c_p_flipped, const_p) - extra_cost(
+                            c_p, const_p
+                        )
+            # Complemented primary outputs (only charged in honest mode).
+            if po_negation_cost:
+                for po in work.po_edges_of(v):
+                    delta += po_negation_cost * (-1 if po.inverted else 1)
+            flip = delta <= 0
+        _visit_for_flip(work, v, flip, position, evicted)
+
+
+def _sweep_push_inverters(work: Mig, threshold: int) -> None:
+    """In-place unconditional Ω.I(R→L) sweep (:func:`try_push_inverters`)."""
+    order = list(work.topo_gates())
+    position = {v: i for i, v in enumerate(order)}
+    evicted: set[int] = set()
+    for v in order:
+        if not work.is_gate(v):
+            continue
+        inverted_nonconst = sum(
+            1 for s in work.children(v) if s.inverted and not s.is_const
+        )
+        _visit_for_flip(work, v, inverted_nonconst >= threshold, position, evicted)
+
+
+def _visit_for_flip(
+    work: Mig,
+    v: int,
+    flip: bool,
+    position: dict[int, int],
+    evicted: set[int],
+) -> None:
+    """Apply (or skip) one flip with a rebuild pass's merge order.
+
+    A rebuild pass re-creates every gate in order, so when a flip's new
+    key matches a gate that the pass has *not reached yet*, the flipped
+    node is created fresh and the stale gate merges into it later, at its
+    own position.  In place that means: evict the stale owner from the
+    strash before flipping, and re-hash every evicted gate when its turn
+    comes (merging it into whichever node now owns its key).
+    """
+    if flip:
+        a, b, c = work.children(v)
+        owner = work.strash_owner(~a, ~b, ~c)
+        if (
+            owner is not None
+            and work.is_gate(owner)
+            and position.get(owner, -1) > position[v]
+        ):
+            work.evict_strash(owner)
+            evicted.add(owner)
+        flip_complement(work, v)
+    elif v in evicted:
+        evicted.discard(v)
+        work.rehash_node(v)
 
 
 def rewrite_depth(mig: Mig, effort: int = 4) -> Mig:

@@ -109,8 +109,13 @@ def measure_mig(
     effort: int = 4,
     paper_accounting: bool = True,
     compiler_options: Optional[CompilerOptions] = None,
+    engine: str = "worklist",
 ) -> Table1Row:
-    """Run the three Table 1 configurations on one MIG."""
+    """Run the three Table 1 configurations on one MIG.
+
+    ``engine`` selects the Algorithm 1 implementation ("worklist" or
+    "rebuild", see :class:`~repro.core.rewriting.RewriteOptions`).
+    """
     start = time.perf_counter()
     fix = not paper_accounting
     naive_opts = CompilerOptions.naive(fix_output_polarity=fix)
@@ -123,7 +128,10 @@ def measure_mig(
     clean = context.cleaned().mig
 
     rewritten = rewrite_for_plim(
-        mig, RewriteOptions(effort=effort, po_negation_cost=2 if fix else 0)
+        mig,
+        RewriteOptions(
+            effort=effort, po_negation_cost=2 if fix else 0, engine=engine
+        ),
     )
     rewritten_context = AnalysisContext(rewritten)
     rewr_prog = PlimCompiler(naive_opts).compile(rewritten, context=rewritten_context)
@@ -153,19 +161,20 @@ def run_benchmark(
     shuffled: bool = False,
     shuffle_seed: int = 42,
     paper_accounting: bool = True,
+    engine: str = "worklist",
 ) -> Table1Row:
     """Build one EPFL benchmark and measure its Table 1 row."""
     mig = benchmark_info(name).build(scale)
     if shuffled:
         mig = shuffle_topological(mig, seed=shuffle_seed)
     return measure_mig(
-        mig, name, effort=effort, paper_accounting=paper_accounting
+        mig, name, effort=effort, paper_accounting=paper_accounting, engine=engine
     )
 
 
 def _benchmark_task(payload) -> Table1Row:
     """Module-level task so the table can fan out over a process pool."""
-    name, scale, effort, shuffled, shuffle_seed, paper_accounting = payload
+    name, scale, effort, shuffled, shuffle_seed, paper_accounting, engine = payload
     return run_benchmark(
         name,
         scale,
@@ -173,6 +182,7 @@ def _benchmark_task(payload) -> Table1Row:
         shuffled=shuffled,
         shuffle_seed=shuffle_seed,
         paper_accounting=paper_accounting,
+        engine=engine,
     )
 
 
@@ -186,17 +196,19 @@ def run_table1(
     paper_accounting: bool = True,
     progress=None,
     workers: Optional[int] = 1,
+    engine: str = "worklist",
 ) -> Table1Result:
     """Run the full Table 1 reproduction.
 
     ``progress`` is an optional callback ``(name, row)`` invoked per
     benchmark (the CLI uses it for live output).  ``workers`` fans the
     benchmarks out over a process pool (``None`` = all CPUs); row order is
-    deterministic regardless.
+    deterministic regardless.  ``engine`` selects the Algorithm 1
+    implementation.
     """
     selected = list(names) if names is not None else list(BENCHMARK_NAMES)
     payloads = [
-        (name, scale, effort, shuffled, shuffle_seed, paper_accounting)
+        (name, scale, effort, shuffled, shuffle_seed, paper_accounting, engine)
         for name in selected
     ]
     if resolve_workers(workers) <= 1:

@@ -8,11 +8,20 @@ The paper's axiomatic system Ω (§2.1):
 * Ω.D  distributivity      ``⟨x y ⟨u v z⟩⟩ = ⟨⟨x y u⟩ ⟨x y v⟩ z⟩``
 * Ω.I  inverter propagation ``¬⟨x y z⟩ = ⟨x̄ ȳ z̄⟩``
 
-Each axiom is provided as a whole-graph *pass* built on
-:meth:`~repro.mig.graph.Mig.rebuild`: passes return a fresh, dead-node-free
-MIG and never change the computed functions (property-tested).  The
-PLiM-specific composition of these passes — Algorithm 1 of the paper — lives
-in :mod:`repro.core.rewriting`.
+Each axiom is provided in two executable forms:
+
+* a whole-graph *pass* built on :meth:`~repro.mig.graph.Mig.rebuild`:
+  passes return a fresh, dead-node-free MIG and never change the computed
+  functions (property-tested) — the original engine, kept as the
+  differential-testing oracle;
+* a *local rule* ``try_<axiom>(mig, v)`` that rewrites the single gate
+  ``v`` of an :meth:`~repro.mig.graph.Mig.enable_inplace` graph through
+  :meth:`~repro.mig.graph.Mig.replace_node` and returns the set of nodes
+  the rewrite touched (empty when the rule does not apply) — the building
+  blocks of the worklist engine.
+
+The PLiM-specific composition of either form — Algorithm 1 of the paper —
+lives in :mod:`repro.core.rewriting`.
 """
 
 from __future__ import annotations
@@ -56,6 +65,65 @@ _CHILD_PERMUTATIONS = (
     (0, 1, 2), (0, 2, 1), (1, 0, 2), (1, 2, 0), (2, 0, 1), (2, 1, 0),
 )
 
+#: Ω.C (A, B, Z) slot-overhead estimates by child class — the single
+#: source both the pass and the worklist engine's in-place sweep score
+#: with (see :func:`pass_commutativity` for the rationale per slot).
+SLOT_SCORES_CONST = (0, 0, 1)
+SLOT_SCORES_INVERTED = (2, 0, 2)
+SLOT_SCORES_PLAIN_SINGLE_GATE = (0, 2, 0)
+SLOT_SCORES_PLAIN = (0, 2, 2)
+
+
+def structural_keys(mig: Mig) -> list[int]:
+    """A stored-order-independent structural fingerprint per node.
+
+    Two isomorphic graphs (same PIs, same gate structure) assign the same
+    key to corresponding nodes regardless of node indices or stored child
+    order: a gate's key hashes the *sorted* ``(child key, polarity)``
+    pairs.  :func:`pass_commutativity` uses the keys to break slot-score
+    ties canonically, so both rewriting engines settle on the same stored
+    child order even when their internal merge order differed.  Keys are
+    ordinary ``hash`` values of int tuples — deterministic across
+    processes (no strings involved).
+    """
+    keys = [0] * len(mig)
+    keys[0] = hash((1, 0))
+    for i, pi in enumerate(mig.pis()):
+        keys[pi.node] = hash((2, i))
+    for v in mig.topo_gates():
+        a, b, c = mig.children(v)
+        pairs = sorted(
+            (keys[s.node], int(s) & 1) for s in (a, b, c)
+        )
+        keys[v] = hash((3,) + pairs[0] + pairs[1] + pairs[2])
+    return keys
+
+
+def _best_permutation(
+    scores: list[tuple[int, int, int]],
+    triple,
+    child_keys: list[int],
+) -> tuple[int, int, int]:
+    """Slot permutation with minimal score, ties broken canonically.
+
+    ``child_keys`` holds the per-slot structural keys of the (pre-rewrite)
+    children.  The tie-break ranks the permuted arrangement by each
+    child's key and stored polarity, so the chosen order does not depend
+    on the incoming stored order.
+    """
+    best = None
+    for perm in _CHILD_PERMUTATIONS:
+        a, b, z = perm
+        cost = scores[a][0] + scores[b][1] + scores[z][2]
+        rank = (
+            cost,
+            (child_keys[a], int(triple[a]) & 1),
+            (child_keys[b], int(triple[b]) & 1),
+        )
+        if best is None or rank < best[0]:
+            best = (rank, perm)
+    return best[1]
+
 
 def pass_commutativity(mig: Mig) -> Mig:
     """Ω.C pass: store every gate's children in translation-friendly order.
@@ -73,16 +141,22 @@ def pass_commutativity(mig: Mig) -> Mig:
 
     This is the piece of Algorithm 1 that lets plain *rewriting* (Table 1,
     third column) already shrink programs without smart per-node selection.
+
+    Score ties are broken by :func:`structural_keys`, so the stored order
+    chosen is a canonical function of the graph's structure — both
+    rewriting engines converge to the same order regardless of how their
+    intermediate merges happened to order the children.
     """
     fanouts = fanout_counts(mig)
+    keys = structural_keys(mig)
 
     def slot_scores(child: Signal, single_gate: bool) -> tuple[int, int, int]:
         """(A, B, Z) overhead estimates for placing ``child`` in each slot."""
         if child.is_const:
-            return (0, 0, 1)
+            return SLOT_SCORES_CONST
         if child.inverted:
-            return (2, 0, 2)
-        return (0, 2, 0 if single_gate else 2)
+            return SLOT_SCORES_INVERTED
+        return SLOT_SCORES_PLAIN_SINGLE_GATE if single_gate else SLOT_SCORES_PLAIN
 
     def gate_fn(new: Mig, old: int, mapped):
         old_children = mig.children(old)
@@ -92,13 +166,8 @@ def pass_commutativity(mig: Mig) -> Mig:
                 mig.is_gate(old_children[i].node) and fanouts[old_children[i].node] == 1
             )
             scores.append(slot_scores(child, single_gate))
-        best = None
-        for perm in _CHILD_PERMUTATIONS:
-            a, b, z = perm
-            cost = scores[a][0] + scores[b][1] + scores[z][2]
-            if best is None or cost < best[0]:
-                best = (cost, perm)
-        _, (a, b, z) = best
+        old_keys = [keys[s.node] for s in old_children]
+        a, b, z = _best_permutation(scores, mapped, old_keys)
         return new.add_maj(mapped[a], mapped[b], mapped[z])
 
     new, _ = mig.rebuild(gate_fn)
@@ -373,3 +442,206 @@ def pass_push_inverters(mig: Mig, threshold: int = 2) -> Mig:
 
     new, _ = mig.rebuild(gate_fn)
     return new
+
+
+# ----------------------------------------------------------------------
+# local rules (the worklist engine's building blocks)
+#
+# Each takes an enable_inplace() graph and one live gate ``v``, applies the
+# axiom at ``v`` through Mig.replace_node, and returns the set of nodes the
+# rewrite touched — empty when the rule does not apply.  Single-fanout
+# heuristics read the optional ``fanouts`` snapshot
+# (:meth:`~repro.mig.graph.Mig.fanout_snapshot`, falling back to the live
+# counts for nodes created after it) so one phase's decisions match a
+# rebuild pass's snapshot semantics; pass ``None`` to use live counts.
+# The conditions are heuristics for node-count reduction, not correctness
+# requirements, so a stale snapshot is always safe.
+# ----------------------------------------------------------------------
+
+
+def _fanout(mig: Mig, fanouts: Optional[list[int]], node: int) -> int:
+    if fanouts is not None and node < len(fanouts):
+        return fanouts[node]
+    return mig.fanout_of(node)
+
+
+def try_majority(mig: Mig, v: int, fanouts: Optional[list[int]] = None) -> set[int]:
+    """Ω.M at ``v``: collapse a trivially decided gate, merge duplicates.
+
+    ``replace_node`` already cascades Ω.M and strash merges through
+    parents, so on a graph built with simplification enabled this fires
+    only for gates created with ``simplify=False``.
+    """
+    a, b, c = mig.children(v)
+    replacement = Mig._simplify_triple(a, b, c)
+    if replacement is None:
+        return set()
+    return mig.replace_node(v, replacement)
+
+
+def try_distributivity_rl(
+    mig: Mig, v: int, fanouts: Optional[list[int]] = None
+) -> set[int]:
+    """Ω.D(R→L) at ``v``: ``⟨⟨x y u⟩ ⟨x y v⟩ z⟩ → ⟨x y ⟨u v z⟩⟩``.
+
+    Applied when both inner gates have a single fanout, so the rewrite
+    removes one node.  Edge polarity is handled through Ω.I
+    (:func:`effective_children`).
+    """
+    triple = mig.children(v)
+    children = mig._children  # bound once: this match loop is the hot path
+    for i, j in ((0, 1), (0, 2), (1, 2)):
+        gi, gj = triple[i], triple[j]
+        ni, nj = int(gi) >> 1, int(gj) >> 1
+        if ni == nj:
+            continue
+        if children[ni] is None or children[nj] is None:
+            continue
+        if _fanout(mig, fanouts, ni) != 1 or _fanout(mig, fanouts, nj) != 1:
+            continue
+        common = _common_pair(
+            effective_children(mig, gi), effective_children(mig, gj)
+        )
+        if common is None:
+            continue
+        (x, y), p, q = common
+        z = triple[3 - i - j]
+        first_new = len(mig)
+        inner = mig.add_maj(p, q, z)
+        outer = mig.add_maj(x, y, inner)
+        for node in range(first_new, len(mig)):
+            mig.inherit_order(node, v)
+        if outer.node == v:  # degenerate: the pattern reproduced v itself
+            mig.release_if_dead(inner.node)
+            continue
+        affected = mig.replace_node(v, outer)
+        # ``outer`` may have simplified or hashed past a freshly created
+        # ``inner``; sweep the speculative gate if nothing reads it.
+        mig.release_if_dead(inner.node)
+        affected.update(
+            u for u in (inner.node, outer.node) if mig.is_gate(u)
+        )
+        return affected
+    return set()
+
+
+def try_associativity(
+    mig: Mig, v: int, fanouts: Optional[list[int]] = None
+) -> set[int]:
+    """Ω.A at ``v``: ``⟨x u ⟨y u z⟩⟩ = ⟨z u ⟨y u x⟩⟩`` where it is free.
+
+    Accepted only when the replacement inner gate ``⟨y u x⟩`` is free —
+    it simplifies or structurally hashes to an existing node — i.e. when
+    the swap opens a sharing or Ω.M opportunity without growing the graph.
+    A rejected candidate is *kept* as a speculative zero-fanout gate (it
+    seeds sharing for later checks, exactly like the abandoned gates of
+    the rebuild pass); callers sweep those with
+    :meth:`~repro.mig.graph.Mig.collect_unused` at phase boundaries.
+    """
+    triple = mig.children(v)
+    for k in range(3):
+        g = triple[k]
+        if not mig.is_gate(g.node) or _fanout(mig, fanouts, g.node) != 1:
+            continue
+        inner = effective_children(mig, g)
+        others = [triple[i] for i in range(3) if i != k]
+        for u_pos in range(2):
+            u = others[u_pos]
+            x = others[1 - u_pos]
+            if u not in inner:
+                continue
+            rest = list(inner)
+            rest.remove(u)
+            y, z = rest
+            before = len(mig)
+            swapped = mig.add_maj(y, u, x)
+            if len(mig) > before:  # not free: keep the speculative gate
+                mig.inherit_order(swapped.node, v)
+                continue
+            first_new = len(mig)
+            replacement = mig.add_maj(z, u, swapped)
+            for node in range(first_new, len(mig)):
+                mig.inherit_order(node, v)
+            if replacement.node == v:  # the swap reproduced v itself
+                continue
+            affected = mig.replace_node(v, replacement)
+            if mig.is_gate(replacement.node):
+                affected.add(replacement.node)
+            return affected
+    return set()
+
+
+def try_complementary_associativity(
+    mig: Mig, v: int, fanouts: Optional[list[int]] = None
+) -> set[int]:
+    """Ψ.A at ``v``: ``⟨x u ⟨y ū z⟩⟩ = ⟨x u ⟨y x z⟩⟩`` where it is free.
+
+    The derived-rule counterpart of :func:`pass_complementary_associativity`;
+    applied only when the replacement inner gate is free.  Like
+    :func:`try_associativity`, a rejected candidate stays as a speculative
+    zero-fanout gate until :meth:`~repro.mig.graph.Mig.collect_unused`.
+    """
+    triple = mig.children(v)
+    for k in range(3):
+        g = triple[k]
+        if not mig.is_gate(g.node) or _fanout(mig, fanouts, g.node) != 1:
+            continue
+        inner = effective_children(mig, g)
+        others = [triple[i] for i in range(3) if i != k]
+        for u_pos in range(2):
+            u = others[u_pos]
+            x = others[1 - u_pos]
+            if ~u not in inner:
+                continue
+            replaced = tuple(x if s == ~u else s for s in inner)
+            before = len(mig)
+            new_inner = mig.add_maj(*replaced)
+            if len(mig) > before:  # not free: keep the speculative gate
+                mig.inherit_order(new_inner.node, v)
+                continue
+            first_new = len(mig)
+            replacement = mig.add_maj(x, u, new_inner)
+            for node in range(first_new, len(mig)):
+                mig.inherit_order(node, v)
+            if replacement.node == v:  # the rewrite reproduced v itself
+                continue
+            affected = mig.replace_node(v, replacement)
+            if mig.is_gate(replacement.node):
+                affected.add(replacement.node)
+            return affected
+    return set()
+
+
+def flip_complement(mig: Mig, v: int) -> set[int]:
+    """Ω.I(R→L) at ``v``: replace the gate by its complement.
+
+    ``⟨a b c⟩`` becomes ``¬⟨ā b̄ c̄⟩``, pushing one inversion onto every
+    fanout edge.  The flipped gate may hash to an existing node, in which
+    case the flip also merges.  Unconditional — cost policies live in the
+    callers (:func:`try_push_inverters`, the worklist engine's cost-aware
+    sweep).
+    """
+    a, b, c = mig.children(v)
+    first_new = len(mig)
+    flipped = mig.add_maj(~a, ~b, ~c)
+    for node in range(first_new, len(mig)):
+        mig.inherit_order(node, v)
+    affected = mig.replace_node(v, ~flipped)
+    if mig.is_gate(flipped.node):
+        affected.add(flipped.node)
+    return affected
+
+
+def try_push_inverters(mig: Mig, v: int, threshold: int = 2) -> set[int]:
+    """Unconditional Ω.I(R→L) at ``v`` — the local form of
+    :func:`pass_push_inverters`.
+
+    Flips the gate when at least ``threshold`` non-constant children are
+    complemented.  Algorithm 1's final sweep uses ``threshold=3``.
+    """
+    inverted_nonconst = sum(
+        1 for s in mig.children(v) if s.inverted and not s.is_const
+    )
+    if inverted_nonconst < threshold:
+        return set()
+    return flip_complement(mig, v)

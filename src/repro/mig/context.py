@@ -15,9 +15,12 @@ one source MIG compiled under any number of option sets pays for each
 analysis once per distinct node order.
 
 The cache is keyed to an immutable snapshot: the context records the node
-and output counts at creation time and refuses to serve a graph that has
-grown since (:class:`~repro.errors.MigError`).  Treat a context-held MIG
-as frozen — build first, analyse after.
+and output counts *and the in-place edit counter* at creation time and
+refuses to serve a graph that has grown or been rewritten in place since
+(:class:`~repro.errors.MigError`) — :meth:`~repro.mig.graph.Mig.replace_node`
+edits that merge nodes without changing the node count are still caught.
+Treat a context-held MIG as frozen — build and rewrite first, analyse
+after.
 
 Cached dict/tuple results are shared, not copied; callers must not mutate
 them.  The one per-compilation *mutable* table, the remaining-use counts,
@@ -54,6 +57,7 @@ class AnalysisContext:
         self._mig = mig
         self._num_nodes = len(mig)
         self._num_pos = mig.num_pos
+        self._edit_count = mig.edit_count
         self._parents: Optional[dict[int, list[int]]] = None
         self._levels: Optional[dict[int, int]] = None
         self._fanout: Optional[dict[int, int]] = None
@@ -75,10 +79,15 @@ class AnalysisContext:
         return self._mig
 
     def _check_current(self) -> None:
-        if len(self._mig) != self._num_nodes or self._mig.num_pos != self._num_pos:
+        if (
+            len(self._mig) != self._num_nodes
+            or self._mig.num_pos != self._num_pos
+            or self._mig.edit_count != self._edit_count
+        ):
             raise MigError(
-                "AnalysisContext is stale: the MIG grew after the context "
-                "was created; build the graph first, then analyse it"
+                "AnalysisContext is stale: the MIG grew or was rewritten in "
+                "place after the context was created; build and rewrite the "
+                "graph first, then analyse it"
             )
 
     # ------------------------------------------------------------------

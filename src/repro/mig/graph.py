@@ -21,10 +21,23 @@ sees.
 Trivial majority simplifications (Ω.M: ``⟨x x z⟩ = x``, ``⟨x x̄ z⟩ = z``) are
 applied on construction unless ``simplify=False`` is passed, which tests and
 the algebra module use to create reducible nodes on purpose.
+
+Beyond the append-only builder API, a graph can opt into *in-place
+rewriting* with :meth:`Mig.enable_inplace`: it then maintains parent sets,
+reference counts and a complemented-edge histogram incrementally, and
+:meth:`Mig.replace_node` redirects every reader of a gate to another signal
+— cascading structural-hash merges and Ω.M collapses upward, and retiring
+unreferenced cones as tombstones.  Tombstoned indices stay allocated (so
+signals remain stable) until a final :meth:`cleanup` compacts the graph;
+because replacements may point a low-index parent at a high-index node, the
+index order is no longer topological after the first replacement, and
+order-sensitive consumers must iterate :meth:`topo_gates` instead of
+:meth:`gates`.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Iterator, Optional
 
 from repro.errors import MigError
@@ -36,15 +49,42 @@ class Mig:
 
     def __init__(self, name: Optional[str] = None):
         self.name = name
-        # _children[v] is None for the constant and for PIs, otherwise a
-        # 3-tuple of Signals in the order the builder supplied them.
+        # _children[v] is None for the constant, for PIs and for tombstoned
+        # (dead) gates, otherwise a 3-tuple of Signals in the order the
+        # builder supplied them.
         self._children: list[Optional[tuple[Signal, Signal, Signal]]] = [None]
         self._pi_ids: list[int] = []
         self._pi_names: list[str] = []
         self._name_to_pi: dict[str, int] = {}
+        self._pi_pos: dict[int, int] = {}
         self._pos: list[Signal] = []
         self._po_names: list[Optional[str]] = []
         self._strash: dict[tuple[int, int, int], int] = {}
+        # --- in-place rewriting state (None/empty until enable_inplace) ---
+        self._dead: set[int] = set()
+        self._refs: Optional[list[int]] = None
+        self._parents: Optional[list[set[int]]] = None
+        self._po_of: Optional[dict[int, list[int]]] = None
+        # complemented-non-constant-child histogram over live gates, plus
+        # the count of gates with zero complements and no constant child —
+        # together they make the rewriter's fixed-point signature O(1)
+        self._hist: Optional[list[int]] = None
+        self._c0_noconst: int = 0
+        # order keys: where each node "sits" in the creation order a chain
+        # of rebuild passes would have produced — replacement nodes inherit
+        # the replaced node's key extended by their own index, so nested
+        # replacements sort lexicographically into the replaced node's slot
+        # and iteration order stays aligned with the rebuild engine
+        # (see topo_gates)
+        self._order: Optional[list[tuple[int, ...]]] = None
+        self._edit_count: int = 0
+        self._topo_dirty: bool = False
+        # cached topo_gates order for dirty graphs, keyed on a shape
+        # version (bumped by node creation, rewiring and tombstoning;
+        # stored-order permutations don't affect it)
+        self._shape_version: int = 0
+        self._topo_cache: Optional[list[int]] = None
+        self._topo_cache_version: int = -1
 
     # ------------------------------------------------------------------
     # construction
@@ -57,10 +97,15 @@ class Mig:
             name = f"i{len(self._pi_ids) + 1}"
         if name in self._name_to_pi:
             raise MigError(f"duplicate primary input name {name!r}")
+        self._pi_pos[index] = len(self._pi_ids)
         self._children.append(None)
         self._pi_ids.append(index)
         self._pi_names.append(name)
         self._name_to_pi[name] = index
+        if self._refs is not None:
+            self._refs.append(0)
+            self._parents.append(set())
+            self._order.append((index,))
         return Signal.make(index)
 
     def add_maj(self, a: Signal, b: Signal, c: Signal, *, simplify: bool = True) -> Signal:
@@ -73,16 +118,9 @@ class Mig:
         """
         a, b, c = self._check_signal(a), self._check_signal(b), self._check_signal(c)
         if simplify:
-            # Ω.M: two equal children decide; a pair of complementary
-            # children leaves the third.
-            if a == b or a == c:
-                return a
-            if b == c:
-                return b
-            if a == ~b or a == ~c:
-                return c if a == ~b else b
-            if b == ~c:
-                return a
+            simplified = self._simplify_triple(a, b, c)
+            if simplified is not None:
+                return simplified
         key = self._strash_key(a, b, c)
         existing = self._strash.get(key)
         if existing is not None:
@@ -90,6 +128,15 @@ class Mig:
         index = len(self._children)
         self._children.append((a, b, c))
         self._strash[key] = index
+        if self._refs is not None:
+            self._refs.append(0)
+            self._parents.append(set())
+            self._order.append((index,))
+            self._shape_version += 1
+            for s in (a, b, c):
+                self._refs[s.node] += 1
+                self._parents[s.node].add(index)
+            self._hist_add((a, b, c))
         return Signal.make(index)
 
     def add_po(self, signal: Signal, name: Optional[str] = None) -> int:
@@ -99,6 +146,9 @@ class Mig:
             name = f"o{len(self._pos) + 1}"
         self._pos.append(signal)
         self._po_names.append(name)
+        if self._refs is not None:
+            self._refs[signal.node] += 1
+            self._po_of.setdefault(signal.node, []).append(len(self._pos) - 1)
         return len(self._pos) - 1
 
     def _check_signal(self, signal: Signal) -> Signal:
@@ -106,7 +156,26 @@ class Mig:
             raise MigError(f"expected a Signal, got {signal!r}")
         if signal.node >= len(self._children):
             raise MigError(f"signal {signal!r} refers to a node that does not exist yet")
+        if signal.node in self._dead:
+            raise MigError(f"signal {signal!r} refers to a dead (replaced) node")
         return signal
+
+    @staticmethod
+    def _simplify_triple(a: Signal, b: Signal, c: Signal) -> Optional[Signal]:
+        """Ω.M result of ``⟨a b c⟩`` if it reduces trivially, else ``None``.
+
+        Two equal children decide; a pair of complementary children leaves
+        the third.  Same decision order as :meth:`add_maj` always used.
+        """
+        if a == b or a == c:
+            return a
+        if b == c:
+            return b
+        if a == ~b or a == ~c:
+            return c if a == ~b else b
+        if b == ~c:
+            return a
+        return None
 
     @staticmethod
     def _strash_key(a: Signal, b: Signal, c: Signal) -> tuple[int, int, int]:
@@ -129,11 +198,11 @@ class Mig:
 
     @property
     def num_gates(self) -> int:
-        """Number of majority gates (the paper's #N)."""
-        return len(self._children) - 1 - len(self._pi_ids)
+        """Number of live majority gates (the paper's #N)."""
+        return len(self._children) - 1 - len(self._pi_ids) - len(self._dead)
 
     def __len__(self) -> int:
-        """Total node count including the constant and the PIs."""
+        """Total node-slot count including the constant, PIs and tombstones."""
         return len(self._children)
 
     def is_const(self, node: int) -> bool:
@@ -142,7 +211,7 @@ class Mig:
 
     def is_pi(self, node: int) -> bool:
         """True for primary-input nodes."""
-        return node != 0 and self._children[node] is None
+        return node != 0 and self._children[node] is None and node not in self._dead
 
     def is_gate(self, node: int) -> bool:
         """True for majority-gate nodes."""
@@ -164,10 +233,11 @@ class Mig:
         return list(self._pi_names)
 
     def pi_name(self, node: int) -> str:
-        """Name of the primary input with node index ``node``."""
-        if not self.is_pi(node):
+        """Name of the primary input with node index ``node`` (O(1))."""
+        position = self._pi_pos.get(node)
+        if position is None:
             raise MigError(f"node {node} is not a primary input")
-        return self._pi_names[self._pi_ids.index(node)]
+        return self._pi_names[position]
 
     def pi_by_name(self, name: str) -> Signal:
         """Signal of the primary input called ``name``."""
@@ -185,14 +255,443 @@ class Mig:
         return list(self._po_names)
 
     def gates(self) -> Iterator[int]:
-        """Gate node indices in topological (creation) order."""
+        """Live gate node indices in index order.
+
+        For an append-only graph this is a topological (creation) order;
+        after in-place replacements it may not be — use :meth:`topo_gates`
+        when children must be visited before their parents.
+        """
         for v in range(1, len(self._children)):
             if self._children[v] is not None:
                 yield v
 
+    def topo_gates(self) -> Iterator[int]:
+        """Live gate indices in a valid topological order.
+
+        Index order while the graph is append-only (same sequence as
+        :meth:`gates`).  After in-place replacements the index order may
+        point "backwards", so a stable topological sort is used instead:
+        gates come out ordered by their inherited creation-order keys
+        (ties by index), subject to children-before-parents — i.e. the
+        order a chain of rebuild passes would have created them in.
+        """
+        if not self._topo_dirty:
+            yield from self.gates()
+            return
+        if self._topo_cache_version != self._shape_version:
+            self._topo_cache = self._topo_order()
+            self._topo_cache_version = self._shape_version
+        yield from self._topo_cache
+
+    def _topo_order(self) -> list[int]:
+        """Stable topological sort of the live gates by order key."""
+        children = self._children
+        order = self._order
+
+        def key(v: int) -> tuple[int, ...]:
+            return order[v] if order is not None else (v,)
+
+        result: list[int] = []
+        remaining: dict[int, int] = {}
+        dependents: dict[int, list[int]] = {}
+        heap: list[tuple[tuple[int, ...], int]] = []
+        for v in self.gates():
+            count = 0
+            for s in children[v]:
+                child = s.node
+                if children[child] is not None:
+                    count += 1
+                    dependents.setdefault(child, []).append(v)
+            if count == 0:
+                heapq.heappush(heap, (key(v), v))
+            else:
+                remaining[v] = count
+        while heap:
+            v = heapq.heappop(heap)[1]
+            result.append(v)
+            for p in dependents.get(v, ()):
+                remaining[p] -= 1
+                if remaining[p] == 0:
+                    del remaining[p]
+                    heapq.heappush(heap, (key(p), p))
+        return result
+
     def nodes(self) -> Iterator[int]:
-        """All node indices (constant, PIs, gates) in creation order."""
+        """All node indices (constant, PIs, gates, tombstones) in creation order."""
         return iter(range(len(self._children)))
+
+    # ------------------------------------------------------------------
+    # in-place rewriting (the engine under the worklist rewriter)
+    # ------------------------------------------------------------------
+
+    @property
+    def edit_count(self) -> int:
+        """Number of in-place structural edits applied so far.
+
+        Grows monotonically; :class:`~repro.mig.context.AnalysisContext`
+        snapshots it to detect in-place mutation that does not change the
+        node count.
+        """
+        return self._edit_count
+
+    @property
+    def is_inplace(self) -> bool:
+        """True once :meth:`enable_inplace` has been called."""
+        return self._refs is not None
+
+    def enable_inplace(self) -> None:
+        """Switch on incremental parent/reference/histogram maintenance.
+
+        Call once after the graph (including its outputs) is fully built;
+        from then on :meth:`add_maj`/:meth:`add_po` keep the structures
+        current and :meth:`replace_node` becomes available.  Idempotent.
+        """
+        if self._refs is not None:
+            return
+        n = len(self._children)
+        refs = [0] * n
+        parents: list[set[int]] = [set() for _ in range(n)]
+        hist = [0, 0, 0, 0]
+        c0_noconst = 0
+        for v in range(1, n):
+            triple = self._children[v]
+            if triple is None:
+                continue
+            for s in triple:
+                refs[s.node] += 1
+                parents[s.node].add(v)
+            complemented, has_const = self._triple_profile(triple)
+            hist[complemented] += 1
+            if complemented == 0 and not has_const:
+                c0_noconst += 1
+        po_of: dict[int, list[int]] = {}
+        for index, po in enumerate(self._pos):
+            refs[po.node] += 1
+            po_of.setdefault(po.node, []).append(index)
+        self._refs = refs
+        self._parents = parents
+        self._po_of = po_of
+        self._hist = hist
+        self._c0_noconst = c0_noconst
+        if self._order is None:
+            self._order = [(i,) for i in range(n)]
+        else:
+            # a clone carried order keys over; keep them (they encode the
+            # rebuild-chain positions) and key any newer nodes by index
+            self._order.extend((i,) for i in range(len(self._order), n))
+
+    def _require_inplace(self) -> None:
+        if self._refs is None:
+            raise MigError(
+                "this operation needs in-place maintenance; call enable_inplace() first"
+            )
+
+    def fanout_of(self, node: int) -> int:
+        """Current reader-edge count (gate children + POs) of ``node``."""
+        self._require_inplace()
+        return self._refs[node]
+
+    def fanout_snapshot(self) -> list[int]:
+        """Copy of all reference counts, indexed by node.
+
+        Worklist phases snapshot fanout once and pattern-match against it —
+        the in-place analogue of a rebuild pass computing ``fanout_counts``
+        on its input — so speculative helpers and earlier rewrites in the
+        same phase do not perturb the single-fanout heuristics.
+        """
+        self._require_inplace()
+        return list(self._refs)
+
+    def parents_of_node(self, node: int) -> tuple[int, ...]:
+        """Current live gate parents of ``node`` (each parent once)."""
+        self._require_inplace()
+        return tuple(p for p in self._parents[node] if self._children[p] is not None)
+
+    def po_edges_of(self, node: int) -> list[Signal]:
+        """Primary-output signals currently pointing at ``node``."""
+        self._require_inplace()
+        return [self._pos[i] for i in self._po_of.get(node, ())]
+
+    def inherit_order(self, node: int, like: int) -> None:
+        """Slot ``node`` into ``like``'s position in the creation order.
+
+        Rules call this on the nodes they create so a replacement sits at
+        the replaced gate's position in :meth:`topo_gates` — the position a
+        rebuild pass would have created it at.  The key is ``like``'s key
+        extended by ``node``'s index: nested replacements sort
+        lexicographically within the original slot, in creation order.
+        """
+        self._require_inplace()
+        self._order[node] = self._order[like] + (node,)
+
+    def find_maj(self, a: Signal, b: Signal, c: Signal) -> Optional[Signal]:
+        """Signal for ``⟨a b c⟩`` if it is free — simplifies trivially or
+        structurally hashes to an existing gate — without creating a node."""
+        a, b, c = self._check_signal(a), self._check_signal(b), self._check_signal(c)
+        simplified = self._simplify_triple(a, b, c)
+        if simplified is not None:
+            return simplified
+        existing = self._strash.get(self._strash_key(a, b, c))
+        if existing is not None:
+            return Signal.make(existing)
+        return None
+
+    def strash_owner(self, a: Signal, b: Signal, c: Signal) -> Optional[int]:
+        """Node currently owning the strash key of ``⟨a b c⟩``, if any."""
+        return self._strash.get(self._strash_key(a, b, c))
+
+    def evict_strash(self, node: int) -> None:
+        """Withdraw ``node``'s strash ownership; it stays live.
+
+        The worklist inverter sweep uses this to reproduce a rebuild
+        pass's merge order: when a flip's new key collides with a
+        not-yet-visited gate, the pass would create the flipped node first
+        and merge the other gate into it later — so the stale owner is
+        evicted and re-hashed (:meth:`rehash_node`) at its own turn.
+        """
+        self._require_inplace()
+        triple = self._children[node]
+        if triple is None:
+            return
+        key = self._strash_key(*triple)
+        if self._strash.get(key) == node:
+            del self._strash[key]
+
+    def rehash_node(self, node: int) -> set[int]:
+        """Re-insert an evicted gate into the strash, merging if taken.
+
+        Returns the affected set of :meth:`replace_node` when the key is
+        now owned by another gate (``node`` is merged into it), else
+        re-claims the key and returns an empty set.
+        """
+        self._require_inplace()
+        triple = self._children[node]
+        if triple is None:
+            return set()
+        key = self._strash_key(*triple)
+        owner = self._strash.get(key)
+        if owner is None:
+            self._strash[key] = node
+            return set()
+        if owner == node:
+            return set()
+        return self.replace_node(node, Signal.make(owner))
+
+    def inplace_signature(self) -> tuple[int, tuple[int, int, int, int], int]:
+        """O(1) structural signature for fixed-point detection.
+
+        ``(live gate count, complemented-child histogram, gates with zero
+        complements and no constant child)`` — everything the rewriter's
+        instruction estimate needs, maintained incrementally.
+        """
+        self._require_inplace()
+        return (self.num_gates, tuple(self._hist), self._c0_noconst)
+
+    def replace_node(self, old: int, new_signal: Signal) -> set[int]:
+        """Redirect every reader of gate ``old`` to ``new_signal``, in place.
+
+        ``new_signal`` must compute the same function as ``old`` (the caller
+        asserts this; nothing is checked).  Every parent edge and PO edge of
+        ``old`` is rewired (composing polarities), and the consequences
+        cascade: a parent whose new child triple trivially simplifies (Ω.M)
+        or structurally hashes to an existing gate is itself replaced, and
+        cones left without readers are tombstoned.  ``new_signal``'s cone
+        must not contain any reader of ``old`` (rules built from ``old``'s
+        own fan-in satisfy this by construction).
+
+        Returns the set of nodes whose children changed (the rewired
+        parents) — the worklist re-examination candidates.  Replacing a
+        node by itself (plain) is a no-op returning the empty set.
+        """
+        self._require_inplace()
+        if not self.is_gate(old):
+            raise MigError(f"node {old} is not a live gate")
+        new_signal = self._check_signal(new_signal)
+        if new_signal.node == old:
+            if new_signal.inverted:
+                raise MigError(f"cannot replace node {old} by its own complement")
+            return set()
+        affected: set[int] = set()
+        queue: list[tuple[int, Signal]] = [(old, new_signal)]
+        # Every queued replacement target is pinned with an artificial
+        # reference: a sibling cascade branch may otherwise retire it
+        # before its entry is processed, and readers would be redirected
+        # to a tombstone.
+        self._refs[new_signal.node] += 1
+        while queue:
+            o, ns = queue.pop()
+            self._refs[ns.node] -= 1  # release the pin
+            if self._children[o] is None or ns.node == o:
+                # the replaced node was already retired by an earlier
+                # cascade step; if the pin was the replacement's last
+                # reference, nothing can reach it anymore either
+                if self._refs[ns.node] == 0 and self._children[ns.node] is not None:
+                    self._kill(ns.node)
+                continue
+            for po_index in self._po_of.pop(o, ()):
+                po = self._pos[po_index]
+                self._pos[po_index] = ns.xor_inversion(po.inverted)
+                self._refs[o] -= 1
+                self._refs[ns.node] += 1
+                self._po_of.setdefault(ns.node, []).append(po_index)
+            for p in list(self._parents[o]):
+                if self._children[p] is None:  # retired earlier in the cascade
+                    continue
+                triple = self._children[p]
+                new_triple = tuple(
+                    ns.xor_inversion(s.inverted) if s.node == o else s for s in triple
+                )
+                collapse = self._rewire(p, new_triple)
+                affected.add(p)
+                if collapse is not None:
+                    queue.append((p, collapse))
+                    self._refs[collapse.node] += 1  # pin until processed
+            self._topo_dirty = True
+            self._edit_count += 1
+            if self._refs[o] == 0:
+                self._kill(o)
+        return affected
+
+    def reorder_children(self, node: int, triple: tuple[Signal, Signal, Signal]) -> None:
+        """Store gate ``node``'s children in a new order, in place.
+
+        ``triple`` must be a permutation of the current children (the strash
+        key is order-insensitive, so nothing else changes); the stored order
+        is what child-order translators consume (Ω.C).
+        """
+        self._require_inplace()
+        current = self._children[node]
+        if current is None:
+            raise MigError(f"node {node} is not a live gate")
+        if triple == current:
+            return
+        if sorted(map(int, triple)) != sorted(map(int, current)):
+            raise MigError("reorder_children requires a permutation of the children")
+        self._children[node] = triple
+        self._edit_count += 1
+
+    def release_if_dead(self, node: int) -> None:
+        """Tombstone ``node`` (and its now-unused cone) if nothing reads it.
+
+        Rules use this to sweep a helper gate they created speculatively
+        when the enclosing rewrite simplified past it.
+        """
+        self._require_inplace()
+        if self.is_gate(node) and self._refs[node] == 0:
+            self._kill(node)
+
+    def collect_unused(self) -> int:
+        """Tombstone every live gate that nothing reads; returns the count.
+
+        Speculative gates a rule created but did not commit (they stay in
+        the strash so later pattern checks can share them, exactly like the
+        abandoned gates of a rebuild pass) are swept here at phase
+        boundaries — the in-place analogue of a pass's trailing rebuild.
+        """
+        self._require_inplace()
+        before = len(self._dead)
+        for v in range(1, len(self._children)):
+            if self._children[v] is not None and self._refs[v] == 0:
+                self._kill(v)
+        return len(self._dead) - before
+
+    def _rewire(
+        self,
+        p: int,
+        new_triple: tuple[Signal, Signal, Signal],
+    ) -> Optional[Signal]:
+        """Physically set ``p``'s children to ``new_triple``.
+
+        Maintains strash, refs, parents and the histogram.  Returns the
+        signal ``p`` collapses to when the new triple simplifies trivially
+        or hashes to another gate (the caller must then replace ``p``), or
+        ``None`` when ``p`` stays.
+        """
+        old_triple = self._children[p]
+        if new_triple == old_triple:
+            return None
+        old_key = self._strash_key(*old_triple)
+        if self._strash.get(old_key) == p:
+            del self._strash[old_key]
+        old_nodes = [s.node for s in old_triple]
+        new_nodes = [s.node for s in new_triple]
+        for u in old_nodes:
+            self._refs[u] -= 1
+        for u in new_nodes:
+            self._refs[u] += 1
+        old_set, new_set = set(old_nodes), set(new_nodes)
+        for u in old_set - new_set:
+            self._parents[u].discard(p)
+        for u in new_set - old_set:
+            self._parents[u].add(p)
+        self._hist_remove(old_triple)
+        self._hist_add(new_triple)
+        self._children[p] = new_triple
+        self._edit_count += 1
+        self._shape_version += 1
+        collapse = self._simplify_triple(*new_triple)
+        if collapse is not None:
+            return collapse
+        key = self._strash_key(*new_triple)
+        existing = self._strash.get(key)
+        if existing is not None and existing != p:
+            return Signal.make(existing)
+        self._strash[key] = p
+        return None
+
+    def _kill(self, node: int) -> None:
+        """Tombstone ``node`` and, recursively, children left without readers."""
+        stack = [node]
+        while stack:
+            u = stack.pop()
+            triple = self._children[u]
+            if triple is None or self._refs[u] != 0:
+                continue
+            key = self._strash_key(*triple)
+            if self._strash.get(key) == u:
+                del self._strash[key]
+            self._hist_remove(triple)
+            self._children[u] = None
+            self._dead.add(u)
+            self._parents[u].clear()
+            self._edit_count += 1
+            self._shape_version += 1
+            for s in triple:
+                n = s.node
+                self._refs[n] -= 1
+                self._parents[n].discard(u)
+                if self._refs[n] == 0 and self._children[n] is not None:
+                    stack.append(n)
+
+    @staticmethod
+    def _triple_profile(
+        triple: tuple[Signal, Signal, Signal],
+    ) -> tuple[int, bool]:
+        """``(complemented non-constant children, has a constant child)``."""
+        complemented = 0
+        has_const = False
+        for s in triple:
+            if s.node == 0:
+                has_const = True
+            elif int(s) & 1:
+                complemented += 1
+        return complemented, has_const
+
+    def _hist_add(self, triple: tuple[Signal, Signal, Signal]) -> None:
+        if self._hist is None:
+            return
+        complemented, has_const = self._triple_profile(triple)
+        self._hist[complemented] += 1
+        if complemented == 0 and not has_const:
+            self._c0_noconst += 1
+
+    def _hist_remove(self, triple: tuple[Signal, Signal, Signal]) -> None:
+        if self._hist is None:
+            return
+        complemented, has_const = self._triple_profile(triple)
+        self._hist[complemented] -= 1
+        if complemented == 0 and not has_const:
+            self._c0_noconst -= 1
 
     # ------------------------------------------------------------------
     # rebuilding (the engine under cleanup and all rewriting passes)
@@ -214,14 +713,18 @@ class Mig:
 
         Only gates in the transitive fan-in of the outputs are visited
         unless ``keep_dead`` is true.  Returns the new MIG and a map from
-        old node index to new signal.
+        old node index to new signal.  After in-place rewriting the gates
+        are visited in :meth:`topo_gates` order (``keep_dead`` is
+        unsupported then, since unreachable gates have no defined order).
         """
+        if keep_dead and self._topo_dirty:
+            raise MigError("keep_dead is unsupported after in-place rewriting")
         new = Mig(name=self.name)
         mapping: dict[int, Signal] = {0: Signal.CONST0}
         for node, name in zip(self._pi_ids, self._pi_names):
             mapping[node] = new.add_pi(name)
         live = self._live_set() if not keep_dead else None
-        for v in self.gates():
+        for v in self.topo_gates():
             if live is not None and v not in live:
                 continue
             a, b, c = self._children[v]
@@ -257,15 +760,27 @@ class Mig:
         return self.rebuild()
 
     def clone(self) -> "Mig":
-        """Deep copy preserving node indices (including dead gates)."""
+        """Deep copy preserving node indices (including dead gates).
+
+        The clone starts without in-place maintenance (call
+        :meth:`enable_inplace` on it again if needed); tombstones, the
+        edit counter and the index-order flag carry over.
+        """
         new = Mig(name=self.name)
         new._children = list(self._children)
         new._pi_ids = list(self._pi_ids)
         new._pi_names = list(self._pi_names)
         new._name_to_pi = dict(self._name_to_pi)
+        new._pi_pos = dict(self._pi_pos)
         new._pos = list(self._pos)
         new._po_names = list(self._po_names)
         new._strash = dict(self._strash)
+        new._dead = set(self._dead)
+        new._edit_count = self._edit_count
+        new._topo_dirty = self._topo_dirty
+        # order keys travel with the clone so its topo_gates sequence
+        # matches the original's even though in-place maintenance resets
+        new._order = list(self._order) if self._order is not None else None
         return new
 
     # ------------------------------------------------------------------

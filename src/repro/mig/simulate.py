@@ -8,7 +8,7 @@ tables, equivalence checking, and program verification.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Mapping, Optional, Sequence
 
 from repro.errors import MigError
 from repro.mig.graph import Mig
@@ -35,9 +35,10 @@ def simulate(
     {'f': 1}
     """
     values = _signal_values(mig, pi_values, num_patterns)
+    mask = full_mask(num_patterns)
     results: dict[str, int] = {}
     for po, name in zip(mig.pos(), mig.po_names()):
-        results[name] = values[int(po)]
+        results[name] = _fetch(values, int(po), mask)
     return results
 
 
@@ -46,7 +47,10 @@ def simulate_signals(
     pi_values: Mapping[str, int] | Sequence[int],
     num_patterns: int = 1,
 ) -> dict[int, int]:
-    """Like :func:`simulate` but returns values for *every* node index."""
+    """Like :func:`simulate` but returns values for *every* node index.
+
+    Tombstoned (dead) nodes map to ``None``.
+    """
     values = _signal_values(mig, pi_values, num_patterns)
     return {v: values[v << 1] for v in mig.nodes()}
 
@@ -55,8 +59,17 @@ def _signal_values(
     mig: Mig,
     pi_values: Mapping[str, int] | Sequence[int],
     num_patterns: int,
-) -> dict[int, int]:
-    """Packed value per signal (keyed by the signal's int encoding)."""
+) -> list[Optional[int]]:
+    """Packed value per signal, as a flat list indexed by signal encoding.
+
+    This is the inner loop of equivalence checking and program
+    verification, so it avoids dict hashing: slot ``int(signal)`` holds the
+    signal's packed value.  Complemented values are computed lazily — a
+    slot is filled from its sibling (``encoding ^ 1``) on first use — so a
+    gate whose output is never read complemented costs one store instead
+    of two XORs and two stores.  Unfilled slots (unused complements, dead
+    nodes) remain ``None``.
+    """
     if num_patterns < 1:
         raise ValueError("num_patterns must be at least 1")
     mask = full_mask(num_patterns)
@@ -67,10 +80,9 @@ def _signal_values(
                 f"expected {len(names)} PI values, got {len(pi_values)}"
             )
         pi_values = dict(zip(names, pi_values))
-    values: dict[int, int] = {
-        int(Signal.CONST0): 0,
-        int(Signal.CONST1): mask,
-    }
+    values: list[Optional[int]] = [None] * (len(mig) << 1)
+    values[int(Signal.CONST0)] = 0
+    values[int(Signal.CONST1)] = mask
     for pi in mig.pis():
         name = mig.pi_name(pi.node)
         try:
@@ -78,13 +90,28 @@ def _signal_values(
         except KeyError:
             raise MigError(f"no value provided for primary input {name!r}") from None
         values[int(pi)] = value
-        values[int(~pi)] = value ^ mask
-    for v in mig.gates():
-        a, b, c = (values[int(s)] for s in mig.children(v))
-        out = (a & b) | (a & c) | (b & c)
-        values[v << 1] = out
-        values[(v << 1) | 1] = out ^ mask
+    for v in mig.topo_gates():
+        sa, sb, sc = mig.children(v)
+        ia, ib, ic = int(sa), int(sb), int(sc)
+        a = values[ia]
+        if a is None:
+            a = values[ia] = values[ia ^ 1] ^ mask
+        b = values[ib]
+        if b is None:
+            b = values[ib] = values[ib ^ 1] ^ mask
+        c = values[ic]
+        if c is None:
+            c = values[ic] = values[ic ^ 1] ^ mask
+        values[v << 1] = (a & b) | (a & c) | (b & c)
     return values
+
+
+def _fetch(values: list[Optional[int]], encoding: int, mask: int) -> int:
+    """Value of one signal encoding, filling its lazy complement slot."""
+    value = values[encoding]
+    if value is None:
+        value = values[encoding] = values[encoding ^ 1] ^ mask
+    return value
 
 
 def truth_tables(mig: Mig) -> dict[str, int]:

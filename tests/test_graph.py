@@ -215,3 +215,181 @@ class TestMisc:
         mig.add_po(mig.add_maj(a, b, c), "f")
         assert "3 PIs" in repr(mig)
         assert "1 POs" in repr(mig)
+
+
+class TestInplace:
+    """The mutable core: replace_node, refcounts, tombstones, topo order."""
+
+    def _chain(self):
+        mig = Mig(name="chain")
+        a, b, c, d = (mig.add_pi(x) for x in "abcd")
+        g1 = mig.add_maj(a, b, c)
+        g2 = mig.add_maj(g1, c, d)
+        g3 = mig.add_maj(g2, a, d)
+        mig.add_po(g3, "f")
+        mig.enable_inplace()
+        return mig, (a, b, c, d), (g1, g2, g3)
+
+    def test_enable_inplace_builds_refs_and_parents(self):
+        mig, (a, b, c, d), (g1, g2, g3) = self._chain()
+        assert mig.fanout_of(g1.node) == 1
+        assert mig.fanout_of(g3.node) == 1  # the PO edge
+        assert mig.parents_of_node(g1.node) == (g2.node,)
+        assert set(mig.parents_of_node(c.node)) == {g1.node, g2.node}
+        assert [po for po in mig.po_edges_of(g3.node)] == [g3]
+
+    def test_replace_node_redirects_parents_and_pos(self):
+        mig, (a, b, c, d), (g1, g2, g3) = self._chain()
+        before = truth_tables(mig)
+        # replace g3 by an equivalent (here: itself rebuilt) — no-op
+        assert mig.replace_node(g3.node, mig.add_maj(g2, a, d)) == set()
+        # replace g2 by ~(an equivalent of its complement) — same function
+        flipped = mig.add_maj(~g1, ~c, ~d)
+        affected = mig.replace_node(g2.node, ~flipped)
+        assert g3.node in affected
+        assert g2.node not in list(mig.gates())
+        assert truth_tables(mig) == before
+
+    def test_replace_node_cascades_strash_merge(self):
+        mig = Mig()
+        a, b, c, d = (mig.add_pi(x) for x in "abcd")
+        g1 = mig.add_maj(a, b, c)
+        g2 = mig.add_maj(a, b, d)
+        p1 = mig.add_maj(g1, d, a)
+        p2 = mig.add_maj(g2, d, a)
+        mig.add_po(p1, "f")
+        mig.add_po(p2, "h")
+        mig.enable_inplace()
+        gates_before = mig.num_gates
+        # replacing g2 by g1 makes p2's triple identical to p1's -> merge
+        affected = mig.replace_node(g2.node, g1)
+        assert p2.node in affected
+        assert mig.num_gates == gates_before - 2
+        assert mig.pos()[0] == mig.pos()[1]
+
+    def test_replace_node_collapses_on_simplification(self):
+        mig = Mig()
+        a, b, c = (mig.add_pi(x) for x in "abc")
+        g1 = mig.add_maj(a, b, c)
+        p = mig.add_maj(g1, ~a, b)
+        mig.add_po(p, "f")
+        mig.enable_inplace()
+        # replacing g1 by ~a gives p = <~a ~a b> = ~a: p collapses too
+        mig.replace_node(g1.node, ~a)
+        assert mig.num_gates == 0
+        assert mig.pos()[0] == ~a
+
+    def test_dead_cone_is_tombstoned_and_counts_update(self):
+        mig, (a, b, c, d), (g1, g2, g3) = self._chain()
+        mig.replace_node(g3.node, d)
+        # the whole cone was only read through g3 -> everything dies
+        assert mig.num_gates == 0
+        assert list(mig.gates()) == []
+        assert not mig.is_pi(g1.node)
+        assert not mig.is_gate(g1.node)
+        assert len(mig) == 8  # slots stay allocated until cleanup
+        clean, _ = mig.rebuild()
+        assert len(clean) == 5
+
+    def test_self_replacement_guards(self):
+        mig, (a, *_), (g1, g2, g3) = self._chain()
+        assert mig.replace_node(g2.node, g2) == set()
+        with pytest.raises(MigError):
+            mig.replace_node(g2.node, ~g2)
+        with pytest.raises(MigError):
+            mig.replace_node(a.node, g2)  # PIs cannot be replaced
+
+    def test_requires_enable_inplace(self):
+        mig = Mig()
+        a, b, c = (mig.add_pi(x) for x in "abc")
+        g = mig.add_maj(a, b, c)
+        mig.add_po(g, "f")
+        with pytest.raises(MigError, match="enable_inplace"):
+            mig.replace_node(g.node, a)
+        with pytest.raises(MigError, match="enable_inplace"):
+            mig.fanout_of(g.node)
+
+    def test_find_maj_never_creates(self):
+        mig, (a, b, c, d), (g1, g2, g3) = self._chain()
+        size = len(mig)
+        assert mig.find_maj(a, b, c) == g1  # strash hit
+        assert mig.find_maj(a, ~a, d) == d  # simplification
+        assert mig.find_maj(a, b, d) is None  # would be a fresh gate
+        assert len(mig) == size
+
+    def test_inplace_signature_tracks_edits(self):
+        from repro.mig.analysis import complement_stats
+
+        mig, (a, b, c, d), (g1, g2, g3) = self._chain()
+        num, hist, _ = mig.inplace_signature()
+        assert num == mig.num_gates
+        assert hist == complement_stats(mig).by_count
+        flipped = mig.add_maj(~g1, ~c, ~d)
+        mig.replace_node(g2.node, ~flipped)
+        num, hist, _ = mig.inplace_signature()
+        assert num == mig.num_gates
+        assert hist == complement_stats(mig).by_count
+
+    def test_topo_gates_children_first_after_edits(self):
+        mig, (a, b, c, d), (g1, g2, g3) = self._chain()
+        flipped = mig.add_maj(~g1, ~c, ~d)
+        mig.replace_node(g2.node, ~flipped)
+        seen = set()
+        for v in mig.topo_gates():
+            for child in mig.children(v):
+                assert not mig.is_gate(child.node) or child.node in seen
+            seen.add(v)
+        assert seen == set(mig.gates())
+
+    def test_reorder_children_is_order_only(self):
+        mig, (a, b, c, d), (g1, g2, g3) = self._chain()
+        before = truth_tables(mig)
+        edits = mig.edit_count
+        mig.reorder_children(g1.node, (c, a, b))
+        assert mig.children(g1.node) == (c, a, b)
+        assert mig.edit_count == edits + 1
+        assert truth_tables(mig) == before
+        with pytest.raises(MigError, match="permutation"):
+            mig.reorder_children(g1.node, (c, a, d))
+
+    def test_collect_unused_sweeps_speculation(self):
+        mig, (a, b, c, d), (g1, g2, g3) = self._chain()
+        speculative = mig.add_maj(a, b, d)  # created, never referenced
+        assert mig.is_gate(speculative.node)
+        assert mig.collect_unused() == 1
+        assert not mig.is_gate(speculative.node)
+
+    def test_cascade_cannot_redirect_to_retired_node(self):
+        """Regression: a queued merge target must survive sibling cascades.
+
+        Replacing A by S rewires P1 to X's triple (queueing a merge of P1
+        into X) while the P2 branch collapses and drops X's last real
+        reference — X must stay alive until the queued merge lands.
+        """
+        mig = Mig()
+        s, d, e = (mig.add_pi(x) for x in "sde")
+        x_gate = mig.add_maj(s, d, e)
+        a_gate = mig.add_maj(s, e, ~d)
+        p1 = mig.add_maj(a_gate, d, e)
+        p2 = mig.add_maj(a_gate, x_gate, s)
+        mig.add_po(p1, "f")
+        mig.add_po(p2, "g")
+        mig.enable_inplace()
+        # assert the shape the scenario needs: X is only read through P2
+        assert mig.fanout_of(x_gate.node) == 1
+        mig.replace_node(a_gate.node, s)
+        for po in mig.pos():
+            assert po.is_const or mig.is_pi(po.node) or mig.is_gate(po.node)
+        for v in mig.gates():
+            for child in mig.children(v):
+                assert child.is_const or mig.is_pi(child.node) or mig.is_gate(child.node)
+        truth_tables(mig)  # must not crash on dangling references
+
+    def test_clone_preserves_tombstones_and_pi_lookup(self):
+        mig, (a, b, c, d), (g1, g2, g3) = self._chain()
+        mig.replace_node(g2.node, g1)
+        clone = mig.clone()
+        assert clone.num_gates == mig.num_gates
+        assert not clone.is_inplace  # in-place state is not carried over
+        assert clone.pi_name(b.node) == "b"
+        assert truth_tables(clone) == truth_tables(mig)
