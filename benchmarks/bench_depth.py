@@ -1,0 +1,161 @@
+"""Depth-rewriting benches (A2): worklist depth engine vs the rebuild oracle.
+
+Measures ``objective="depth"`` rewriting throughput on representative
+circuits for both engines — the in-place worklist engine with incremental
+level maintenance (the default) and the legacy
+``pass_associativity_depth`` rebuild pipeline kept as the differential
+oracle — plus the multi-objective ``balanced`` loop on the worklist
+engine.
+
+Run directly (``python benchmarks/bench_depth.py [--scale ci]``) to emit
+``BENCH_depth.json`` next to this file: per-circuit depth before/after and
+seconds per engine plus the worklist speedup, so successive PRs have a
+machine-readable depth-rewriting trajectory.  The acceptance bar — the
+worklist engine reaches a depth no worse than the oracle's at >= 2x its
+wall-clock at default scale — is what this snapshot records.
+"""
+
+try:
+    import pytest
+except ModuleNotFoundError:  # standalone snapshot mode needs no pytest
+    pytest = None
+
+from repro.circuits.registry import benchmark_info
+from repro.core.rewriting import ENGINES, RewriteOptions, rewrite_for_plim
+from repro.mig.analysis import depth
+
+REPRESENTATIVE = ["adder", "sin", "router", "voter", "mem_ctrl"]
+
+if pytest is not None:
+
+    @pytest.mark.parametrize("engine", list(ENGINES))
+    @pytest.mark.parametrize("name", REPRESENTATIVE)
+    def test_depth_rewrite_throughput(benchmark, name, engine, scale):
+        mig = benchmark_info(name).build(scale)
+        options = RewriteOptions(effort=4, engine=engine, objective="depth")
+        rewritten = benchmark(rewrite_for_plim, mig, options)
+        benchmark.extra_info.update(
+            {
+                "scale": scale,
+                "engine": engine,
+                "depth_before": depth(mig.cleanup()[0]),
+                "depth_after": depth(rewritten),
+                "gates_after": rewritten.num_gates,
+            }
+        )
+        assert depth(rewritten) <= depth(mig.cleanup()[0])
+
+    @pytest.mark.parametrize("name", ["adder", "router"])
+    def test_balanced_objective_throughput(benchmark, name, scale):
+        """The multi-objective loop: size + depth to a joint fixed point."""
+        mig = benchmark_info(name).build(scale)
+        options = RewriteOptions(effort=4, objective="balanced")
+        rewritten = benchmark(rewrite_for_plim, mig, options)
+        benchmark.extra_info.update(
+            {
+                "scale": scale,
+                "gates_after": rewritten.num_gates,
+                "depth_after": depth(rewritten),
+            }
+        )
+        assert rewritten.num_gates <= mig.cleanup()[0].num_gates
+
+
+# ----------------------------------------------------------------------
+# standalone mode: machine-readable perf trajectory (BENCH_depth.json)
+# ----------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    """Time both depth engines per circuit and write BENCH_depth.json."""
+    import argparse
+    import json
+    import platform
+    import time
+    from pathlib import Path
+
+    from repro._version import __version__
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("--scale", default="ci", choices=("ci", "default", "paper"))
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing runs per engine (best is kept)"
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(Path(__file__).with_name("BENCH_depth.json")),
+        help="output path (default: BENCH_depth.json next to this file)",
+    )
+    args = parser.parse_args(argv)
+
+    def best_time(mig, options):
+        best = None
+        for _ in range(max(1, args.repeats)):
+            start = time.perf_counter()
+            result = rewrite_for_plim(mig, options)
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best[0]:
+                best = (elapsed, result)
+        return best
+
+    circuits = []
+    wall_start = time.perf_counter()
+    for name in REPRESENTATIVE:
+        mig = benchmark_info(name).build(args.scale)
+        clean = mig.cleanup()[0]
+        row = {
+            "circuit": name,
+            "gates_before": clean.num_gates,
+            "depth_before": depth(clean),
+            "engines": {},
+        }
+        for engine in ENGINES:
+            seconds, rewritten = best_time(
+                mig, RewriteOptions(effort=4, engine=engine, objective="depth")
+            )
+            row["engines"][engine] = {
+                "seconds": round(seconds, 6),
+                "depth_after": depth(rewritten),
+                "gates_after": rewritten.num_gates,
+            }
+        seconds, balanced = best_time(
+            mig, RewriteOptions(effort=4, objective="balanced")
+        )
+        row["balanced"] = {
+            "seconds": round(seconds, 6),
+            "depth_after": depth(balanced),
+            "gates_after": balanced.num_gates,
+        }
+        worklist = row["engines"]["worklist"]
+        rebuild = row["engines"]["rebuild"]
+        row["speedup"] = (
+            round(rebuild["seconds"] / worklist["seconds"], 2)
+            if worklist["seconds"]
+            else None
+        )
+        circuits.append(row)
+        print(
+            f"{name}: depth {row['depth_before']} -> "
+            f"wl {worklist['depth_after']} / rb {rebuild['depth_after']}, "
+            f"worklist {worklist['seconds']:.4f}s, rebuild "
+            f"{rebuild['seconds']:.4f}s ({row['speedup']}x)"
+        )
+    wall = time.perf_counter() - wall_start
+
+    report = {
+        "bench": "depth",
+        "version": __version__,
+        "python": platform.python_version(),
+        "scale": args.scale,
+        "repeats": args.repeats,
+        "wall_seconds": round(wall, 4),
+        "circuits": circuits,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output} ({len(circuits)} rows, {wall:.2f}s wall)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

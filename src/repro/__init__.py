@@ -39,7 +39,7 @@ from repro.mig.signal import Signal
 from repro.core.batch import BatchResult, compile_many
 from repro.core.pipeline import CompileResult, compile_mig
 from repro.core.compiler import CompilerOptions, PlimCompiler
-from repro.core.rewriting import RewriteOptions, rewrite_for_plim
+from repro.core.rewriting import RewriteOptions, rewrite_depth, rewrite_for_plim
 from repro.plim.program import Program
 from repro.plim.machine import PlimMachine
 
@@ -57,5 +57,6 @@ __all__ = [
     "RewriteOptions",
     "compile_mig",
     "compile_many",
+    "rewrite_depth",
     "rewrite_for_plim",
 ]

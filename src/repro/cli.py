@@ -2,7 +2,8 @@
 
 Subcommands::
 
-    plimc compile <circuit> [-o out.plim] [--naive] [--no-rewrite] ...
+    plimc compile <circuit> [-o out.plim] [--naive] [--no-rewrite]
+                  [--objective size|depth|balanced] [--engine worklist|rebuild] ...
     plimc stats <circuit>
     plimc run <program.plim> --set a=1 --set b=0 ...
     plimc bench <name> [--scale ci|default|paper]
@@ -27,6 +28,7 @@ from repro.circuits.registry import BENCHMARK_NAMES, SCALES, benchmark_info
 from repro.core.compiler import CompilerOptions
 from repro.core.pipeline import compile_mig
 from repro.core.rewriting import ENGINES as REWRITE_ENGINES
+from repro.core.rewriting import OBJECTIVES as REWRITE_OBJECTIVES
 from repro.errors import ReproError
 from repro.eval import ablations
 from repro.eval.fig3 import run_fig3
@@ -65,15 +67,31 @@ def _cmd_compile(args) -> int:
             fix_output_polarity=not args.paper_outputs,
             max_work_cells=args.max_rrams,
         )
+    objective = args.objective
     if args.depth_rewrite:
-        from repro.core.rewriting import rewrite_depth
+        # Deprecation shim: the old flag ran rewrite_depth *before* area
+        # rewriting (whose reshaping could undo the depth gains) and
+        # ignored --engine.  It now maps onto the multi-objective loop,
+        # which interleaves both and ends on a depth phase.
+        print(
+            "plimc: warning: --depth-rewrite is deprecated; "
+            "use --objective balanced (or --objective depth)",
+            file=sys.stderr,
+        )
+        if args.no_rewrite:
+            # The old flag depth-rewrote even without Algorithm 1; keep
+            # that (now honoring --engine and --effort).
+            from repro.core.rewriting import rewrite_depth
 
-        mig = rewrite_depth(mig)
+            mig = rewrite_depth(mig, effort=args.effort, engine=args.engine)
+        elif objective == "size":
+            objective = "balanced"
     result = compile_mig(
         mig,
         rewrite=not args.no_rewrite,
         effort=args.effort,
         engine=args.engine,
+        objective=objective,
         compiler_options=options,
     )
     program = result.program
@@ -305,9 +323,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="compile within a work-RRAM budget (evicts complement caches)",
     )
     p.add_argument(
+        "--objective",
+        choices=list(REWRITE_OBJECTIVES),
+        default="size",
+        help="rewriting objective: node count (size, the paper's Algorithm 1), "
+        "critical path (depth), or the interleaved multi-objective loop "
+        "(balanced)",
+    )
+    p.add_argument(
         "--depth-rewrite",
         action="store_true",
-        help="apply depth-oriented rewriting before compiling",
+        help="deprecated: use --objective balanced (kept as a shim)",
     )
     p.add_argument(
         "--emit-verilog",

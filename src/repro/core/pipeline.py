@@ -62,17 +62,21 @@ def compile_mig(
     rewrite: bool = True,
     effort: int = 4,
     engine: str = "worklist",
+    objective: str = "size",
     compiler_options: Optional[CompilerOptions] = None,
     rewrite_options: Optional[RewriteOptions] = None,
     context: Optional[AnalysisContext] = None,
 ) -> CompileResult:
     """Rewrite (optional) and compile ``mig`` into a PLiM program.
 
-    ``effort`` is Algorithm 1's cycle count and ``engine`` its
-    implementation ("worklist" in-place or "rebuild" pass pipeline; both
-    ignored when an explicit ``rewrite_options`` is given).  When the
-    compiler is configured to fix output polarity (the default), the
-    rewriter is told to charge complemented outputs accordingly.
+    ``effort`` is the rewriter's cycle count, ``engine`` its
+    implementation ("worklist" in-place or "rebuild" pass pipeline) and
+    ``objective`` its target ("size" — Algorithm 1, the default — "depth"
+    for critical-path rewriting, or "balanced" for the interleaved
+    multi-objective loop; all three ignored when an explicit
+    ``rewrite_options`` is given).  When the compiler is configured to fix
+    output polarity (the default), the rewriter is told to charge
+    complemented outputs accordingly.
 
     ``context`` is an optional :class:`AnalysisContext` of the graph the
     compiler will actually see (i.e. of ``mig`` itself when
@@ -89,7 +93,10 @@ def compile_mig(
         else:
             po_cost = 2 if copts.fix_output_polarity else 0
             ropts = RewriteOptions(
-                effort=effort, po_negation_cost=po_cost, engine=engine
+                effort=effort,
+                po_negation_cost=po_cost,
+                engine=engine,
+                objective=objective,
             )
         compiled = rewrite_for_plim(mig, ropts)
         context = None

@@ -53,6 +53,7 @@ from repro.mig.algebra import (
     pass_majority,
     pass_push_inverters,
     try_associativity,
+    try_associativity_depth,
     try_complementary_associativity,
     try_distributivity_rl,
     try_majority,
@@ -83,42 +84,66 @@ class RewriteOptions:
     #: "worklist" (in-place, incremental — the default) or "rebuild" (the
     #: original whole-graph pass pipeline, kept as the oracle)
     engine: str = "worklist"
+    #: optimization target: "size" (the paper's Algorithm 1 — serial PLiM
+    #: programs only care about node count), "depth" (critical-path Ω.A
+    #: swaps only — parallel in-memory targets), or "balanced" (interleave
+    #: size and depth effort cycles until a joint fixed point)
+    objective: str = "size"
 
 
 ENGINES = ("worklist", "rebuild")
+OBJECTIVES = ("size", "depth", "balanced")
 
 
 def rewrite_for_plim(mig: Mig, options: Optional[RewriteOptions] = None) -> Mig:
-    """Run Algorithm 1 on ``mig`` and return the rewritten MIG.
+    """Run MIG rewriting on ``mig`` and return the rewritten MIG.
 
-    ``mig`` itself is never modified, whichever engine runs.
+    ``options.objective`` picks the target: ``"size"`` is the paper's
+    Algorithm 1, ``"depth"`` the critical-path rewriter, ``"balanced"``
+    the interleaved multi-objective loop.  ``mig`` itself is never
+    modified, whichever engine and objective run.
     """
     opts = options if options is not None else RewriteOptions()
-    if opts.engine == "worklist":
-        return _rewrite_worklist(mig, opts)
-    if opts.engine == "rebuild":
+    if opts.engine not in ENGINES:
+        raise ReproError(
+            f"unknown rewrite engine {opts.engine!r}; expected one of {ENGINES}"
+        )
+    if opts.objective not in OBJECTIVES:
+        raise ReproError(
+            f"unknown rewrite objective {opts.objective!r}; "
+            f"expected one of {OBJECTIVES}"
+        )
+    if opts.objective == "size":
+        if opts.engine == "worklist":
+            return _rewrite_worklist(mig, opts)
         return _rewrite_rebuild(mig, opts)
-    raise ReproError(
-        f"unknown rewrite engine {opts.engine!r}; expected one of {ENGINES}"
-    )
+    if opts.engine == "worklist":
+        return _rewrite_objective_worklist(mig, opts)
+    return _rewrite_objective_rebuild(mig, opts)
+
+
+def _size_cycle_rebuild(mig: Mig, opts: RewriteOptions) -> Mig:
+    """One Algorithm 1 effort cycle as whole-graph rebuild passes."""
+    if opts.size_rules:
+        mig = pass_majority(mig)  # Ω.M
+        mig = pass_distributivity_rl(mig)  # Ω.D(R→L)
+        mig = pass_associativity(mig)  # Ω.A
+        if opts.use_psi:
+            mig = pass_complementary_associativity(mig)  # Ψ.A
+        mig = pass_commutativity(mig)  # Ω.C
+        mig = pass_majority(mig)  # Ω.M
+        mig = pass_distributivity_rl(mig)  # Ω.D(R→L)
+    if opts.inverter_rules:
+        mig = pass_inverter_cost_aware(mig, opts.po_negation_cost)  # Ω.I(R→L)(1–3)
+        mig = pass_push_inverters(mig, threshold=3)  # Ω.I(R→L): worst case only
+    return mig
 
 
 def _rewrite_rebuild(mig: Mig, opts: RewriteOptions) -> Mig:
     """The original pass pipeline: every Ω pass is a full graph rebuild."""
     for _cycle in range(opts.effort):
         before = _signature(mig)
-        if opts.size_rules:
-            mig = pass_majority(mig)  # Ω.M
-            mig = pass_distributivity_rl(mig)  # Ω.D(R→L)
-            mig = pass_associativity(mig)  # Ω.A
-            if opts.use_psi:
-                mig = pass_complementary_associativity(mig)  # Ψ.A
-            mig = pass_commutativity(mig)  # Ω.C
-            mig = pass_majority(mig)  # Ω.M
-            mig = pass_distributivity_rl(mig)  # Ω.D(R→L)
-        if opts.inverter_rules:
-            mig = pass_inverter_cost_aware(mig, opts.po_negation_cost)  # Ω.I(R→L)(1–3)
-            mig = pass_push_inverters(mig, threshold=3)  # Ω.I(R→L): worst case only
+        mig = _size_cycle_rebuild(mig, opts)
         if opts.early_exit and _signature(mig) == before:
             break
     # Inverter propagation may have changed which children are complemented;
@@ -153,11 +178,7 @@ def _rewrite_worklist(mig: Mig, opts: RewriteOptions) -> Mig:
         # reshapes (no count change against the cleaned graph) must not
         # exit early, because reshaping feeds the next cycle's Ω.D.
         before = _signature(mig) if _cycle == 0 else _inplace_signature(work)
-        if opts.size_rules:
-            _worklist_size_sweep(work, opts)
-        if opts.inverter_rules:
-            _sweep_inverters_cost_aware(work, opts.po_negation_cost)
-            _sweep_push_inverters(work, threshold=3)
+        _size_cycle_worklist(work, opts)
         if opts.early_exit and _inplace_signature(work) == before:
             break
     # Inverter propagation may have changed which children are complemented;
@@ -180,6 +201,15 @@ def _inplace_signature(mig: Mig) -> tuple:
         hist[2] + 2 * hist[3] + zero_comp_no_const
     )
     return (num_gates, hist, estimate)
+
+
+def _size_cycle_worklist(work: Mig, opts: RewriteOptions) -> None:
+    """One Algorithm 1 effort cycle as in-place worklist sweeps."""
+    if opts.size_rules:
+        _worklist_size_sweep(work, opts)
+    if opts.inverter_rules:
+        _sweep_inverters_cost_aware(work, opts.po_negation_cost)
+        _sweep_push_inverters(work, threshold=3)
 
 
 def _worklist_size_sweep(work: Mig, opts: RewriteOptions) -> None:
@@ -373,26 +403,128 @@ def _visit_for_flip(
         work.rehash_node(v)
 
 
-def rewrite_depth(mig: Mig, effort: int = 4) -> Mig:
+# ----------------------------------------------------------------------
+# depth and balanced objectives (the multi-objective synthesis loop)
+# ----------------------------------------------------------------------
+
+
+def _rewrite_objective_rebuild(mig: Mig, opts: RewriteOptions) -> Mig:
+    """Depth/balanced objectives on the rebuild pass pipeline (the oracle).
+
+    ``objective="depth"`` is the original one-shot ``rewrite_depth``
+    semantics: iterate ``pass_associativity_depth`` + Ω.M, accept only
+    strictly depth-improving rounds.  ``objective="balanced"`` interleaves
+    one full Algorithm 1 size cycle with one depth cycle per round until
+    the joint (size signature, depth) fixed point — the depth cycle runs
+    *after* the size cycle so area reshaping cannot undo the depth gains.
+    """
+    if opts.objective == "depth":
+        best = mig
+        best_depth = depth(mig)
+        for _ in range(opts.effort):
+            candidate = pass_majority(pass_associativity_depth(best))
+            candidate_depth = depth(candidate)
+            if candidate_depth >= best_depth:
+                break
+            best, best_depth = candidate, candidate_depth
+        return best
+    current = mig
+    for _cycle in range(opts.effort):
+        before = (_signature(current), depth(current))
+        current = _size_cycle_rebuild(current, opts)
+        current = pass_majority(pass_associativity_depth(current))
+        if opts.early_exit and (_signature(current), depth(current)) == before:
+            break
+    # restore the translation-friendly child order, like the size engine
+    return pass_commutativity(current)
+
+
+def _rewrite_objective_worklist(mig: Mig, opts: RewriteOptions) -> Mig:
+    """Depth/balanced objectives on the in-place worklist engine.
+
+    One private dead-free copy with incremental level maintenance
+    (:meth:`~repro.mig.graph.Mig.enable_levels`), so every depth query
+    during the sweep reads maintained levels instead of traversing the
+    graph.  Each effort cycle runs (balanced only) one Algorithm 1 size
+    cycle, then one depth phase of local
+    :func:`~repro.mig.algebra.try_associativity_depth` moves; the loop
+    stops at the joint (signature, depth) fixed point.  Depth is
+    monotonically non-increasing across the depth phases: every local
+    move strictly lowers the rewritten node's level and can raise no
+    other node's.
+    """
+    work = _private_clean_copy(mig)
+    work.enable_inplace()
+    # drop unreachable cones a clone carried over (rebuild() parity)
+    work.collect_unused()
+    work.enable_levels()
+    edits_at_start = work.edit_count
+    balanced = opts.objective == "balanced"
+    for _cycle in range(opts.effort):
+        before_sig = _inplace_signature(work)
+        before_depth = work.current_depth()
+        if balanced:
+            _size_cycle_worklist(work, opts)
+        _worklist_phase(work, (try_associativity_depth,))
+        work.collect_unused()
+        if balanced:
+            # joint fixed point: neither objective moved this cycle
+            if opts.early_exit and (
+                _inplace_signature(work),
+                work.current_depth(),
+            ) == (before_sig, before_depth):
+                break
+        elif work.current_depth() >= before_depth:
+            # pure depth mirrors the oracle's strict-improvement rule:
+            # stop as soon as a cycle fails to lower the global depth
+            # (already-applied local moves are harmless — depth is
+            # monotonically non-increasing under the rule)
+            break
+    if balanced:
+        # restore the translation-friendly child order, like the size engine
+        _sweep_commutativity(work)
+    if work.edit_count == edits_at_start:
+        return work  # no structural edits: the private copy is already clean
+    final, _ = work.rebuild()
+    return final
+
+
+def _private_clean_copy(mig: Mig) -> Mig:
+    """A private, Ω.M-simplified copy of ``mig`` for in-place rewriting.
+
+    ``rebuild()`` is the safe default (it drops tombstones and re-simplifies
+    every gate); an input that is verifiably clean already — append-only, no
+    tombstones, no trivially reducible gate — is
+    :meth:`~repro.mig.graph.Mig.clone`-copied instead, which skips the whole
+    per-gate re-hash.  Unreachable cones a clone carries over are swept by
+    the caller with ``collect_unused()`` once in-place maintenance is on.
+    """
+    if mig._topo_dirty or mig._dead:
+        return mig.rebuild()[0]
+    children = mig._children
+    for v in mig.gates():
+        a, b, c = children[v]
+        # inlined Ω.M triviality test (_simplify_triple, sans allocations)
+        if a == b or a == c or b == c or a ^ 1 == b or a ^ 1 == c or b ^ 1 == c:
+            return mig.rebuild()[0]
+    return mig.clone()
+
+
+def rewrite_depth(mig: Mig, effort: int = 4, engine: str = "worklist") -> Mig:
     """Depth-oriented MIG rewriting (Ω.A critical-path swaps + Ω.M).
 
     The companion RRAM-synthesis paper (Shirinzadeh et al., DATE'16 —
     reference [13]) optimizes MIGs for both area and depth; PLiM programs
     are serial so Table 1 only needs area, but depth matters for any
-    parallel in-memory target.  Iterates associativity swaps that move
-    late-arriving signals off inner gates until the depth stops improving
-    (at most ``effort`` rounds).  Function-preserving and never
-    size-increasing beyond the Ω.A reshaping itself.
+    parallel in-memory target.  Convenience wrapper for
+    ``rewrite_for_plim(mig, RewriteOptions(objective="depth"))``; pass
+    ``engine="rebuild"`` for the original pass-pipeline oracle.
+    Function-preserving and never size-increasing beyond the Ω.A
+    reshaping itself.
     """
-    best = mig
-    best_depth = depth(mig)
-    for _ in range(effort):
-        candidate = pass_majority(pass_associativity_depth(best))
-        candidate_depth = depth(candidate)
-        if candidate_depth >= best_depth:
-            break
-        best, best_depth = candidate, candidate_depth
-    return best
+    return rewrite_for_plim(
+        mig, RewriteOptions(effort=effort, engine=engine, objective="depth")
+    )
 
 
 def pass_inverter_cost_aware(mig: Mig, po_negation_cost: int = 0) -> Mig:

@@ -1,6 +1,8 @@
 """Ablation studies called out in DESIGN.md (experiments X1–X5).
 
 * :func:`effort_sweep` — rewriting effort (Algorithm 1 cycles) vs. cost.
+* :func:`objective_ablation` — size vs. depth vs. balanced rewriting
+  objectives (#N/#D/#I/#R trade-off of the multi-objective loop).
 * :func:`selection_ablation` — scheduling/translation rule combinations on
   as-built vs. shuffled gate order.
 * :func:`allocator_ablation` — FIFO vs. LIFO vs. FRESH allocation and the
@@ -17,8 +19,9 @@ from typing import Optional, Sequence
 from repro.circuits.registry import benchmark_info
 from repro.core.batch import parallel_map
 from repro.core.compiler import CompilerOptions, PlimCompiler
-from repro.core.rewriting import RewriteOptions, rewrite_for_plim
+from repro.core.rewriting import OBJECTIVES, RewriteOptions, rewrite_for_plim
 from repro.eval.reporting import format_table
+from repro.mig.analysis import depth as analysis_depth
 from repro.mig.context import AnalysisContext
 from repro.mig.graph import Mig
 from repro.mig.reorder import shuffle_topological
@@ -37,6 +40,7 @@ class EffortPoint:
     num_gates: int
     instructions: int
     rrams: int
+    depth: int = 0
 
 
 def effort_sweep(
@@ -58,15 +62,71 @@ def effort_sweep(
                 num_gates=rewritten.num_gates,
                 instructions=program.num_instructions,
                 rrams=program.num_rrams,
+                depth=analysis_depth(rewritten),
             )
         )
     return points
 
 
 def format_effort_sweep(name: str, points: Sequence[EffortPoint]) -> str:
-    rows = [[p.effort, p.num_gates, p.instructions, p.rrams] for p in points]
+    rows = [[p.effort, p.num_gates, p.depth, p.instructions, p.rrams] for p in points]
     return f"Effort sweep — {name}\n" + format_table(
-        ["effort", "#N", "#I", "#R"], rows
+        ["effort", "#N", "#D", "#I", "#R"], rows
+    )
+
+
+# ----------------------------------------------------------------------
+# X6: rewriting objective (size vs depth vs balanced)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ObjectivePoint:
+    objective: str
+    num_gates: int
+    depth: int
+    instructions: int
+    rrams: int
+
+
+def objective_ablation(
+    mig: Mig, rewrite_effort: int = 4, engine: str = "worklist"
+) -> list[ObjectivePoint]:
+    """Compile under each rewriting objective and record #N/#D/#I/#R.
+
+    ``size`` is the paper's Algorithm 1 (serial PLiM programs only care
+    about node count); ``depth`` optimizes the critical path for parallel
+    in-memory targets; ``balanced`` interleaves both to a joint fixed
+    point.
+    """
+    compiler = PlimCompiler(CompilerOptions(fix_output_polarity=False))
+    points = []
+    for objective in OBJECTIVES:
+        rewritten = rewrite_for_plim(
+            mig,
+            RewriteOptions(
+                effort=rewrite_effort, engine=engine, objective=objective
+            ),
+        )
+        program = compiler.compile(rewritten)
+        points.append(
+            ObjectivePoint(
+                objective=objective,
+                num_gates=rewritten.num_gates,
+                depth=analysis_depth(rewritten),
+                instructions=program.num_instructions,
+                rrams=program.num_rrams,
+            )
+        )
+    return points
+
+
+def format_objective_ablation(name: str, points: Sequence[ObjectivePoint]) -> str:
+    rows = [
+        [p.objective, p.num_gates, p.depth, p.instructions, p.rrams] for p in points
+    ]
+    return f"Rewriting-objective ablation — {name}\n" + format_table(
+        ["objective", "#N", "#D", "#I", "#R"], rows
     )
 
 
@@ -244,6 +304,8 @@ def _ablation_section(payload) -> str:
     mig = benchmark_info(name).build(scale)
     if section == "effort":
         return format_effort_sweep(name, effort_sweep(mig))
+    if section == "objective":
+        return format_objective_ablation(name, objective_ablation(mig))
     if section == "selection":
         return format_selection_ablation(name, selection_ablation(mig))
     if section == "allocator":
@@ -253,7 +315,7 @@ def _ablation_section(payload) -> str:
     raise ValueError(f"unknown ablation section {section!r}")
 
 
-ABLATION_SECTIONS = ("effort", "selection", "allocator", "polarity")
+ABLATION_SECTIONS = ("effort", "objective", "selection", "allocator", "polarity")
 
 
 def run_benchmark_ablations(

@@ -53,6 +53,10 @@ class Table1Row:
     rewr_r: int
     full_i: int
     full_r: int
+    #: MIG depth before/after rewriting (not a paper column — depth is what
+    #: parallel in-memory targets care about; serial PLiM only needs #N)
+    naive_d: int = 0
+    rewr_d: int = 0
     seconds: float = 0.0
 
     @property
@@ -98,6 +102,10 @@ class Table1Result:
             rewr_r=s("rewr_r"),
             full_i=s("full_i"),
             full_r=s("full_r"),
+            # depth is not additive across circuits; the Σ row reports the
+            # deepest circuit (rendered specially by the formatters)
+            naive_d=max((r.naive_d for r in self.rows), default=0),
+            rewr_d=max((r.rewr_d for r in self.rows), default=0),
             seconds=s("seconds"),
         )
 
@@ -149,6 +157,8 @@ def measure_mig(
         rewr_r=rewr_prog.num_rrams,
         full_i=full_prog.num_instructions,
         full_r=full_prog.num_rrams,
+        naive_d=context.cleaned().depth,
+        rewr_d=rewritten_context.depth,
         seconds=time.perf_counter() - start,
     )
 
@@ -235,8 +245,8 @@ def run_table1(
 
 _HEADERS = [
     "Benchmark", "PI/PO",
-    "#N", "#I", "#R",
-    "#N'", "#I'", "I impr.", "#R'", "R impr.",
+    "#N", "#D", "#I", "#R",
+    "#N'", "#D'", "#I'", "I impr.", "#R'", "R impr.",
     "#I''", "I impr.", "#R''", "R impr.",
 ]
 
@@ -245,18 +255,26 @@ def _row_cells(row: Table1Row) -> list:
     return [
         row.name,
         f"{row.pi}/{row.po}",
-        row.naive_n, row.naive_i, row.naive_r,
-        row.rewr_n, row.rewr_i, f"{row.rewr_i_impr:.2f}%",
+        row.naive_n, row.naive_d, row.naive_i, row.naive_r,
+        row.rewr_n, row.rewr_d, row.rewr_i, f"{row.rewr_i_impr:.2f}%",
         row.rewr_r, f"{row.rewr_r_impr:.2f}%",
         row.full_i, f"{row.full_i_impr:.2f}%",
         row.full_r, f"{row.full_r_impr:.2f}%",
     ]
 
 
+def _sum_cells(total: Table1Row) -> list:
+    """Σ-row cells: depth columns show ``max <d>`` (depth is not additive)."""
+    cells = _row_cells(total)
+    cells[3] = f"max {total.naive_d}"
+    cells[7] = f"max {total.rewr_d}"
+    return cells
+
+
 def format_table1(result: Table1Result, with_paper: bool = True) -> str:
     """Paper-layout rendering of the reproduction, plus the paper deltas."""
     rows = [_row_cells(r) for r in result.rows]
-    rows.append(_row_cells(result.total()))
+    rows.append(_sum_cells(result.total()))
     table = format_table(_HEADERS, rows)
     header = (
         f"Table 1 reproduction — scale={result.scale}, effort={result.effort}, "
@@ -280,7 +298,7 @@ def format_table1(result: Table1Result, with_paper: bool = True) -> str:
 def table1_csv(result: Table1Result) -> str:
     """CSV export of the reproduction rows (plus the Σ row)."""
     rows = [_row_cells(r) for r in result.rows]
-    rows.append(_row_cells(result.total()))
+    rows.append(_sum_cells(result.total()))
     return to_csv(_HEADERS, rows)
 
 
@@ -291,8 +309,8 @@ def paper_rows_table(names: Optional[Sequence[str]] = None) -> str:
         p = benchmark_info(name).paper
         rows.append([
             name, f"{p.pi}/{p.po}",
-            p.naive_n, p.naive_i, p.naive_r,
-            p.rewr_n, p.rewr_i, f"{improvement(p.naive_i, p.rewr_i):.2f}%",
+            p.naive_n, "-", p.naive_i, p.naive_r,
+            p.rewr_n, "-", p.rewr_i, f"{improvement(p.naive_i, p.rewr_i):.2f}%",
             p.rewr_r, f"{improvement(p.naive_r, p.rewr_r):.2f}%",
             p.full_i, f"{improvement(p.naive_i, p.full_i):.2f}%",
             p.full_r, f"{improvement(p.naive_r, p.full_r):.2f}%",

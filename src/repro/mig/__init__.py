@@ -11,13 +11,20 @@ from repro.mig.signal import Signal
 from repro.mig.graph import Mig
 from repro.mig.build import LogicBuilder
 from repro.mig.context import AnalysisContext
-from repro.mig.simulate import simulate, truth_tables
+from repro.mig.simulate import (
+    output_tables,
+    simulate,
+    simulate_outputs,
+    truth_tables,
+)
 
 __all__ = [
     "Signal",
     "Mig",
     "LogicBuilder",
     "AnalysisContext",
+    "output_tables",
     "simulate",
+    "simulate_outputs",
     "truth_tables",
 ]

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.errors import MigError
 from repro.mig.analysis import fanout_counts
 from repro.mig.graph import Mig
 from repro.mig.signal import Signal
@@ -567,6 +568,76 @@ def try_associativity(
             affected = mig.replace_node(v, replacement)
             if mig.is_gate(replacement.node):
                 affected.add(replacement.node)
+            return affected
+    return set()
+
+
+def try_associativity_depth(
+    mig: Mig, v: int, fanouts: Optional[list[int]] = None
+) -> set[int]:
+    """Ω.A at ``v`` targeting *depth* — the local form of
+    :func:`pass_associativity_depth`.
+
+    In ``⟨x u ⟨y u z⟩⟩`` the inner gate adds a level on top of ``z``; when
+    the swap ``⟨z u ⟨y u x⟩⟩`` strictly lowers ``v``'s level, it takes the
+    late-arriving ``z`` off the inner critical path.  Requires incremental
+    level maintenance (:meth:`~repro.mig.graph.Mig.enable_levels`): the
+    accept test reads exact current levels, and because the swap strictly
+    lowers ``v``'s level while no other node's level can rise, global
+    depth is monotonically non-increasing under this rule.  Size-neutral
+    beyond Ω.A itself: the single-fanout inner gate is freed whenever the
+    replacement commits.
+    """
+    if mig._levels is None:
+        raise MigError(
+            "try_associativity_depth needs level maintenance; "
+            "call enable_levels() first"
+        )
+    triple = mig.children(v)
+    children = mig._children  # bound once: this match loop is the hot path
+    levels = mig._levels
+    lv = levels[v]
+    for k in range(3):
+        g = triple[k]
+        n = int(g) >> 1
+        # A swap can only lower v's level when the inner gate is the
+        # critical child — cheap reject before any pattern matching.
+        if levels[n] + 1 != lv:
+            continue
+        if children[n] is None or _fanout(mig, fanouts, n) != 1:
+            continue
+        inner = effective_children(mig, g)
+        others = [triple[i] for i in range(3) if i != k]
+        for u_pos in range(2):
+            u = others[u_pos]
+            x = others[1 - u_pos]
+            if u not in inner:
+                continue
+            rest = list(inner)
+            rest.remove(u)
+            # shallower inner child is y, deeper is z
+            y, z = sorted(rest, key=lambda s: levels[int(s) >> 1])
+            lu, lx = levels[int(u) >> 1], levels[int(x) >> 1]
+            ly, lz = levels[int(y) >> 1], levels[int(z) >> 1]
+            before = 1 + max(lx, lu, 1 + max(ly, lu, lz))
+            after = 1 + max(lz, lu, 1 + max(ly, lu, lx))
+            if after >= before:
+                continue  # no strict depth win
+            first_new = len(mig)
+            swapped = mig.add_maj(y, u, x)
+            replacement = mig.add_maj(z, u, swapped)
+            for node in range(first_new, len(mig)):
+                mig.inherit_order(node, v)
+            if replacement.node == v:  # the swap reproduced v itself
+                mig.release_if_dead(swapped.node)
+                continue
+            affected = mig.replace_node(v, replacement)
+            # ``replacement`` may have simplified or hashed past the
+            # freshly created ``swapped``; sweep it if nothing reads it.
+            mig.release_if_dead(swapped.node)
+            affected.update(
+                n for n in (swapped.node, replacement.node) if mig.is_gate(n)
+            )
             return affected
     return set()
 

@@ -13,19 +13,31 @@ from repro.mig.graph import Mig
 
 
 def levels(mig: Mig) -> dict[int, int]:
-    """Topological level of every node (constant and PIs are level 0)."""
+    """Topological level of every node (constant and PIs are level 0).
+
+    Gates are visited in :meth:`~repro.mig.graph.Mig.topo_gates` order so
+    the result is correct even after in-place rewriting, when index order
+    is no longer topological.
+    """
     result = {0: 0}
     for pi in mig.pis():
         result[pi.node] = 0
-    for v in mig.gates():
+    for v in mig.topo_gates():
         result[v] = 1 + max(result[c.node] for c in mig.children(v))
     return result
 
 
 def depth(mig: Mig) -> int:
-    """Number of gate levels on the longest PI→PO path."""
+    """Number of gate levels on the longest PI→PO path.
+
+    Graphs with incremental level maintenance enabled
+    (:meth:`~repro.mig.graph.Mig.enable_levels`) answer from the
+    maintained table in O(#POs); everything else pays one traversal.
+    """
     if mig.num_gates == 0:
         return 0
+    if mig.has_levels:
+        return mig.current_depth()
     lv = levels(mig)
     if mig.num_pos:
         return max((lv[po.node] for po in mig.pos()), default=0)

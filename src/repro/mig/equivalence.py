@@ -18,7 +18,7 @@ from typing import Optional
 
 from repro.errors import MigError
 from repro.mig.graph import Mig
-from repro.mig.simulate import simulate, truth_tables
+from repro.mig.simulate import output_tables, simulate_outputs
 from repro.utils.bits import full_mask
 
 
@@ -30,6 +30,7 @@ class EquivalenceResult:
     mode: str  # "exhaustive" or "random"
     counterexample: Optional[dict[str, int]] = None
     failing_output: Optional[str] = None
+    failing_output_index: Optional[int] = None
 
     def __bool__(self) -> bool:
         return self.equivalent
@@ -53,16 +54,20 @@ def equivalent(
 ) -> EquivalenceResult:
     """Check that ``a`` and ``b`` compute the same functions.
 
-    Inputs/outputs are matched by name and must agree.  Exhaustive up to
-    ``exhaustive_limit`` inputs, randomized beyond.
+    Inputs/outputs are matched by name and must agree; output *values*
+    are compared by position, so duplicate-named outputs cannot shadow
+    each other (a name-keyed comparison would silently collapse them and
+    pass on circuits that differ on the shadowed output).  Exhaustive up
+    to ``exhaustive_limit`` inputs, randomized beyond.
     """
     _check_interfaces(a, b)
+    names = a.po_names()
     if a.num_pis <= exhaustive_limit:
-        tables_a = truth_tables(a)
-        tables_b = truth_tables(b)
-        for name in a.po_names():
-            if tables_a[name] != tables_b[name]:
-                pattern = _first_diff_bit(tables_a[name], tables_b[name])
+        tables_a = output_tables(a)
+        tables_b = output_tables(b)
+        for index, (table_a, table_b) in enumerate(zip(tables_a, tables_b)):
+            if table_a != table_b:
+                pattern = _first_diff_bit(table_a, table_b)
                 assignment = {
                     pi: (pattern >> i) & 1 for i, pi in enumerate(a.pi_names())
                 }
@@ -70,7 +75,8 @@ def equivalent(
                     equivalent=False,
                     mode="exhaustive",
                     counterexample=assignment,
-                    failing_output=name,
+                    failing_output=names[index],
+                    failing_output_index=index,
                 )
         return EquivalenceResult(equivalent=True, mode="exhaustive")
 
@@ -80,17 +86,18 @@ def equivalent(
         assignment = {
             pi: rng.getrandbits(patterns_per_round) & mask for pi in a.pi_names()
         }
-        out_a = simulate(a, assignment, patterns_per_round)
-        out_b = simulate(b, assignment, patterns_per_round)
-        for name in a.po_names():
-            if out_a[name] != out_b[name]:
-                pattern = _first_diff_bit(out_a[name], out_b[name])
+        out_a = simulate_outputs(a, assignment, patterns_per_round)
+        out_b = simulate_outputs(b, assignment, patterns_per_round)
+        for index, (value_a, value_b) in enumerate(zip(out_a, out_b)):
+            if value_a != value_b:
+                pattern = _first_diff_bit(value_a, value_b)
                 cex = {pi: (assignment[pi] >> pattern) & 1 for pi in a.pi_names()}
                 return EquivalenceResult(
                     equivalent=False,
                     mode="random",
                     counterexample=cex,
-                    failing_output=name,
+                    failing_output=names[index],
+                    failing_output_index=index,
                 )
     return EquivalenceResult(equivalent=True, mode="random")
 

@@ -33,6 +33,11 @@ because replacements may point a low-index parent at a high-index node, the
 index order is no longer topological after the first replacement, and
 order-sensitive consumers must iterate :meth:`topo_gates` instead of
 :meth:`gates`.
+
+Depth-oriented rewriting additionally opts into incremental level
+maintenance (:meth:`Mig.enable_levels`): every structural edit re-levels
+only the touched cone, so :meth:`Mig.level_of` / :meth:`Mig.current_depth`
+answer in O(1) instead of a full traversal.
 """
 
 from __future__ import annotations
@@ -78,6 +83,10 @@ class Mig:
         # (see topo_gates)
         self._order: Optional[list[tuple[int, ...]]] = None
         self._edit_count: int = 0
+        # per-node topological levels, maintained incrementally once
+        # enable_levels() is called (depth objective); None until then so
+        # pure size rewriting pays nothing for level bookkeeping
+        self._levels: Optional[list[int]] = None
         self._topo_dirty: bool = False
         # cached topo_gates order for dirty graphs, keyed on a shape
         # version (bumped by node creation, rewiring and tombstoning;
@@ -106,6 +115,8 @@ class Mig:
             self._refs.append(0)
             self._parents.append(set())
             self._order.append((index,))
+        if self._levels is not None:
+            self._levels.append(0)
         return Signal.make(index)
 
     def add_maj(self, a: Signal, b: Signal, c: Signal, *, simplify: bool = True) -> Signal:
@@ -137,6 +148,8 @@ class Mig:
                 self._refs[s.node] += 1
                 self._parents[s.node].add(index)
             self._hist_add((a, b, c))
+        if self._levels is not None:
+            self._levels.append(1 + max(self._levels[s.node] for s in (a, b, c)))
         return Signal.make(index)
 
     def add_po(self, signal: Signal, name: Optional[str] = None) -> int:
@@ -386,6 +399,82 @@ class Mig:
                 "this operation needs in-place maintenance; call enable_inplace() first"
             )
 
+    @property
+    def has_levels(self) -> bool:
+        """True once :meth:`enable_levels` has been called."""
+        return self._levels is not None
+
+    def enable_levels(self) -> None:
+        """Switch on incremental per-node level maintenance.
+
+        Requires in-place maintenance (:meth:`enable_inplace`).  From then
+        on every structural edit updates the topological level of exactly
+        the touched cone — :meth:`replace_node` propagates level changes
+        only through the ancestors whose level actually moved — so depth
+        queries (:meth:`level_of`, :meth:`current_depth`) are O(1) instead
+        of a full traversal.  Off by default: pure size rewriting pays
+        nothing for the bookkeeping.  Idempotent.
+        """
+        self._require_inplace()
+        if self._levels is not None:
+            return
+        levels = [0] * len(self._children)
+        for v in self.topo_gates():
+            levels[v] = 1 + max(levels[s.node] for s in self._children[v])
+        self._levels = levels
+
+    def level_of(self, node: int) -> int:
+        """Topological level of ``node`` (constant and PIs are level 0)."""
+        if self._levels is None:
+            raise MigError(
+                "levels are not maintained; call enable_levels() first"
+            )
+        return self._levels[node]
+
+    def current_depth(self) -> int:
+        """Gate levels on the longest PI→PO path, from maintained levels.
+
+        O(#POs): reads the incrementally maintained level table instead of
+        traversing the graph (:func:`repro.mig.analysis.depth` does the
+        full traversal for graphs without level maintenance).
+        """
+        if self._levels is None:
+            raise MigError(
+                "levels are not maintained; call enable_levels() first"
+            )
+        if self.num_gates == 0:
+            return 0
+        if self._pos:
+            return max(self._levels[po.node] for po in self._pos)
+        return max(
+            self._levels[v]
+            for v in range(1, len(self._children))
+            if self._children[v] is not None
+        )
+
+    def _propagate_levels(self, start: int) -> None:
+        """Recompute levels upward from ``start`` after its children changed.
+
+        Only ancestors whose level actually changes are visited, so the
+        cost is bounded by the touched cone, not the graph size.
+        """
+        levels = self._levels
+        if levels is None:
+            return
+        stack = [start]
+        while stack:
+            v = stack.pop()
+            triple = self._children[v]
+            if triple is None:
+                continue
+            new_level = 1 + max(levels[s.node] for s in triple)
+            if new_level == levels[v]:
+                continue
+            levels[v] = new_level
+            for p in self._parents[v]:
+                if self._children[p] is not None:
+                    stack.append(p)
+
     def fanout_of(self, node: int) -> int:
         """Current reader-edge count (gate children + POs) of ``node``."""
         self._require_inplace()
@@ -629,6 +718,8 @@ class Mig:
         self._children[p] = new_triple
         self._edit_count += 1
         self._shape_version += 1
+        if self._levels is not None:
+            self._propagate_levels(p)
         collapse = self._simplify_triple(*new_triple)
         if collapse is not None:
             return collapse

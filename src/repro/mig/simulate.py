@@ -27,6 +27,10 @@ def simulate(
     order); each packed value carries ``num_patterns`` patterns.  Returns a
     dict from PO name to packed output value.
 
+    Raises :class:`~repro.errors.MigError` when two outputs share a name —
+    a name-keyed dict would silently shadow one of them; use
+    :func:`simulate_outputs` (index-keyed) for such graphs.
+
     >>> from repro.mig.graph import Mig
     >>> m = Mig()
     >>> a, b, c = m.add_pi("a"), m.add_pi("b"), m.add_pi("c")
@@ -34,12 +38,45 @@ def simulate(
     >>> simulate(m, {"a": 1, "b": 1, "c": 0})
     {'f': 1}
     """
+    names = mig.po_names()
+    duplicate = _first_duplicate(names)
+    if duplicate is not None:
+        raise MigError(
+            f"duplicate primary output name {duplicate!r}: a name-keyed "
+            "result would shadow one output; use simulate_outputs()"
+        )
     values = _signal_values(mig, pi_values, num_patterns)
     mask = full_mask(num_patterns)
     results: dict[str, int] = {}
-    for po, name in zip(mig.pos(), mig.po_names()):
+    for po, name in zip(mig.pos(), names):
         results[name] = _fetch(values, int(po), mask)
     return results
+
+
+def simulate_outputs(
+    mig: Mig,
+    pi_values: Mapping[str, int] | Sequence[int],
+    num_patterns: int = 1,
+) -> list[int]:
+    """Like :func:`simulate` but returns outputs by index, not by name.
+
+    Sound for graphs with duplicate output names (where the name-keyed
+    dict of :func:`simulate` would collapse entries); the equivalence
+    checker compares outputs positionally through this function.
+    """
+    values = _signal_values(mig, pi_values, num_patterns)
+    mask = full_mask(num_patterns)
+    return [_fetch(values, int(po), mask) for po in mig.pos()]
+
+
+def _first_duplicate(names) -> Optional[str]:
+    """First name appearing more than once, or ``None``."""
+    seen: set = set()
+    for name in names:
+        if name in seen:
+            return name
+        seen.add(name)
+    return None
 
 
 def simulate_signals(
@@ -120,7 +157,18 @@ def truth_tables(mig: Mig) -> dict[str, int]:
     The PIs are enumerated in declaration order; PI ``i`` toggles with
     period ``2**(i+1)`` (the usual truth-table variable columns).  Only
     sensible for modest input counts — the table has ``2**num_pis`` rows.
+    Like :func:`simulate`, raises on duplicate output names (see
+    :func:`output_tables` for the index-keyed variant).
     """
+    return simulate(mig, *_truth_table_assignment(mig))
+
+
+def output_tables(mig: Mig) -> list[int]:
+    """Full truth tables by output *index* — sound under duplicate names."""
+    return simulate_outputs(mig, *_truth_table_assignment(mig))
+
+
+def _truth_table_assignment(mig: Mig) -> tuple[dict[str, int], int]:
     n = mig.num_pis
     if n > 24:
         raise MigError(f"truth table over {n} inputs would have 2^{n} rows; use simulate()")
@@ -128,7 +176,7 @@ def truth_tables(mig: Mig) -> dict[str, int]:
     assignment = {
         name: pattern_mask(i, n) for i, name in enumerate(mig.pi_names())
     }
-    return simulate(mig, assignment, patterns)
+    return assignment, patterns
 
 
 def evaluate(mig: Mig, assignment: Mapping[str, int]) -> dict[str, int]:

@@ -22,9 +22,49 @@ def xor_mig(flip: bool = False) -> Mig:
     return mig
 
 
+def duplicate_po_mig(second_output_differs: bool) -> Mig:
+    """Two outputs both named ``f``; the second one optionally differs."""
+    mig = Mig()
+    a, b = mig.add_pi("a"), mig.add_pi("b")
+    g = mig.add_maj(a, b, Signal.CONST0)
+    mig.add_po(g, "f")
+    mig.add_po(~g if second_output_differs else g, "f")
+    return mig
+
+
 class TestEquivalence:
     def test_identical(self):
         assert equivalent(xor_mig(), xor_mig())
+
+    def test_duplicate_po_names_compared_by_index(self):
+        """Regression: duplicate-named outputs used to collapse into one
+        dict entry, so two circuits differing only on the shadowed first
+        output passed the check.  Comparison is positional now."""
+        same = duplicate_po_mig(second_output_differs=False)
+        differs = duplicate_po_mig(second_output_differs=True)
+        result = equivalent(same, differs)
+        assert not result
+        assert result.failing_output == "f"
+        assert result.failing_output_index == 1
+
+    def test_duplicate_po_names_equivalent_when_equal(self):
+        assert equivalent(
+            duplicate_po_mig(second_output_differs=True),
+            duplicate_po_mig(second_output_differs=True),
+        )
+
+    def test_shadowed_first_output_detected(self):
+        """The *first* of two same-named outputs differs — exactly the
+        entry a name-keyed dict would shadow."""
+        base = duplicate_po_mig(second_output_differs=False)
+        shadowed = Mig()
+        a, b = shadowed.add_pi("a"), shadowed.add_pi("b")
+        g = shadowed.add_maj(a, b, Signal.CONST0)
+        shadowed.add_po(~g, "f")
+        shadowed.add_po(g, "f")
+        result = equivalent(base, shadowed)
+        assert not result
+        assert result.failing_output_index == 0
 
     def test_structural_variants(self):
         a_mig = xor_mig()

@@ -129,6 +129,15 @@ class TestTable1Harness:
         assert "ctrl" in text
         assert "SUM" in text
 
+    def test_sum_row_depth_is_max_not_sum(self):
+        """Depth is not additive across circuits: the Σ row reports the
+        deepest circuit, marked as such."""
+        result = run_table1(names=["ctrl", "dec"], scale="ci")
+        total = result.total()
+        assert total.naive_d == max(r.naive_d for r in result.rows)
+        assert total.rewr_d == max(r.rewr_d for r in result.rows)
+        assert f"max {total.naive_d}" in format_table1(result)
+
     def test_csv_export(self):
         result = run_table1(names=["ctrl"], scale="ci")
         csv_text = table1_csv(result)

@@ -5,7 +5,14 @@ import pytest
 from repro.errors import MigError
 from repro.mig.graph import Mig
 from repro.mig.signal import Signal
-from repro.mig.simulate import evaluate, simulate, simulate_signals, truth_tables
+from repro.mig.simulate import (
+    evaluate,
+    output_tables,
+    simulate,
+    simulate_outputs,
+    simulate_signals,
+    truth_tables,
+)
 
 
 @pytest.fixture
@@ -91,6 +98,38 @@ class TestTruthTables:
         mig.add_po(mig.pis()[0], "f")
         with pytest.raises(MigError):
             truth_tables(mig)
+
+
+class TestDuplicateOutputNames:
+    def duplicate_mig(self):
+        mig = Mig()
+        a, b = mig.add_pi("a"), mig.add_pi("b")
+        g = mig.add_maj(a, b, Signal.CONST0)
+        mig.add_po(g, "f")
+        mig.add_po(~g, "f")  # same name, different function
+        return mig
+
+    def test_simulate_rejects_duplicate_names(self):
+        """Regression: the name-keyed dict silently dropped the first of
+        two same-named outputs."""
+        with pytest.raises(MigError, match="duplicate primary output"):
+            simulate(self.duplicate_mig(), {"a": 1, "b": 1})
+
+    def test_truth_tables_reject_duplicate_names(self):
+        with pytest.raises(MigError, match="duplicate primary output"):
+            truth_tables(self.duplicate_mig())
+
+    def test_simulate_outputs_by_index(self):
+        values = simulate_outputs(self.duplicate_mig(), {"a": 1, "b": 1})
+        assert values == [1, 0]
+
+    def test_output_tables_by_index(self):
+        tables = output_tables(self.duplicate_mig())
+        assert tables[0] == 0b1000  # a AND b
+        assert tables[1] == 0b0111
+
+    def test_output_tables_match_truth_tables_without_duplicates(self, maj3):
+        assert output_tables(maj3) == [truth_tables(maj3)["m"]]
 
 
 class TestSimulateSignals:
