@@ -1,0 +1,135 @@
+"""Pareto-sweep benches (A3): the (#N, #D) frontier on the Table 1 suite.
+
+Measures :func:`repro.core.pareto.pareto_sweep` throughput on
+representative circuits (pytest-benchmark mode) and — run directly
+(``python benchmarks/bench_pareto.py [--scale ci]``) — sweeps **every**
+Table 1 registry circuit, asserting the acceptance bar per circuit:
+
+* every frontier point equivalence-checks against the input,
+* no returned point is dominated by another,
+* every depth-budgeted point respects its budget (``depth <= budget``),
+* both unconstrained anchors (``objective="size"`` / ``"depth"``) were
+  swept (their extremes-match cross-check lives in ``tests/test_pareto.py``).
+
+The sweep is written to ``BENCH_pareto.json`` next to this file, so
+successive PRs have a machine-readable frontier trajectory.
+"""
+
+try:
+    import pytest
+except ModuleNotFoundError:  # standalone snapshot mode needs no pytest
+    pytest = None
+
+from repro.circuits.registry import BENCHMARK_NAMES, benchmark_info
+from repro.core.pareto import ParetoFront, pareto_sweep
+
+REPRESENTATIVE = ["i2c", "router", "int2float"]
+
+
+def check_front(front: ParetoFront) -> None:
+    """The acceptance bar shared by the pytest and snapshot modes.
+
+    (The stronger cross-check — frontier extremes vs *independently*
+    recomputed ``objective="size"``/``"depth"`` rewrites — lives in
+    ``tests/test_pareto.py``; repeating those rewrites here would double
+    the cost of every snapshot run for a structurally guaranteed
+    property, since the sweep always includes both anchors.)
+    """
+    assert front.points, "empty frontier"
+    candidates = (*front.points, *front.dominated)
+    for p in candidates:
+        assert p.equivalence in ("exhaustive", "random")
+        if p.budget is not None:
+            assert p.depth <= p.budget, (p.label, p.depth, p.budget)
+    for p in front.points:
+        for q in front.points:
+            assert not p.dominates(q), (p, q)
+    assert {"size", "depth"} <= {p.label for p in candidates}
+
+
+if pytest is not None:
+
+    @pytest.mark.parametrize("name", REPRESENTATIVE)
+    def test_pareto_sweep_throughput(benchmark, name, scale):
+        mig = benchmark_info(name).build(scale)
+        front = benchmark(pareto_sweep, mig, workers=1, max_points=4)
+        benchmark.extra_info.update(
+            {
+                "scale": scale,
+                "front_points": len(front.points),
+                "dominated": len(front.dominated),
+                "depth_span": [front.depth_point.depth, front.size_point.depth],
+                "gates_span": [front.size_point.num_gates, front.depth_point.num_gates],
+            }
+        )
+        check_front(front)
+
+
+# ----------------------------------------------------------------------
+# standalone mode: machine-readable frontier trajectory (BENCH_pareto.json)
+# ----------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    """Sweep every registry circuit and write BENCH_pareto.json."""
+    import argparse
+    import json
+    import platform
+    import time
+    from pathlib import Path
+
+    from repro._version import __version__
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("--scale", default="ci", choices=("ci", "default", "paper"))
+    parser.add_argument(
+        "--workers", type=int, default=1, help="process pool per sweep (default 1)"
+    )
+    parser.add_argument(
+        "--max-points", type=int, default=8, help="intermediate budget cap per circuit"
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(Path(__file__).with_name("BENCH_pareto.json")),
+        help="output path (default: BENCH_pareto.json next to this file)",
+    )
+    args = parser.parse_args(argv)
+
+    circuits = []
+    wall_start = time.perf_counter()
+    for name in BENCHMARK_NAMES:
+        front = pareto_sweep(
+            (name, args.scale),
+            workers=args.workers,
+            max_points=args.max_points,
+        )
+        check_front(front)
+        row = front.to_dict()
+        row["front_points"] = len(front.points)
+        circuits.append(row)
+        span = " -> ".join(
+            f"(N={p.num_gates}, D={p.depth})" for p in front.points
+        )
+        print(
+            f"{name}: {len(front.points)} non-dominated point(s) {span} "
+            f"[{front.seconds:.2f}s]"
+        )
+    wall = time.perf_counter() - wall_start
+
+    report = {
+        "bench": "pareto",
+        "version": __version__,
+        "python": platform.python_version(),
+        "scale": args.scale,
+        "max_points": args.max_points,
+        "wall_seconds": round(wall, 4),
+        "circuits": circuits,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output} ({len(circuits)} rows, {wall:.2f}s wall)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,15 +21,22 @@ It contains:
 * ``repro.eval`` — the experiment harness that regenerates every table and
   figure of the paper.
 
-Quickstart::
+See ``docs/architecture.md`` for the module map and data flow,
+``docs/rewriting.md`` for the rewriting engines/objectives, and
+``docs/cli.md`` for the ``plimc`` command line.
 
-    from repro import Mig, compile_mig
+Quickstart — build a majority function, compile it, inspect the counts
+(the example is a doctest; CI executes it):
 
-    mig = Mig()
-    a, b, c = (mig.add_pi(n) for n in "abc")
-    mig.add_po(mig.add_maj(a, b, c), "maj")
-    result = compile_mig(mig)
-    print(result.program.listing())
+    >>> from repro import Mig, compile_mig
+    >>> mig = Mig()
+    >>> a, b, c = (mig.add_pi(n) for n in "abc")
+    >>> _ = mig.add_po(mig.add_maj(a, b, c), "maj")
+    >>> result = compile_mig(mig)   # Algorithm 1 rewrite + Algorithm 2 compile
+    >>> result
+    <CompileResult: N=1 I=5 R=2>
+    >>> print(result.program.listing())  # doctest: +ELLIPSIS
+    01: ...
 """
 
 from repro._version import __version__
@@ -37,6 +44,7 @@ from repro.mig.graph import Mig
 from repro.mig.context import AnalysisContext
 from repro.mig.signal import Signal
 from repro.core.batch import BatchResult, compile_many
+from repro.core.pareto import ParetoFront, ParetoPoint, pareto_sweep
 from repro.core.pipeline import CompileResult, compile_mig
 from repro.core.compiler import CompilerOptions, PlimCompiler
 from repro.core.rewriting import RewriteOptions, rewrite_depth, rewrite_for_plim
@@ -48,6 +56,8 @@ __all__ = [
     "AnalysisContext",
     "BatchResult",
     "Mig",
+    "ParetoFront",
+    "ParetoPoint",
     "Signal",
     "Program",
     "PlimMachine",
@@ -57,6 +67,7 @@ __all__ = [
     "RewriteOptions",
     "compile_mig",
     "compile_many",
+    "pareto_sweep",
     "rewrite_depth",
     "rewrite_for_plim",
 ]

@@ -8,12 +8,14 @@ Subcommands::
     plimc run <program.plim> --set a=1 --set b=0 ...
     plimc bench <name> [--scale ci|default|paper]
     plimc batch <circuit|name>... [--configs full,naive] [--workers N] [--json]
+    plimc pareto <circuit|name> [--scale ...] [--workers N] [--max-points K] [--json]
     plimc table1 [--scale ...] [--shuffled] [--csv] [--workers N]
     plimc fig3
     plimc ablate <name> [--scale ...] [--workers N]
 
 Circuit files are detected by extension: ``.mig`` (native), ``.blif``,
-``.aag`` (ASCII AIGER).
+``.aag`` (ASCII AIGER).  ``plimc <subcommand> --help`` documents every
+flag; the full walkthrough with example output lives in ``docs/cli.md``.
 """
 
 from __future__ import annotations
@@ -56,6 +58,24 @@ def load_circuit(path: str) -> Mig:
             f"unknown circuit format {suffix!r}; expected one of {sorted(READERS)}"
         ) from None
     return reader(path)
+
+
+def _resolve_cli_circuit(item: str, scale: str):
+    """A registry benchmark name or circuit file → ``(spec, display name)``.
+
+    The spec is what the batch/pareto drivers accept: a ``(name, scale)``
+    pair for registry benchmarks (resolved inside the workers) or a loaded
+    :class:`Mig` for circuit files.
+    """
+    if item in BENCHMARK_NAMES:
+        return (item, scale), item
+    if Path(item).suffix.lower() in READERS:
+        mig = load_circuit(item)
+        return mig, (mig.name or item)
+    raise ReproError(
+        f"{item!r} is neither a registry benchmark nor a known "
+        f"circuit file; benchmarks: {BENCHMARK_NAMES}"
+    )
 
 
 def _cmd_compile(args) -> int:
@@ -214,17 +234,7 @@ def _cmd_batch(args) -> int:
             )
         option_sets[label] = BATCH_CONFIGS[label]()
 
-    specs = []
-    for item in args.circuits:
-        if item in BENCHMARK_NAMES:
-            specs.append((item, args.scale))
-        elif Path(item).suffix.lower() in READERS:
-            specs.append(load_circuit(item))
-        else:
-            raise ReproError(
-                f"{item!r} is neither a registry benchmark nor a known "
-                f"circuit file; benchmarks: {BENCHMARK_NAMES}"
-            )
+    specs = [_resolve_cli_circuit(item, args.scale)[0] for item in args.circuits]
 
     results = compile_many(
         specs,
@@ -286,6 +296,33 @@ def _cmd_ablate(args) -> int:
     return 0
 
 
+def _cmd_pareto(args) -> int:
+    """Sweep the (#N, #D) Pareto frontier of one circuit."""
+    from repro.core.pareto import pareto_sweep
+    from repro.eval.ablations import format_pareto_front
+
+    spec, name = _resolve_cli_circuit(args.circuit, args.scale)
+    front = pareto_sweep(
+        spec,
+        effort=args.effort,
+        workers=args.workers,
+        max_points=args.max_points,
+        verify=not args.no_verify,
+        paper_accounting=not args.honest,
+    )
+    if args.json:
+        print(json.dumps(front.to_dict(), indent=2))
+    else:
+        print(format_pareto_front(name, front))
+        print(
+            f"# {len(front.points)} non-dominated point(s), "
+            f"{len(front.dominated)} dominated candidate(s), "
+            f"{front.seconds:.2f}s",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="plimc",
@@ -295,7 +332,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"plimc {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("compile", help="compile a circuit file to a PLiM program")
+    p = sub.add_parser(
+        "compile",
+        help="compile a circuit file to a PLiM program",
+        epilog="examples: plimc compile adder.blif --objective balanced;  "
+        "plimc compile c.mig --objective depth --engine rebuild (the oracle);  "
+        "use 'plimc pareto' to sweep the whole (#N, #D) trade-off",
+    )
     p.add_argument("circuit", help="input circuit (.mig, .blif, .aag)")
     p.add_argument("-o", "--output", help="write the .plim program here")
     p.add_argument("--no-rewrite", action="store_true", help="skip Algorithm 1")
@@ -391,6 +434,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--effort", type=int, default=4, help="rewriting effort (default 4)")
     p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     p.set_defaults(func=_cmd_batch)
+
+    p = sub.add_parser(
+        "pareto",
+        help="sweep the (#N, #D) Pareto frontier of depth-budgeted rewriting",
+        epilog="sweeps depth budgets from the depth-optimal point up to the "
+        "unconstrained size-optimal point, compiles every point through "
+        "Algorithm 2, equivalence-checks it, and keeps the non-dominated "
+        "(#N, #D) set; example: plimc pareto i2c --scale ci --workers 4",
+    )
+    p.add_argument(
+        "circuit",
+        help="registry benchmark name or circuit file (.mig, .blif, .aag)",
+    )
+    p.add_argument("--scale", choices=SCALES, default="default")
+    p.add_argument("--effort", type=int, default=4, help="rewriting effort (default 4)")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool size for the sweep points (default: one per CPU)",
+    )
+    p.add_argument(
+        "--max-points",
+        type=int,
+        default=None,
+        metavar="K",
+        help="cap on intermediate depth budgets (evenly subsampled; "
+        "0 = the two extremes only)",
+    )
+    p.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the per-point equivalence check against the input",
+    )
+    p.add_argument("--honest", action="store_true", help="charge output polarity fix-ups")
+    p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    p.set_defaults(func=_cmd_pareto)
 
     p = sub.add_parser("table1", help="reproduce the paper's Table 1")
     p.add_argument("--names", nargs="*", choices=BENCHMARK_NAMES, help="subset of benchmarks")

@@ -192,6 +192,15 @@ def compile_many(
     for any ``workers`` value.  ``workers=None`` uses all CPUs.  Programs
     are dropped from the results unless ``keep_programs=True`` (they are
     the bulky part of the pickle when results cross process boundaries).
+
+    Example — two registry circuits under the default option set:
+
+        >>> from repro import compile_many
+        >>> cells = compile_many([("ctrl", "ci"), ("router", "ci")])
+        >>> [(c.circuit, c.option_label) for c in cells]
+        [('ctrl', 'default'), ('router', 'default')]
+        >>> all(c.num_instructions > 0 for c in cells)
+        True
     """
     labelled = _label_option_sets(option_sets)
     payloads = [

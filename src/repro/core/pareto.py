@@ -1,0 +1,342 @@
+"""Pareto-front (#N, #D) synthesis sweep over depth-budgeted rewriting.
+
+The paper's Algorithm 1 minimizes MIG *size* (#N) because serial PLiM
+programs execute one RM3 per cycle; depth (#D) is what parallel in-memory
+targets pay for.  The two objectives conflict — Ω.D restructuring shrinks
+the graph but can deepen it — so a single operating point is the wrong
+deliverable.  :func:`pareto_sweep` explores the whole trade-off instead:
+
+1. anchor the sweep with the two extreme points — unconstrained
+   ``objective="size"`` rewriting (best #N, depth ``d_max``) and
+   ``objective="depth"`` rewriting (best depth ``d_min``);
+2. for every depth budget ``d`` in ``[d_min, d_max)``, run size rewriting
+   under the hard depth ceiling (``RewriteOptions.depth_budget`` — the
+   ``try_*`` rules reject any candidate that could push a PO level past
+   ``d``), starting from the depth-rewritten graph when the raw input is
+   already deeper than ``d``;
+3. compile every candidate through Algorithm 2 so each point is also
+   reported in PLiM terms (#I instructions, #R work RRAMs), and
+   equivalence-check it against the input;
+4. deduplicate to the non-dominated (#N, #D) set.
+
+Sweep points are independent, so they fan out over the same process-pool
+seam as :func:`repro.core.batch.compile_many` (``workers > 1``); results
+are deterministic regardless of worker count.
+
+Example::
+
+    >>> from repro.core.pareto import pareto_sweep
+    >>> front = pareto_sweep(("i2c", "ci"), workers=1)
+    >>> len(front.points) >= 1
+    True
+    >>> all(p.budget is None or p.depth <= p.budget for p in front)
+    True
+    >>> front.points == tuple(sorted(front.points, key=lambda p: p.depth))
+    True
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.batch import CircuitSpec, _resolve_spec, parallel_map
+from repro.core.compiler import CompilerOptions, PlimCompiler
+from repro.core.rewriting import RewriteOptions, rewrite_for_plim
+from repro.errors import MigError
+from repro.mig.analysis import depth as mig_depth
+from repro.mig.equivalence import equivalent
+from repro.mig.graph import Mig
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One candidate operating point of the (#N, #D) sweep.
+
+    ``num_gates``/``depth`` are the MIG-level coordinates the dominance
+    filter runs on; ``num_instructions``/``num_rrams`` are the same point
+    carried through Algorithm 2 (the #I'/#R' columns of Table 1, and
+    ``depth`` doubles as #D' — Algorithm 2 is structure-preserving, so the
+    compiled MIG's depth equals the rewritten MIG's).
+    """
+
+    #: "size" / "depth" for the two unconstrained extremes, "budget=<d>"
+    #: for depth-budgeted size rewriting
+    label: str
+    #: the depth budget used (``None`` for the two unconstrained extremes)
+    budget: Optional[int]
+    num_gates: int  # the paper's #N
+    depth: int  # #D (== #D': Algorithm 2 does not change the MIG)
+    num_instructions: int  # #I
+    num_rrams: int  # #R
+    #: equivalence-check mode against the input ("exhaustive"/"random"),
+    #: or ``None`` when the sweep ran with ``verify=False``
+    equivalence: Optional[str]
+    seconds: float
+
+    @property
+    def counts(self) -> tuple[int, int]:
+        """The (#N, #D) coordinate the dominance filter compares."""
+        return (self.num_gates, self.depth)
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """Strict Pareto dominance on (#N, #D): no worse in both, better
+        in at least one."""
+        return (
+            self.num_gates <= other.num_gates
+            and self.depth <= other.depth
+            and self.counts != other.counts
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready row (shared by ``plimc pareto --json`` and the bench
+        snapshot so the two schemas cannot drift)."""
+        return {
+            "label": self.label,
+            "budget": self.budget,
+            "num_gates": self.num_gates,
+            "depth": self.depth,
+            "num_instructions": self.num_instructions,
+            "num_rrams": self.num_rrams,
+            "equivalence": self.equivalence,
+            "seconds": round(self.seconds, 6),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<ParetoPoint {self.label}: N={self.num_gates} D={self.depth} "
+            f"I={self.num_instructions} R={self.num_rrams}>"
+        )
+
+
+@dataclass(frozen=True)
+class ParetoFront:
+    """Result of one :func:`pareto_sweep` run.
+
+    ``points`` is the non-dominated (#N, #D) set in ascending-depth order
+    (so descending #N along the frontier); ``dominated`` keeps the losing
+    candidates for reporting.
+    """
+
+    circuit: str
+    effort: int
+    points: tuple[ParetoPoint, ...]
+    dominated: tuple[ParetoPoint, ...]
+    seconds: float
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def size_point(self) -> ParetoPoint:
+        """The minimum-#N end of the frontier."""
+        return min(self.points, key=lambda p: (p.num_gates, p.depth))
+
+    @property
+    def depth_point(self) -> ParetoPoint:
+        """The minimum-#D end of the frontier."""
+        return min(self.points, key=lambda p: (p.depth, p.num_gates))
+
+    def to_dict(self) -> dict:
+        return {
+            "circuit": self.circuit,
+            "effort": self.effort,
+            "points": [p.to_dict() for p in self.points],
+            "dominated": [p.to_dict() for p in self.dominated],
+            "seconds": round(self.seconds, 6),
+        }
+
+    def __repr__(self) -> str:
+        span = (
+            f"D {self.depth_point.depth}..{self.size_point.depth}, "
+            f"N {self.size_point.num_gates}..{self.depth_point.num_gates}"
+        )
+        return f"<ParetoFront {self.circuit}: {len(self.points)} points ({span})>"
+
+
+def _sweep_task(payload):
+    """One sweep point, resolved and rewritten inside the worker process.
+
+    ``seed`` is the depth-rewritten starting graph for budget points whose
+    raw input is over budget; the depth-anchor task produces it once
+    (``ship_rewritten=True`` makes the task return ``(point, rewritten)``
+    so the parent can reuse the graph) instead of every budget worker
+    re-deriving it.  Verification always runs against the raw input.
+    """
+    spec, mode, budget, effort, verify, fix_polarity, seed, ship_rewritten = payload
+    _, mig = _resolve_spec(spec)
+    start = time.perf_counter()
+    if mode == "size":
+        label = "size"
+        rewritten = rewrite_for_plim(mig, RewriteOptions(effort=effort))
+    elif mode == "depth":
+        label = "depth"
+        rewritten = rewrite_for_plim(
+            mig, RewriteOptions(effort=effort, objective="depth")
+        )
+    else:  # depth-budgeted size rewriting
+        label = f"budget={budget}"
+        rewritten = rewrite_for_plim(
+            mig if seed is None else seed,
+            RewriteOptions(effort=effort, depth_budget=budget),
+        )
+    program = PlimCompiler(
+        CompilerOptions(fix_output_polarity=fix_polarity)
+    ).compile(rewritten)
+    equivalence = None
+    if verify:
+        check = equivalent(mig, rewritten)
+        if not check:
+            raise MigError(
+                f"pareto sweep point {label!r} is not equivalent to the "
+                f"input (mode={check.mode}, output="
+                f"{check.failing_output!r}, counterexample="
+                f"{check.counterexample})"
+            )
+        equivalence = check.mode
+    point = ParetoPoint(
+        label=label,
+        budget=budget,
+        num_gates=rewritten.num_gates,
+        depth=mig_depth(rewritten),
+        num_instructions=program.num_instructions,
+        num_rrams=program.num_rrams,
+        equivalence=equivalence,
+        seconds=time.perf_counter() - start,
+    )
+    if ship_rewritten:
+        return point, rewritten
+    return point
+
+
+def _subsample(budgets: list[int], max_points: Optional[int]) -> list[int]:
+    """Evenly subsample ``budgets`` to at most ``max_points``.
+
+    Both ends are kept whenever two or more points fit; with exactly one,
+    the low (tightest-budget) end wins.  ``0`` keeps no intermediate
+    budgets — the sweep then consists of the two extremes only.
+    """
+    if max_points is None or len(budgets) <= max_points:
+        return budgets
+    if max_points <= 0:
+        return []
+    if max_points == 1:
+        return budgets[:1]
+    span = len(budgets) - 1
+    picked = {round(i * span / (max_points - 1)) for i in range(max_points)}
+    return [budgets[i] for i in sorted(picked)]
+
+
+def _non_dominated(
+    candidates: list[ParetoPoint],
+) -> tuple[list[ParetoPoint], list[ParetoPoint]]:
+    """Split candidates into (frontier, dominated-or-duplicate).
+
+    Candidates are ranked by (depth, #N, #I, #R, label) and swept with the
+    classic staircase filter: a point joins the frontier iff its #N is
+    strictly below every point already on it (those all have depth no
+    greater).  Duplicate (#N, #D) coordinates keep the best-ranked point.
+    """
+    front: list[ParetoPoint] = []
+    dominated: list[ParetoPoint] = []
+    best_gates: Optional[int] = None
+    ranked = sorted(
+        candidates,
+        key=lambda p: (p.depth, p.num_gates, p.num_instructions, p.num_rrams, p.label),
+    )
+    for point in ranked:
+        if best_gates is not None and point.num_gates >= best_gates:
+            dominated.append(point)
+            continue
+        front.append(point)
+        best_gates = point.num_gates
+    return front, dominated
+
+
+def pareto_sweep(
+    circuit: Union[Mig, CircuitSpec],
+    *,
+    effort: int = 4,
+    workers: Optional[int] = 1,
+    max_points: Optional[int] = None,
+    verify: bool = True,
+    paper_accounting: bool = True,
+) -> ParetoFront:
+    """Sweep the (#N, #D) trade-off of ``circuit`` and return the frontier.
+
+    ``circuit`` is anything :func:`repro.core.batch.compile_many` accepts:
+    an :class:`~repro.mig.graph.Mig`, a registry name, or a
+    ``(name, scale)`` pair (name specs are resolved inside the workers, so
+    only a tiny payload crosses the process boundary — except budget
+    points below the raw input's depth, whose payload carries the shared
+    depth-rewritten seed graph; ``max_points`` bounds how many).
+    ``workers`` fans
+    the sweep points out over a process pool (``None`` = one per CPU);
+    results are deterministic for any worker count.  ``max_points`` caps
+    the number of intermediate depth budgets (evenly subsampled; ``0``
+    sweeps the two extremes only); ``verify=True`` equivalence-checks every point against the
+    input inside its worker and raises :class:`~repro.errors.MigError` on
+    any mismatch.  ``paper_accounting=False`` charges output-polarity
+    fix-ups in the Algorithm 2 compile (#I/#R), like ``plimc --honest``.
+
+    Example::
+
+        >>> from repro import pareto_sweep
+        >>> front = pareto_sweep(("ctrl", "ci"))
+        >>> front.depth_point.depth <= front.size_point.depth
+        True
+        >>> any(p.dominates(q) for p in front for q in front)
+        False
+    """
+    name, mig = _resolve_spec(circuit)
+    # Ship the resolved MIG to the workers when the caller passed one;
+    # name/(name, scale) specs are rebuilt worker-side instead.
+    spec = mig if isinstance(circuit, Mig) else circuit
+    wall_start = time.perf_counter()
+    fix_polarity = not paper_accounting
+
+    # The two unconstrained extremes anchor the budget range.  The depth
+    # anchor ships its rewritten graph back: it doubles as the starting
+    # graph of every budget point whose raw input is over budget (the
+    # rewrite is deterministic), so no worker has to re-derive it.
+    input_depth = mig_depth(mig.cleanup()[0])
+    size_pt, (depth_pt, depth_seed) = parallel_map(
+        _sweep_task,
+        [
+            (spec, "size", None, effort, verify, fix_polarity, None, False),
+            (spec, "depth", None, effort, verify, fix_polarity, None, True),
+        ],
+        workers=workers,
+    )
+    budgets = _subsample(
+        list(range(depth_pt.depth, size_pt.depth)), max_points
+    )
+    budget_pts = parallel_map(
+        _sweep_task,
+        [
+            (
+                spec,
+                "budget",
+                d,
+                effort,
+                verify,
+                fix_polarity,
+                depth_seed if input_depth > d else None,
+                False,
+            )
+            for d in budgets
+        ],
+        workers=workers,
+    )
+    front, dominated = _non_dominated([size_pt, depth_pt, *budget_pts])
+    return ParetoFront(
+        circuit=name,
+        effort=effort,
+        points=tuple(front),
+        dominated=tuple(dominated),
+        seconds=time.perf_counter() - wall_start,
+    )

@@ -83,6 +83,22 @@ def compile_mig(
     ``rewrite=False``); pass the same one across repeated calls to share
     the structural analyses.  It is ignored when rewriting is enabled,
     since rewriting produces a fresh graph.
+
+    Returns a :class:`CompileResult`: the :class:`~repro.plim.program.Program`
+    plus both the original and the compiled MIG and the exact option sets
+    used.
+
+    Example:
+
+        >>> from repro import Mig, compile_mig
+        >>> mig = Mig()
+        >>> a, b, c = (mig.add_pi(n) for n in "abc")
+        >>> _ = mig.add_po(mig.add_maj(a, b, c), "maj")
+        >>> result = compile_mig(mig)
+        >>> (result.num_gates, result.num_instructions, result.num_rrams)
+        (1, 5, 2)
+        >>> compile_mig(mig, objective="balanced").num_gates
+        1
     """
     copts = compiler_options if compiler_options is not None else CompilerOptions()
     ropts: Optional[RewriteOptions] = None

@@ -42,7 +42,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.cost import NEGATION_INSTRUCTIONS, estimate_instructions, negations_needed
-from repro.errors import ReproError
+from repro.errors import MigError, ReproError
 from repro.mig.algebra import (
     flip_complement,
     pass_associativity,
@@ -65,7 +65,16 @@ from repro.mig.graph import Mig
 
 @dataclass(frozen=True)
 class RewriteOptions:
-    """Knobs of Algorithm 1."""
+    """Knobs of Algorithm 1 (all fields have sensible defaults).
+
+    Example:
+
+        >>> from repro import RewriteOptions
+        >>> RewriteOptions().objective, RewriteOptions().engine
+        ('size', 'worklist')
+        >>> RewriteOptions(objective="size", depth_budget=12).depth_budget
+        12
+    """
 
     #: number of rewriting cycles (the paper's experiments use 4)
     effort: int = 4
@@ -89,6 +98,14 @@ class RewriteOptions:
     #: swaps only — parallel in-memory targets), or "balanced" (interleave
     #: size and depth effort cycles until a joint fixed point)
     objective: str = "size"
+    #: hard depth ceiling for size rewriting (worklist engine only): size
+    #: rules reject any candidate that could push a primary-output level
+    #: past the budget, so ``objective="size"``/``"balanced"`` can shrink
+    #: the graph without deepening it beyond ``depth_budget`` levels.
+    #: ``None`` (the default) places no ceiling.  A budget below the input
+    #: MIG's depth is infeasible and raises
+    #: :class:`~repro.errors.MigError`.
+    depth_budget: Optional[int] = None
 
 
 ENGINES = ("worklist", "rebuild")
@@ -100,8 +117,23 @@ def rewrite_for_plim(mig: Mig, options: Optional[RewriteOptions] = None) -> Mig:
 
     ``options.objective`` picks the target: ``"size"`` is the paper's
     Algorithm 1, ``"depth"`` the critical-path rewriter, ``"balanced"``
-    the interleaved multi-objective loop.  ``mig`` itself is never
-    modified, whichever engine and objective run.
+    the interleaved multi-objective loop.  ``options.depth_budget`` puts a
+    hard depth ceiling under size rewriting (worklist engine only; a
+    budget below the input's depth raises
+    :class:`~repro.errors.MigError`).  ``mig`` itself is never modified,
+    whichever engine and objective run.
+
+    Example — ``⟨a b ⟨a b c⟩⟩`` collapses to ``⟨a b c⟩`` (Ω.A + Ω.M),
+    with or without a depth budget:
+
+        >>> from repro import Mig, RewriteOptions, rewrite_for_plim
+        >>> m = Mig()
+        >>> a, b, c = m.add_pi("a"), m.add_pi("b"), m.add_pi("c")
+        >>> _ = m.add_po(m.add_maj(a, b, m.add_maj(a, b, c)), "f")
+        >>> m.num_gates, rewrite_for_plim(m).num_gates
+        (2, 1)
+        >>> rewrite_for_plim(m, RewriteOptions(depth_budget=2)).num_gates
+        1
     """
     opts = options if options is not None else RewriteOptions()
     if opts.engine not in ENGINES:
@@ -113,6 +145,21 @@ def rewrite_for_plim(mig: Mig, options: Optional[RewriteOptions] = None) -> Mig:
             f"unknown rewrite objective {opts.objective!r}; "
             f"expected one of {OBJECTIVES}"
         )
+    if opts.depth_budget is not None:
+        if opts.depth_budget < 0:
+            raise ReproError(
+                f"depth_budget must be non-negative, got {opts.depth_budget}"
+            )
+        if opts.engine != "worklist":
+            raise ReproError(
+                "depth_budget requires engine='worklist' (the rebuild "
+                "oracle has no incremental level maintenance to gate on)"
+            )
+        if opts.objective == "depth":
+            raise ReproError(
+                "depth_budget applies to the 'size' and 'balanced' "
+                "objectives; objective='depth' already minimizes depth"
+            )
     if opts.objective == "size":
         if opts.engine == "worklist":
             return _rewrite_worklist(mig, opts)
@@ -172,6 +219,9 @@ def _rewrite_worklist(mig: Mig, opts: RewriteOptions) -> Mig:
     """
     work, _ = mig.rebuild()  # private copy; also the initial Ω.M cleanup
     work.enable_inplace()
+    if opts.depth_budget is not None:
+        work.enable_levels()
+        _check_budget_feasible(work, opts.depth_budget)
     for _cycle in range(opts.effort):
         # Cycle 0 measures the fixed point against the *raw* input, exactly
         # like the rebuild engine: a first cycle that only cleans up or
@@ -187,6 +237,25 @@ def _rewrite_worklist(mig: Mig, opts: RewriteOptions) -> Mig:
     _sweep_commutativity(work)
     final, _ = work.rebuild()
     return final
+
+
+def _check_budget_feasible(work: Mig, depth_budget: int) -> None:
+    """Raise :class:`MigError` when ``work`` already violates the budget.
+
+    Size rules can only *keep* PO levels under the ceiling — they cannot
+    drive an over-budget graph back under it — so a budget below the
+    (cleaned) input's depth is rejected up front.  Callers who need a
+    tighter depth first should run ``objective="depth"`` rewriting and
+    budget the result (which is what :func:`repro.core.pareto.pareto_sweep`
+    does per sweep point).
+    """
+    current = work.current_depth()
+    if current > depth_budget:
+        raise MigError(
+            f"depth budget {depth_budget} is infeasible: the input MIG has "
+            f"depth {current}; rewrite with objective='depth' first or "
+            f"raise the budget"
+        )
 
 
 def _inplace_signature(mig: Mig) -> tuple:
@@ -222,21 +291,31 @@ def _worklist_size_sweep(work: Mig, opts: RewriteOptions) -> None:
     the rebuild pipeline's phase order — all Ω.D applications before any
     Ω.A reshaping, with the Ω.C reorder in between — keeps the two engines'
     search order, and therefore their results, closely aligned.
+
+    With ``opts.depth_budget`` set (level-maintained graphs only), every
+    phase gates its candidates so no primary-output level can exceed the
+    budget — size rewriting under a hard depth ceiling.
     """
-    _worklist_phase(work, (try_majority, try_distributivity_rl))
+    budget = opts.depth_budget
+    _worklist_phase(work, (try_majority, try_distributivity_rl), depth_budget=budget)
     reshaping = [try_associativity]
     if opts.use_psi:
         reshaping.append(try_complementary_associativity)
-    _worklist_phase(work, tuple(reshaping))
+    _worklist_phase(work, tuple(reshaping), depth_budget=budget)
     # The reshaping rules keep rejected candidates as speculative
     # zero-fanout gates (they seed sharing like a pass's abandoned nodes);
     # sweep them at the phase boundary, like a pass's trailing rebuild.
     work.collect_unused()
     _sweep_commutativity(work)
-    _worklist_phase(work, (try_majority, try_distributivity_rl))
+    _worklist_phase(work, (try_majority, try_distributivity_rl), depth_budget=budget)
 
 
-def _worklist_phase(work: Mig, rules: tuple, revisit: bool = False) -> None:
+def _worklist_phase(
+    work: Mig,
+    rules: tuple,
+    revisit: bool = False,
+    depth_budget: Optional[int] = None,
+) -> None:
     """Run one rule family over a worklist seeded with all live gates.
 
     With ``revisit=False`` (the pass-faithful default) every seed is
@@ -260,8 +339,12 @@ def _worklist_phase(work: Mig, rules: tuple, revisit: bool = False) -> None:
         if not work.is_gate(v):
             continue
         for rule in rules:
-            affected = rule(work, v, fanouts)
-            if affected:
+            affected = rule(work, v, fanouts, depth_budget)
+            # A rule can fire and still report an empty affected set (the
+            # replacement is a literal and ``v`` was read only by POs, so
+            # no gate's children changed); ``v`` is tombstoned then, and
+            # the next rule must not run on the dead node.
+            if affected or not work.is_gate(v):
                 break
         if revisit:
             for u in affected:
@@ -458,6 +541,8 @@ def _rewrite_objective_worklist(mig: Mig, opts: RewriteOptions) -> Mig:
     # drop unreachable cones a clone carried over (rebuild() parity)
     work.collect_unused()
     work.enable_levels()
+    if opts.depth_budget is not None:
+        _check_budget_feasible(work, opts.depth_budget)
     edits_at_start = work.edit_count
     balanced = opts.objective == "balanced"
     for _cycle in range(opts.effort):
@@ -521,6 +606,17 @@ def rewrite_depth(mig: Mig, effort: int = 4, engine: str = "worklist") -> Mig:
     ``engine="rebuild"`` for the original pass-pipeline oracle.
     Function-preserving and never size-increasing beyond the Ω.A
     reshaping itself.
+
+    Example — a late-arriving signal is swapped off the critical path:
+
+        >>> from repro import Mig, rewrite_depth
+        >>> from repro.mig.analysis import depth
+        >>> m = Mig()
+        >>> a, b, c, d, e, f = (m.add_pi(n) for n in "abcdef")
+        >>> deep = m.add_maj(a, b, c)                       # level 1
+        >>> _ = m.add_po(m.add_maj(f, d, m.add_maj(e, d, deep)), "y")
+        >>> depth(m), depth(rewrite_depth(m))
+        (3, 2)
     """
     return rewrite_for_plim(
         mig, RewriteOptions(effort=effort, engine=engine, objective="depth")

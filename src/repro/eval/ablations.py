@@ -3,6 +3,9 @@
 * :func:`effort_sweep` — rewriting effort (Algorithm 1 cycles) vs. cost.
 * :func:`objective_ablation` — size vs. depth vs. balanced rewriting
   objectives (#N/#D/#I/#R trade-off of the multi-objective loop).
+* :func:`pareto_ablation` — the full (#N, #D) frontier from the
+  depth-budgeted sweep (:func:`repro.core.pareto.pareto_sweep`), in both
+  MIG and PLiM terms.
 * :func:`selection_ablation` — scheduling/translation rule combinations on
   as-built vs. shuffled gate order.
 * :func:`allocator_ablation` — FIFO vs. LIFO vs. FRESH allocation and the
@@ -19,6 +22,7 @@ from typing import Optional, Sequence
 from repro.circuits.registry import benchmark_info
 from repro.core.batch import parallel_map
 from repro.core.compiler import CompilerOptions, PlimCompiler
+from repro.core.pareto import ParetoFront, pareto_sweep
 from repro.core.rewriting import OBJECTIVES, RewriteOptions, rewrite_for_plim
 from repro.eval.reporting import format_table
 from repro.mig.analysis import depth as analysis_depth
@@ -127,6 +131,50 @@ def format_objective_ablation(name: str, points: Sequence[ObjectivePoint]) -> st
     ]
     return f"Rewriting-objective ablation — {name}\n" + format_table(
         ["objective", "#N", "#D", "#I", "#R"], rows
+    )
+
+
+# ----------------------------------------------------------------------
+# X7: (#N, #D) Pareto frontier
+# ----------------------------------------------------------------------
+
+
+def pareto_ablation(
+    mig: Mig, rewrite_effort: int = 4, max_points: Optional[int] = 8
+) -> ParetoFront:
+    """The (#N, #D) frontier of depth-budgeted rewriting on one MIG.
+
+    A thin wrapper over :func:`repro.core.pareto.pareto_sweep` with an
+    ablation-friendly cap on intermediate budget points; runs inline
+    (``workers=1``) because the ablation harness already fans sections out
+    over a process pool.
+    """
+    return pareto_sweep(
+        mig, effort=rewrite_effort, workers=1, max_points=max_points
+    )
+
+
+def format_pareto_front(name: str, front: ParetoFront) -> str:
+    """Render a :class:`ParetoFront` in the ablation table layout.
+
+    Frontier points first (ascending #D), then the dominated candidates
+    the sweep explored, marked in the ``front`` column.
+    """
+    rows = [
+        [
+            p.label,
+            "yes" if on_front else "dominated",
+            p.num_gates,
+            p.depth,
+            p.num_instructions,
+            p.num_rrams,
+            p.equivalence or "-",
+        ]
+        for on_front, points in ((True, front.points), (False, front.dominated))
+        for p in points
+    ]
+    return f"Pareto (#N, #D) frontier — {name}\n" + format_table(
+        ["point", "front", "#N", "#D", "#I", "#R", "equivalence"], rows
     )
 
 
@@ -306,6 +354,8 @@ def _ablation_section(payload) -> str:
         return format_effort_sweep(name, effort_sweep(mig))
     if section == "objective":
         return format_objective_ablation(name, objective_ablation(mig))
+    if section == "pareto":
+        return format_pareto_front(name, pareto_ablation(mig))
     if section == "selection":
         return format_selection_ablation(name, selection_ablation(mig))
     if section == "allocator":
@@ -315,15 +365,17 @@ def _ablation_section(payload) -> str:
     raise ValueError(f"unknown ablation section {section!r}")
 
 
-ABLATION_SECTIONS = ("effort", "objective", "selection", "allocator", "polarity")
+ABLATION_SECTIONS = (
+    "effort", "objective", "pareto", "selection", "allocator", "polarity"
+)
 
 
 def run_benchmark_ablations(
     name: str, scale: str = "default", *, workers: Optional[int] = 1
 ) -> str:
-    """All four ablations on one benchmark; returns the combined report.
+    """Every ablation section on one benchmark; returns the combined report.
 
-    ``workers`` fans the four studies out over a process pool (they are
+    ``workers`` fans the studies out over a process pool (they are
     independent); the section order of the report is fixed either way.
     """
     payloads = [(section, name, scale) for section in ABLATION_SECTIONS]

@@ -239,9 +239,12 @@ def _common_pair(
         return None
     if len(shared) == 3:
         # Identical gates would have been merged by strashing; treat the
-        # third shared signal as the leftover on both sides.
-        rest_a.append(shared.pop())
-        rest_b.append(shared[-1])
+        # third shared signal as the leftover on both sides (the *same*
+        # signal on both — handing side b a different leftover changes
+        # the computed function).
+        third = shared.pop()
+        rest_a.append(third)
+        rest_b.append(third)
     return (shared[0], shared[1]), rest_a[0], rest_b[0]
 
 
@@ -457,6 +460,18 @@ def pass_push_inverters(mig: Mig, threshold: int = 2) -> Mig:
 # rebuild pass's snapshot semantics; pass ``None`` to use live counts.
 # The conditions are heuristics for node-count reduction, not correctness
 # requirements, so a stale snapshot is always safe.
+#
+# Rules that can raise a node's level (Ω.D restructuring, Ω.A/Ψ.A
+# reshaping) additionally accept ``depth_budget``: on a graph with level
+# maintenance (:meth:`~repro.mig.graph.Mig.enable_levels`) a candidate is
+# rejected when committing it could push any primary-output level past the
+# budget.  The test is conservative but sound: replacing ``v`` by a
+# replacement whose level exceeds ``level(v)`` by ``delta`` raises every
+# ancestor level — and therefore every PO level — by at most ``delta``
+# (cascaded Ω.M collapses and strash merges only lower levels), so a
+# candidate is safe whenever ``delta <= budget - current_depth()``.
+# Collapse-only rules (Ω.M) and polarity flips (Ω.I) never raise a level
+# and ignore the budget.
 # ----------------------------------------------------------------------
 
 
@@ -466,12 +481,61 @@ def _fanout(mig: Mig, fanouts: Optional[list[int]], node: int) -> int:
     return mig.fanout_of(node)
 
 
-def try_majority(mig: Mig, v: int, fanouts: Optional[list[int]] = None) -> set[int]:
+def _require_levels_for_budget(mig: Mig, depth_budget: Optional[int]) -> None:
+    """Entry check of every budget-gated rule: a budget needs levels."""
+    if depth_budget is not None and mig._levels is None:
+        raise MigError(
+            "depth-budget gating needs level maintenance; "
+            "call enable_levels() first"
+        )
+
+
+def _predicted_level(levels: list[int], signals, floor: int = 0) -> int:
+    """Upper bound on the level of a gate over ``signals``.
+
+    ``floor`` folds in an already-predicted level of a not-yet-created
+    inner gate.  An upper bound because ``add_maj`` can only simplify or
+    share to something equal or shallower.
+    """
+    level = floor
+    for s in signals:
+        child_level = levels[int(s) >> 1]
+        if child_level > level:
+            level = child_level
+    return 1 + level
+
+
+def _exceeds_depth_budget(
+    mig: Mig, v: int, replacement_level: int, depth_budget: int
+) -> bool:
+    """True when replacing ``v`` by a node at ``replacement_level`` could
+    push a primary-output level past ``depth_budget``.
+
+    ``replacement_level`` must be an upper bound on the committed
+    replacement's level, computed from live child levels *before* any node
+    is created (:func:`_predicted_level`).  Callers guarantee level
+    maintenance via :func:`_require_levels_for_budget`.
+    """
+    delta = replacement_level - mig._levels[v]
+    if delta <= 0:
+        return False
+    return delta > depth_budget - mig.current_depth()
+
+
+def try_majority(
+    mig: Mig,
+    v: int,
+    fanouts: Optional[list[int]] = None,
+    depth_budget: Optional[int] = None,
+) -> set[int]:
     """Ω.M at ``v``: collapse a trivially decided gate, merge duplicates.
 
     ``replace_node`` already cascades Ω.M and strash merges through
     parents, so on a graph built with simplification enabled this fires
-    only for gates created with ``simplify=False``.
+    only for gates created with ``simplify=False``.  ``depth_budget`` is
+    accepted for worklist-phase uniformity and ignored: a collapse replaces
+    ``v`` by one of its own children (or a constant), which can only lower
+    levels.
     """
     a, b, c = mig.children(v)
     replacement = Mig._simplify_triple(a, b, c)
@@ -481,16 +545,24 @@ def try_majority(mig: Mig, v: int, fanouts: Optional[list[int]] = None) -> set[i
 
 
 def try_distributivity_rl(
-    mig: Mig, v: int, fanouts: Optional[list[int]] = None
+    mig: Mig,
+    v: int,
+    fanouts: Optional[list[int]] = None,
+    depth_budget: Optional[int] = None,
 ) -> set[int]:
     """Ω.D(R→L) at ``v``: ``⟨⟨x y u⟩ ⟨x y v⟩ z⟩ → ⟨x y ⟨u v z⟩⟩``.
 
     Applied when both inner gates have a single fanout, so the rewrite
     removes one node.  Edge polarity is handled through Ω.I
-    (:func:`effective_children`).
+    (:func:`effective_children`).  The restructured cone can be *deeper*
+    than the original (``z`` gains a level); under ``depth_budget`` a
+    candidate whose predicted level increase could push a PO past the
+    budget is rejected before any node is created.
     """
+    _require_levels_for_budget(mig, depth_budget)
     triple = mig.children(v)
     children = mig._children  # bound once: this match loop is the hot path
+    levels = mig._levels
     for i, j in ((0, 1), (0, 2), (1, 2)):
         gi, gj = triple[i], triple[j]
         ni, nj = int(gi) >> 1, int(gj) >> 1
@@ -507,6 +579,11 @@ def try_distributivity_rl(
             continue
         (x, y), p, q = common
         z = triple[3 - i - j]
+        if depth_budget is not None:
+            inner_level = _predicted_level(levels, (p, q, z))
+            outer_level = _predicted_level(levels, (x, y), floor=inner_level)
+            if _exceeds_depth_budget(mig, v, outer_level, depth_budget):
+                continue
         first_new = len(mig)
         inner = mig.add_maj(p, q, z)
         outer = mig.add_maj(x, y, inner)
@@ -527,7 +604,10 @@ def try_distributivity_rl(
 
 
 def try_associativity(
-    mig: Mig, v: int, fanouts: Optional[list[int]] = None
+    mig: Mig,
+    v: int,
+    fanouts: Optional[list[int]] = None,
+    depth_budget: Optional[int] = None,
 ) -> set[int]:
     """Ω.A at ``v``: ``⟨x u ⟨y u z⟩⟩ = ⟨z u ⟨y u x⟩⟩`` where it is free.
 
@@ -538,7 +618,14 @@ def try_associativity(
     seeds sharing for later checks, exactly like the abandoned gates of
     the rebuild pass); callers sweep those with
     :meth:`~repro.mig.graph.Mig.collect_unused` at phase boundaries.
+
+    The swap can *deepen* the graph (``x`` moves under the inner gate);
+    under ``depth_budget`` a candidate whose predicted level increase
+    could push a PO past the budget is rejected after the freeness check
+    (the speculative sharing semantics are unchanged — only the commit is
+    gated).
     """
+    _require_levels_for_budget(mig, depth_budget)
     triple = mig.children(v)
     for k in range(3):
         g = triple[k]
@@ -559,6 +646,12 @@ def try_associativity(
             if len(mig) > before:  # not free: keep the speculative gate
                 mig.inherit_order(swapped.node, v)
                 continue
+            if depth_budget is not None:
+                replacement_level = _predicted_level(
+                    mig._levels, (z, u, swapped)
+                )
+                if _exceeds_depth_budget(mig, v, replacement_level, depth_budget):
+                    continue
             first_new = len(mig)
             replacement = mig.add_maj(z, u, swapped)
             for node in range(first_new, len(mig)):
@@ -573,10 +666,15 @@ def try_associativity(
 
 
 def try_associativity_depth(
-    mig: Mig, v: int, fanouts: Optional[list[int]] = None
+    mig: Mig,
+    v: int,
+    fanouts: Optional[list[int]] = None,
+    depth_budget: Optional[int] = None,
 ) -> set[int]:
     """Ω.A at ``v`` targeting *depth* — the local form of
-    :func:`pass_associativity_depth`.
+    :func:`pass_associativity_depth`.  ``depth_budget`` is accepted for
+    worklist-phase uniformity and ignored: every committed move strictly
+    lowers ``v``'s level and can raise no other node's.
 
     In ``⟨x u ⟨y u z⟩⟩`` the inner gate adds a level on top of ``z``; when
     the swap ``⟨z u ⟨y u x⟩⟩`` strictly lowers ``v``'s level, it takes the
@@ -643,15 +741,22 @@ def try_associativity_depth(
 
 
 def try_complementary_associativity(
-    mig: Mig, v: int, fanouts: Optional[list[int]] = None
+    mig: Mig,
+    v: int,
+    fanouts: Optional[list[int]] = None,
+    depth_budget: Optional[int] = None,
 ) -> set[int]:
     """Ψ.A at ``v``: ``⟨x u ⟨y ū z⟩⟩ = ⟨x u ⟨y x z⟩⟩`` where it is free.
 
     The derived-rule counterpart of :func:`pass_complementary_associativity`;
     applied only when the replacement inner gate is free.  Like
     :func:`try_associativity`, a rejected candidate stays as a speculative
-    zero-fanout gate until :meth:`~repro.mig.graph.Mig.collect_unused`.
+    zero-fanout gate until :meth:`~repro.mig.graph.Mig.collect_unused`, and
+    like it the commit is gated under ``depth_budget`` (substituting ``x``
+    for ``ū`` inside the inner gate can deepen the cone when ``x`` is the
+    deeper signal).
     """
+    _require_levels_for_budget(mig, depth_budget)
     triple = mig.children(v)
     for k in range(3):
         g = triple[k]
@@ -670,6 +775,12 @@ def try_complementary_associativity(
             if len(mig) > before:  # not free: keep the speculative gate
                 mig.inherit_order(new_inner.node, v)
                 continue
+            if depth_budget is not None:
+                replacement_level = _predicted_level(
+                    mig._levels, (x, u, new_inner)
+                )
+                if _exceeds_depth_budget(mig, v, replacement_level, depth_budget):
+                    continue
             first_new = len(mig)
             replacement = mig.add_maj(x, u, new_inner)
             for node in range(first_new, len(mig)):

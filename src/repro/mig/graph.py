@@ -50,7 +50,29 @@ from repro.mig.signal import Signal
 
 
 class Mig:
-    """A majority-inverter graph with named primary inputs and outputs."""
+    """A majority-inverter graph with named primary inputs and outputs.
+
+    Nodes are the constant (index 0), primary inputs, and 3-input majority
+    gates; edges are :class:`~repro.mig.signal.Signal` values carrying an
+    optional complement bit.  ``add_maj`` applies the trivial Ω.M rules
+    and structural hashing by default, so building is already a cleanup:
+
+        >>> from repro.mig.graph import Mig
+        >>> m = Mig(name="demo")
+        >>> a, b, c = m.add_pi("a"), m.add_pi("b"), m.add_pi("c")
+        >>> g = m.add_maj(a, b, ~c)
+        >>> _ = m.add_po(g, "f")
+        >>> (m.num_pis, m.num_gates, m.num_pos)
+        (3, 1, 1)
+        >>> m.add_maj(a, a, b)          # ⟨a a b⟩ = a, no node created
+        s1
+        >>> m.add_maj(a, b, ~c) == g    # structural hash hit
+        True
+
+    Rewriting mutates a private copy in place via :meth:`enable_inplace` /
+    :meth:`replace_node` (see :mod:`repro.core.rewriting`); depth-aware
+    rewriting additionally opts into :meth:`enable_levels`.
+    """
 
     def __init__(self, name: Optional[str] = None):
         self.name = name

@@ -250,3 +250,43 @@ class TestComplementaryAssociativity:
         rewritten = rewrite_for_plim(mig, RewriteOptions(use_psi=True))
         assert truth_tables(rewritten) == truth_tables(mig)
         assert rewritten.num_gates <= mig.cleanup()[0].num_gates
+
+
+class TestCommonPairAllShared:
+    """Regression: two inner gates whose *effective* child triples are the
+    same multiset (one gate is the structural complement-dual of the
+    other, so strashing cannot merge them).  ``_common_pair`` must hand
+    both sides the *same* third-signal leftover — handing side b a
+    different one rewrote ``⟨g ¬g' x⟩`` cones to the wrong function."""
+
+    def _dual_cone(self):
+        mig = Mig()
+        x1, x2, x3 = mig.add_pi("x1"), mig.add_pi("x2"), mig.add_pi("x3")
+        g5 = mig.add_maj(x2, ~x3, ~x1)
+        g6 = mig.add_maj(x1, x3, ~x2)  # functionally ~g5, structurally distinct
+        mig.add_po(mig.add_maj(g5, ~g6, x1), "f")
+        return mig
+
+    def test_common_pair_same_leftover_on_both_sides(self):
+        from repro.mig.algebra import _common_pair
+        from repro.mig.signal import Signal
+
+        a = tuple(Signal.make(n, inv) for n, inv in ((2, False), (3, True), (1, True)))
+        b = tuple(Signal.make(n, inv) for n, inv in ((1, True), (3, True), (2, False)))
+        (x, y), p, q = _common_pair(a, b)
+        assert p == q
+        assert sorted(map(int, (x, y, p))) == sorted(map(int, a))
+
+    def test_distributivity_pass_preserves_function(self):
+        from repro.mig.algebra import pass_distributivity_rl
+
+        mig = self._dual_cone()
+        assert truth_tables(pass_distributivity_rl(mig)) == truth_tables(mig)
+
+    def test_both_engines_preserve_function(self):
+        from repro.core.rewriting import RewriteOptions, rewrite_for_plim
+
+        mig = self._dual_cone()
+        for engine in ("worklist", "rebuild"):
+            rewritten = rewrite_for_plim(mig, RewriteOptions(engine=engine))
+            assert truth_tables(rewritten) == truth_tables(mig), engine

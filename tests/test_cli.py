@@ -114,6 +114,46 @@ class TestOtherCommands:
             parser.parse_args(["--version"])
 
 
+class TestParetoCommand:
+    def test_pareto_registry_benchmark(self, capsys):
+        assert main(["pareto", "i2c", "--scale", "ci", "--workers", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "Pareto (#N, #D) frontier — i2c" in captured.out
+        assert "#N" in captured.out and "#D" in captured.out
+        assert "non-dominated point(s)" in captured.err
+
+    def test_pareto_circuit_file(self, circuit_file, capsys):
+        assert main(["pareto", circuit_file, "--workers", "1"]) == 0
+        assert "frontier" in capsys.readouterr().out
+
+    def test_pareto_json(self, capsys):
+        import json as json_module
+
+        assert main(
+            ["pareto", "ctrl", "--scale", "ci", "--workers", "1", "--json"]
+        ) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["circuit"] == "ctrl"
+        assert payload["points"]
+        for point in payload["points"]:
+            assert point["equivalence"] in ("exhaustive", "random")
+            if point["budget"] is not None:
+                assert point["depth"] <= point["budget"]
+
+    def test_pareto_no_verify(self, capsys):
+        assert main(
+            ["pareto", "ctrl", "--scale", "ci", "--workers", "1",
+             "--no-verify", "--json"]
+        ) == 0
+        import json as json_module
+
+        payload = json_module.loads(capsys.readouterr().out)
+        assert all(p["equivalence"] is None for p in payload["points"])
+
+    def test_pareto_unknown_circuit(self):
+        assert main(["pareto", "not-a-benchmark"]) == 2
+
+
 class TestNewCompileFlags:
     def test_max_rrams_flag(self, circuit_file, capsys):
         assert main(["compile", circuit_file, "--max-rrams", "6", "--listing"]) == 0

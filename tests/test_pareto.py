@@ -1,0 +1,220 @@
+"""Depth-budgeted size rewriting and the (#N, #D) Pareto sweep.
+
+The tentpole contracts:
+
+* size rewriting under ``depth_budget=d`` never produces depth > d — in
+  particular, a budget equal to the input's depth must not regress depth
+  at all — asserted on every registry circuit;
+* infeasible budgets (below the input's depth) raise a clear
+  :class:`MigError`; invalid budget/engine/objective combinations raise
+  :class:`ReproError`;
+* ``pareto_sweep`` returns a non-dominated (#N, #D) frontier whose
+  extreme points are at least as good as the unconstrained
+  ``objective="size"`` / ``objective="depth"`` results, with every point
+  equivalence-checked and every budgeted point within its budget;
+* sweep results are deterministic for any worker count.
+"""
+
+import pytest
+
+from repro.circuits.registry import BENCHMARK_NAMES, build
+from repro.core.pareto import ParetoPoint, _non_dominated, _subsample, pareto_sweep
+from repro.core.rewriting import RewriteOptions, rewrite_for_plim
+from repro.errors import MigError, ReproError
+from repro.mig.analysis import depth
+from repro.mig.equivalence import equivalent
+
+from conftest import random_mig
+
+
+class TestDepthBudgetValidation:
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ReproError, match="non-negative"):
+            rewrite_for_plim(build("ctrl", "ci"), RewriteOptions(depth_budget=-1))
+
+    def test_rebuild_engine_rejected(self):
+        with pytest.raises(ReproError, match="worklist"):
+            rewrite_for_plim(
+                build("ctrl", "ci"),
+                RewriteOptions(depth_budget=10, engine="rebuild"),
+            )
+
+    def test_depth_objective_rejected(self):
+        with pytest.raises(ReproError, match="objective"):
+            rewrite_for_plim(
+                build("ctrl", "ci"),
+                RewriteOptions(depth_budget=10, objective="depth"),
+            )
+
+    def test_infeasible_budget_raises_mig_error(self):
+        mig = build("adder", "ci")
+        assert depth(mig.cleanup()[0]) > 1
+        with pytest.raises(MigError, match="infeasible"):
+            rewrite_for_plim(mig, RewriteOptions(depth_budget=1))
+
+    def test_infeasible_budget_raises_for_balanced(self):
+        mig = build("adder", "ci")
+        with pytest.raises(MigError, match="infeasible"):
+            rewrite_for_plim(
+                mig, RewriteOptions(depth_budget=1, objective="balanced")
+            )
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+class TestDepthBudgetOnRegistry:
+    def test_budget_equal_to_depth_never_regresses(self, name):
+        """The tightest feasible budget: depth must not grow by a single
+        level, and the result must stay equivalent and never larger than
+        the cleaned input."""
+        mig = build(name, "ci")
+        clean = mig.cleanup()[0]
+        ceiling = depth(clean)
+        rewritten = rewrite_for_plim(mig, RewriteOptions(depth_budget=ceiling))
+        assert depth(rewritten) <= ceiling
+        assert rewritten.num_gates <= clean.num_gates
+        assert equivalent(rewritten, mig)
+
+    def test_intermediate_budgets_respected(self, name):
+        """Every budget between depth-optimal and unconstrained is a hard
+        ceiling on the result's depth."""
+        mig = build(name, "ci")
+        d_min = depth(
+            rewrite_for_plim(mig, RewriteOptions(objective="depth"))
+        )
+        d_max = depth(rewrite_for_plim(mig))
+        budgets = sorted({d_min, (d_min + d_max) // 2, max(d_min, d_max)})
+        for budget in budgets:
+            source = mig
+            if depth(mig.cleanup()[0]) > budget:
+                source = rewrite_for_plim(
+                    mig, RewriteOptions(objective="depth")
+                )
+            rewritten = rewrite_for_plim(
+                source, RewriteOptions(depth_budget=budget)
+            )
+            assert depth(rewritten) <= budget, (name, budget, depth(rewritten))
+            assert equivalent(rewritten, mig)
+
+    def test_loose_budget_matches_unconstrained(self, name):
+        """A budget far above the reachable depth gates nothing: the
+        result is exactly the unconstrained size rewrite."""
+        mig = build(name, "ci")
+        unconstrained = rewrite_for_plim(mig)
+        loose = rewrite_for_plim(
+            mig, RewriteOptions(depth_budget=depth(mig.cleanup()[0]) + 1000)
+        )
+        assert loose.num_gates == unconstrained.num_gates
+        assert depth(loose) == depth(unconstrained)
+
+
+class TestDepthBudgetBalanced:
+    def test_balanced_respects_budget(self):
+        for name in ("i2c", "router", "int2float"):
+            mig = build(name, "ci")
+            ceiling = depth(mig.cleanup()[0])
+            rewritten = rewrite_for_plim(
+                mig,
+                RewriteOptions(depth_budget=ceiling, objective="balanced"),
+            )
+            assert depth(rewritten) <= ceiling
+            assert equivalent(rewritten, mig)
+
+    def test_budget_does_not_mutate_input(self):
+        mig = build("i2c", "ci")
+        nodes, gates, edits = len(mig), mig.num_gates, mig.edit_count
+        rewrite_for_plim(
+            mig, RewriteOptions(depth_budget=depth(mig.cleanup()[0]))
+        )
+        assert (len(mig), mig.num_gates, mig.edit_count) == (nodes, gates, edits)
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_pareto_frontier_on_registry(name):
+    """The acceptance bar, on every Table 1 registry circuit at ci scale:
+    non-dominated frontier, extremes no worse than the single-objective
+    results, every point equivalence-checked and within its budget."""
+    mig = build(name, "ci")
+    front = pareto_sweep((name, "ci"), workers=1)
+    assert front.points
+    # non-dominated, unique coordinates, ascending depth
+    for p in front.points:
+        for q in front.points:
+            assert not p.dominates(q), (p, q)
+    coords = [p.counts for p in front.points]
+    assert len(set(coords)) == len(coords)
+    assert [p.depth for p in front.points] == sorted(p.depth for p in front.points)
+    # extremes match (or beat) the unconstrained single-objective results
+    size_ref = rewrite_for_plim(mig)
+    depth_ref = rewrite_for_plim(mig, RewriteOptions(objective="depth"))
+    assert front.size_point.num_gates <= size_ref.num_gates
+    assert front.depth_point.depth <= depth(depth_ref)
+    # every candidate (frontier and dominated) was verified and budgeted
+    for p in (*front.points, *front.dominated):
+        assert p.equivalence in ("exhaustive", "random")
+        if p.budget is not None:
+            assert p.depth <= p.budget
+
+
+class TestParetoSweepMechanics:
+    def test_deterministic_across_worker_counts(self):
+        serial = pareto_sweep(("router", "ci"), workers=1)
+        pooled = pareto_sweep(("router", "ci"), workers=2)
+        strip = lambda p: {**p.to_dict(), "seconds": None}
+        assert [strip(p) for p in serial.points] == [strip(p) for p in pooled.points]
+        assert [strip(p) for p in serial.dominated] == [
+            strip(p) for p in pooled.dominated
+        ]
+
+    def test_accepts_mig_instances(self, small_random_mig):
+        front = pareto_sweep(small_random_mig, workers=1)
+        assert front.points
+        assert all(p.equivalence == "exhaustive" for p in front.points)
+
+    def test_verify_false_skips_checks(self):
+        front = pareto_sweep(("ctrl", "ci"), workers=1, verify=False)
+        assert all(p.equivalence is None for p in front.points)
+
+    def test_max_points_caps_budget_candidates(self):
+        full = pareto_sweep(("int2float", "ci"), workers=1)
+        capped = pareto_sweep(("int2float", "ci"), workers=1, max_points=1)
+        assert len(capped.points) + len(capped.dominated) <= 3
+        # the capped frontier still spans the same extremes
+        assert capped.size_point.num_gates == full.size_point.num_gates
+        assert capped.depth_point.depth == full.depth_point.depth
+
+    def test_subsample_keeps_ends(self):
+        assert _subsample(list(range(10)), 3) == [0, 4, 9]
+        assert _subsample(list(range(10)), None) == list(range(10))
+        assert _subsample([1, 2], 5) == [1, 2]
+        assert _subsample(list(range(10)), 1) == [0]
+        assert _subsample(list(range(10)), 0) == []
+
+    def test_max_points_zero_sweeps_extremes_only(self):
+        front = pareto_sweep(("int2float", "ci"), workers=1, max_points=0)
+        assert len(front.points) + len(front.dominated) == 2
+        assert {p.label for p in (*front.points, *front.dominated)} == {
+            "size", "depth",
+        }
+
+    def test_non_dominated_staircase(self):
+        def pt(label, n, d):
+            return ParetoPoint(
+                label=label, budget=None, num_gates=n, depth=d,
+                num_instructions=0, num_rrams=0, equivalence=None, seconds=0.0,
+            )
+
+        front, dominated = _non_dominated(
+            [pt("a", 10, 5), pt("b", 8, 6), pt("c", 12, 4), pt("d", 8, 6),
+             pt("e", 9, 7)]
+        )
+        assert [(p.num_gates, p.depth) for p in front] == [(12, 4), (10, 5), (8, 6)]
+        assert {p.label for p in dominated} == {"d", "e"}
+
+    def test_random_migs_frontier(self):
+        for seed in range(4):
+            mig = random_mig(seed=seed, num_pis=4, num_gates=15)
+            front = pareto_sweep(mig, workers=1)
+            for p in front.points:
+                for q in front.points:
+                    assert not p.dominates(q)
+                assert p.equivalence == "exhaustive"

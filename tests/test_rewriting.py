@@ -145,3 +145,26 @@ class TestEndToEndImprovement:
             total_before += compiler.compile(mig).num_instructions
             total_after += compiler.compile(rewrite_for_plim(mig)).num_instructions
         assert total_after < total_before
+
+
+class TestWorklistPhaseDeadNode:
+    def test_rule_that_kills_node_stops_the_rule_chain(self):
+        """Regression: a rule can fire and still return an empty affected
+        set (replacement is a literal, ``v`` was read only by POs); the
+        phase must not run the next rule on the tombstoned node."""
+        from repro.core.rewriting import _worklist_phase
+        from repro.mig.algebra import try_distributivity_rl, try_majority
+        from repro.mig.graph import Mig
+
+        mig = Mig()
+        a, b = mig.add_pi("a"), mig.add_pi("b")
+        trivial = mig.add_maj(a, a, b, simplify=False)  # Ω.M-collapsible
+        mig.add_po(trivial, "f")
+        mig.enable_inplace()
+        # try_majority replaces the gate by ``a`` (affected = empty: the
+        # only reader is a PO) and tombstones it; before the fix the phase
+        # fell through to try_distributivity_rl, which raised MigError on
+        # the dead node.
+        _worklist_phase(mig, (try_majority, try_distributivity_rl))
+        assert mig.num_gates == 0
+        assert mig.pos()[0] == a

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Intra-repo link checker for README.md and docs/*.md.
+
+Scans Markdown files for inline links/images (``[text](target)``) and
+reference definitions (``[label]: target``), and fails when a relative
+target does not resolve to a file or directory in the repository.
+External links (``http://``, ``https://``, ``mailto:``) are skipped —
+this is a docs-rot gate for *intra-repo* references, not a crawler.
+Anchors are stripped (``docs/cli.md#pareto`` checks ``docs/cli.md``);
+pure in-page anchors (``#section``) are accepted.
+
+Used three ways, all sharing :func:`check_links`:
+
+* ``python tools/check_links.py`` — CI gate (exit 1 on broken links);
+* ``tests/test_docs.py`` — the tier-1 suite imports and runs it;
+* ad hoc after editing docs.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: inline links/images: [text](target) / ![alt](target); stops at the
+#: first ')' or whitespace (titles like [t](x "y") keep only x)
+_INLINE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)\s>]+)>?[^)]*\)")
+#: reference-style definitions at line start: [label]: target
+_REFDEF = re.compile(r"^\s{0,3}\[[^\]]+\]:\s+<?(\S+?)>?(?:\s|$)", re.MULTILINE)
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _strip_code(text: str) -> str:
+    """Drop fenced code blocks and inline code spans (links there are
+    examples, not navigation)."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def iter_links(text: str):
+    """Yield every link target in ``text`` (code blocks excluded)."""
+    stripped = _strip_code(text)
+    for pattern in (_INLINE, _REFDEF):
+        for match in pattern.finditer(stripped):
+            yield match.group(1)
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """Broken-link messages for one Markdown file (empty = healthy)."""
+    errors = []
+    for target in iter_links(path.read_text(encoding="utf-8")):
+        if target.startswith(_EXTERNAL):
+            continue
+        base = target.split("#", 1)[0]
+        if not base:  # pure in-page anchor
+            continue
+        resolved = (root if base.startswith("/") else path.parent) / base.lstrip("/")
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(root)}: broken link -> {target}")
+    return errors
+
+
+def check_links(root: Path) -> list[str]:
+    """Check README.md and every docs/*.md under ``root``; return errors."""
+    files = sorted(root.glob("docs/*.md"))
+    readme = root / "README.md"
+    if readme.exists():
+        files.insert(0, readme)
+    errors = []
+    for path in files:
+        errors.extend(check_file(path, root))
+    return errors
+
+
+def main(argv=None) -> int:
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parents[1]
+    errors = check_links(root)
+    for error in errors:
+        print(error, file=sys.stderr)
+    checked = len(sorted(root.glob("docs/*.md"))) + int((root / "README.md").exists())
+    if errors:
+        print(f"{len(errors)} broken link(s) in {checked} file(s)", file=sys.stderr)
+        return 1
+    print(f"links OK ({checked} file(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
