@@ -1,0 +1,70 @@
+"""Shared plumbing for the ``bench_*.py`` standalone snapshot modes.
+
+Every benchmark module doubles as a script that writes a machine-readable
+``BENCH_*.json`` snapshot next to itself (the perf trajectory successive
+PRs compare against).  The argument parsing, the machine stamp and the
+JSON writing are identical across them — this module is the single copy.
+
+Import it *inside* ``main()`` (``import _common``): the benchmarks
+directory is on ``sys.path`` when a bench runs as a script, but the
+modules are also imported by pytest for their benchmark tests, which must
+not depend on it at collection time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+from pathlib import Path
+
+#: the workload sizes every snapshot accepts
+SCALES = ("ci", "default", "paper")
+
+
+def snapshot_parser(
+    description: str, bench_file: str, output_name: str
+) -> argparse.ArgumentParser:
+    """The argument parser every snapshot mode shares.
+
+    ``--scale`` (ci/default/paper, default ci) and ``-o/--output``
+    (defaulting to ``output_name`` next to ``bench_file``); callers add
+    their bench-specific flags on top.
+    """
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--scale", default="ci", choices=SCALES)
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(Path(bench_file).with_name(output_name)),
+        help=f"output path (default: {output_name} next to this file)",
+    )
+    return parser
+
+
+def machine_stamp() -> dict:
+    """The provenance fields every snapshot carries."""
+    from repro._version import __version__
+
+    return {"version": __version__, "python": platform.python_version()}
+
+
+def write_snapshot(
+    output, bench: str, circuits: list, wall_seconds: float, **meta
+) -> dict:
+    """Assemble, write and announce one ``BENCH_*.json`` snapshot.
+
+    ``meta`` carries the bench-specific report fields (scale, workers,
+    repeats, ...); the machine stamp and the wall clock are added here so
+    no emitter can forget them.  Returns the report dict.
+    """
+    report = {
+        "bench": bench,
+        **machine_stamp(),
+        **meta,
+        "wall_seconds": round(wall_seconds, 4),
+        "circuits": circuits,
+    }
+    Path(output).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {output} ({len(circuits)} rows, {wall_seconds:.2f}s wall)")
+    return report

@@ -75,25 +75,15 @@ if pytest is not None:
 
 def main(argv=None) -> int:
     """Compile the registry and write BENCH_compiler.json (time, #I, #R)."""
-    import argparse
-    import json
-    import platform
     import time
-    from pathlib import Path
 
-    from repro._version import __version__
+    import _common
+
     from repro.circuits.registry import BENCHMARK_NAMES
     from repro.core.batch import compile_many
 
-    parser = argparse.ArgumentParser(description=main.__doc__)
-    parser.add_argument("--scale", default="ci", choices=("ci", "default", "paper"))
+    parser = _common.snapshot_parser(main.__doc__, __file__, "BENCH_compiler.json")
     parser.add_argument("--workers", type=int, default=1)
-    parser.add_argument(
-        "-o",
-        "--output",
-        default=str(Path(__file__).with_name("BENCH_compiler.json")),
-        help="output path (default: BENCH_compiler.json next to this file)",
-    )
     args = parser.parse_args(argv)
 
     specs = [(name, args.scale) for name in BENCHMARK_NAMES]
@@ -102,17 +92,14 @@ def main(argv=None) -> int:
     results = compile_many(specs, option_sets, workers=args.workers, rewrite=True)
     wall = time.perf_counter() - start
 
-    report = {
-        "bench": "compiler",
-        "version": __version__,
-        "python": platform.python_version(),
-        "scale": args.scale,
-        "workers": args.workers,
-        "wall_seconds": round(wall, 4),
-        "circuits": [r.to_dict() for r in results],
-    }
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
-    print(f"wrote {args.output} ({len(results)} rows, {wall:.2f}s wall)")
+    _common.write_snapshot(
+        args.output,
+        "compiler",
+        [r.to_dict() for r in results],
+        wall,
+        scale=args.scale,
+        workers=args.workers,
+    )
     return 0
 
 

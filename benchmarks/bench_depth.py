@@ -68,24 +68,13 @@ if pytest is not None:
 
 def main(argv=None) -> int:
     """Time both depth engines per circuit and write BENCH_depth.json."""
-    import argparse
-    import json
-    import platform
     import time
-    from pathlib import Path
 
-    from repro._version import __version__
+    import _common
 
-    parser = argparse.ArgumentParser(description=main.__doc__)
-    parser.add_argument("--scale", default="ci", choices=("ci", "default", "paper"))
+    parser = _common.snapshot_parser(main.__doc__, __file__, "BENCH_depth.json")
     parser.add_argument(
         "--repeats", type=int, default=3, help="timing runs per engine (best is kept)"
-    )
-    parser.add_argument(
-        "-o",
-        "--output",
-        default=str(Path(__file__).with_name("BENCH_depth.json")),
-        help="output path (default: BENCH_depth.json next to this file)",
     )
     args = parser.parse_args(argv)
 
@@ -143,17 +132,14 @@ def main(argv=None) -> int:
         )
     wall = time.perf_counter() - wall_start
 
-    report = {
-        "bench": "depth",
-        "version": __version__,
-        "python": platform.python_version(),
-        "scale": args.scale,
-        "repeats": args.repeats,
-        "wall_seconds": round(wall, 4),
-        "circuits": circuits,
-    }
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
-    print(f"wrote {args.output} ({len(circuits)} rows, {wall:.2f}s wall)")
+    _common.write_snapshot(
+        args.output,
+        "depth",
+        circuits,
+        wall,
+        scale=args.scale,
+        repeats=args.repeats,
+    )
     return 0
 
 

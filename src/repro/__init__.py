@@ -44,6 +44,7 @@ from repro.mig.graph import Mig
 from repro.mig.context import AnalysisContext
 from repro.mig.signal import Signal
 from repro.core.batch import BatchResult, compile_many
+from repro.core.cache import CacheStats, SynthesisCache
 from repro.core.pareto import ParetoFront, ParetoPoint, pareto_sweep
 from repro.core.pipeline import CompileResult, compile_mig
 from repro.core.compiler import CompilerOptions, PlimCompiler
@@ -55,10 +56,12 @@ __all__ = [
     "__version__",
     "AnalysisContext",
     "BatchResult",
+    "CacheStats",
     "Mig",
     "ParetoFront",
     "ParetoPoint",
     "Signal",
+    "SynthesisCache",
     "Program",
     "PlimMachine",
     "PlimCompiler",

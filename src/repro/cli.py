@@ -3,15 +3,22 @@
 Subcommands::
 
     plimc compile <circuit> [-o out.plim] [--naive] [--no-rewrite]
-                  [--objective size|depth|balanced] [--engine worklist|rebuild] ...
+                  [--objective size|depth|balanced] [--engine worklist|rebuild]
+                  [--cache-dir DIR] ...
     plimc stats <circuit>
     plimc run <program.plim> --set a=1 --set b=0 ...
     plimc bench <name> [--scale ci|default|paper]
     plimc batch <circuit|name>... [--configs full,naive] [--workers N] [--json]
-    plimc pareto <circuit|name> [--scale ...] [--workers N] [--max-points K] [--json]
-    plimc table1 [--scale ...] [--shuffled] [--csv] [--workers N]
+    plimc pareto <circuit|name> [--scale ...] [--workers N] [--max-points K]
+                 [--cache-dir DIR] [--cold] [--json]
+    plimc table1 [--scale ...] [--shuffled] [--csv] [--workers N] [--cache-dir DIR]
     plimc fig3
     plimc ablate <name> [--scale ...] [--workers N]
+    plimc cache stats|clear <dir>
+
+``--workers N`` flags default to one worker per CPU; ``--cache-dir DIR``
+flags persist a content-addressed synthesis cache across runs
+(``plimc cache`` inspects or clears one).
 
 Circuit files are detected by extension: ``.mig`` (native), ``.blif``,
 ``.aag`` (ASCII AIGER).  ``plimc <subcommand> --help`` documents every
@@ -78,6 +85,15 @@ def _resolve_cli_circuit(item: str, scale: str):
     )
 
 
+def _make_cache(args):
+    """The ``--cache-dir`` synthesis cache, or ``None`` when not given."""
+    if getattr(args, "cache_dir", None) is None:
+        return None
+    from repro.core.cache import SynthesisCache
+
+    return SynthesisCache(args.cache_dir)
+
+
 def _cmd_compile(args) -> int:
     mig = load_circuit(args.circuit)
     if args.naive:
@@ -113,6 +129,7 @@ def _cmd_compile(args) -> int:
         engine=args.engine,
         objective=objective,
         compiler_options=options,
+        cache=_make_cache(args),
     )
     program = result.program
     print(
@@ -272,6 +289,7 @@ def _cmd_table1(args) -> int:
         progress=progress,
         workers=args.workers,
         engine=args.engine,
+        cache=_make_cache(args),
     )
     print(table1_csv(result) if args.csv else format_table1(result))
     return 0
@@ -309,6 +327,8 @@ def _cmd_pareto(args) -> int:
         max_points=args.max_points,
         verify=not args.no_verify,
         paper_accounting=not args.honest,
+        warm_start=not args.cold,
+        cache=_make_cache(args),
     )
     if args.json:
         print(json.dumps(front.to_dict(), indent=2))
@@ -320,6 +340,25 @@ def _cmd_pareto(args) -> int:
             f"{front.seconds:.2f}s",
             file=sys.stderr,
         )
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    """Inspect (``stats``) or empty (``clear``) a synthesis cache dir."""
+    from repro.core.cache import SynthesisCache
+
+    cache = SynthesisCache(args.dir)
+    if args.cache_command == "stats":
+        usage = cache.disk_usage()
+        total_entries = sum(u["entries"] for u in usage.values())
+        total_bytes = sum(u["bytes"] for u in usage.values())
+        print(f"synthesis cache at {args.dir}")
+        for kind, u in usage.items():
+            print(f"  {kind:9s} {u['entries']:6d} entries, {u['bytes']:10d} bytes")
+        print(f"  {'total':9s} {total_entries:6d} entries, {total_bytes:10d} bytes")
+        return 0
+    removed = cache.clear()
+    print(f"cleared {removed} entries from {args.dir}")
     return 0
 
 
@@ -382,6 +421,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--emit-verilog",
         metavar="FILE",
         help="also write the compiled MIG as structural Verilog",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persist the synthesis cache here (rewrites memoized by "
+        "content fingerprint across runs)",
     )
     p.set_defaults(func=_cmd_compile)
 
@@ -470,6 +515,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the per-point equivalence check against the input",
     )
     p.add_argument("--honest", action="store_true", help="charge output polarity fix-ups")
+    p.add_argument(
+        "--cold",
+        action="store_true",
+        help="disable warm-started budget chains (restart every budget "
+        "from the raw input, the pre-incremental behavior)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persist the synthesis cache here (whole fronts and per-point "
+        "rewrites memoized by content fingerprint across runs)",
+    )
     p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     p.set_defaults(func=_cmd_pareto)
 
@@ -487,8 +544,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--honest", action="store_true", help="charge output polarity fix-ups")
     p.add_argument("--csv", action="store_true", help="emit CSV instead of the ASCII table")
     p.add_argument(
-        "--workers", type=int, default=1, metavar="N",
-        help="parallel benchmark processes (default 1)",
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool size (default: one per CPU)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persist the synthesis cache here (per-row rewrites memoized "
+        "by content fingerprint across runs)",
     )
     p.set_defaults(func=_cmd_table1)
 
@@ -500,10 +563,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name", choices=BENCHMARK_NAMES)
     p.add_argument("--scale", choices=SCALES, default="default")
     p.add_argument(
-        "--workers", type=int, default=1, metavar="N",
-        help="run the four ablation studies in parallel processes",
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool size for the ablation studies "
+        "(default: one per CPU)",
     )
     p.set_defaults(func=_cmd_ablate)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect or clear a --cache-dir synthesis cache",
+        epilog="examples: plimc cache stats .plim-cache;  "
+        "plimc cache clear .plim-cache",
+    )
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    for command, blurb in (
+        ("stats", "entry counts and sizes of a cache directory"),
+        ("clear", "delete every entry in a cache directory"),
+    ):
+        pc = cache_sub.add_parser(command, help=blurb)
+        pc.add_argument("dir", help="the synthesis cache directory")
+        pc.set_defaults(func=_cmd_cache)
 
     return parser
 

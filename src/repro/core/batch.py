@@ -28,9 +28,19 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping, Optional, Sequence, TypeVar, Union
+from typing import (
+    Callable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+    TypeVar,
+    Union,
+)
 
 from repro.circuits.registry import build as build_benchmark
+from repro.core.cache import SynthesisCache, payload_cache_ref, worker_cache
 from repro.core.compiler import CompilerOptions, PlimCompiler
 from repro.core.rewriting import RewriteOptions, rewrite_for_plim
 from repro.errors import ReproError
@@ -52,23 +62,40 @@ def resolve_workers(workers: Optional[int]) -> int:
     return max(1, workers)
 
 
-def parallel_map(
-    fn: Callable[[_T], _R], items: Iterable[_T], workers: Optional[int] = 1
-) -> "list[_R]":
-    """``[fn(x) for x in items]`` with deterministic ordering, fanned out
-    over a process pool when ``workers > 1``.
+def parallel_imap(
+    fn: Callable[[_T], _R], items: Iterable[_T], workers: Optional[int] = None
+) -> "Iterator[_R]":
+    """Yield ``fn(x)`` per item, in input order, pooled like
+    :func:`parallel_map`.
 
-    ``fn`` and the items must be picklable (``fn`` a module-level
-    function).  With one worker (or one item) everything runs inline in
-    this process — no pool, no pickling — which is also the fallback the
-    tests rely on for exact reproducibility checks.
+    The streaming counterpart of :func:`parallel_map`: results come out
+    one by one as they become available (in input order), so callers can
+    report progress row by row even when a pool is running — the
+    evaluation harness's live table output depends on this.
     """
     items = list(items)
     workers = resolve_workers(workers)
     if workers <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        for item in items:
+            yield fn(item)
+        return
     with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
-        return list(pool.map(fn, items))
+        yield from pool.map(fn, items)
+
+
+def parallel_map(
+    fn: Callable[[_T], _R], items: Iterable[_T], workers: Optional[int] = None
+) -> "list[_R]":
+    """``[fn(x) for x in items]`` with deterministic ordering, fanned out
+    over a process pool when more than one worker resolves.
+
+    ``workers=None`` (the default, the package-wide convention) means one
+    worker per CPU.  ``fn`` and the items must be picklable (``fn`` a
+    module-level function).  With one worker (or one item) everything
+    runs inline in this process — no pool, no pickling — which is also
+    the fallback the tests rely on for exact reproducibility checks.
+    """
+    return list(parallel_imap(fn, items, workers=workers))
 
 
 @dataclass(frozen=True)
@@ -124,12 +151,20 @@ def _resolve_spec(spec: CircuitSpec) -> tuple[str, Mig]:
     )
 
 
-def _compile_task(payload) -> list[BatchResult]:
-    """One worker task: every option set on one circuit, context shared."""
-    (circuit_index, spec, option_sets, rewrite, effort, keep_programs) = payload
+def _compile_task(payload):
+    """One worker task: every option set on one circuit, context shared.
+
+    Returns ``(results, fresh_cache_entries)``; the entries implement the
+    read-only + merge cache protocol (workers never write to disk, the
+    parent absorbs what they computed).
+    """
+    (circuit_index, spec, option_sets, rewrite, effort, keep_programs, cache_ref) = (
+        payload
+    )
+    cache = worker_cache(cache_ref)
     name, mig = _resolve_spec(spec)
     if rewrite:
-        mig = rewrite_for_plim(mig, RewriteOptions(effort=effort))
+        mig = rewrite_for_plim(mig, RewriteOptions(effort=effort), cache=cache)
     context = AnalysisContext(mig)
     # Prime the analyses every option set shares so the first set's timer
     # doesn't absorb the one-time cost (order-dependent reorders like the
@@ -158,7 +193,7 @@ def _compile_task(payload) -> list[BatchResult]:
                 program=program if keep_programs else None,
             )
         )
-    return results
+    return results, cache.export_fresh() if cache is not None else []
 
 
 def _label_option_sets(
@@ -175,10 +210,12 @@ def compile_many(
     migs_or_specs: Sequence[CircuitSpec],
     option_sets: "Optional[Union[Sequence[CompilerOptions], Mapping[str, CompilerOptions]]]" = None,
     *,
-    workers: Optional[int] = 1,
+    workers: Optional[int] = None,
     rewrite: bool = False,
     effort: int = 4,
     keep_programs: bool = False,
+    cache: Optional[SynthesisCache] = None,
+    cache_dir=None,
 ) -> list[BatchResult]:
     """Compile every circuit under every option set; return all cells.
 
@@ -189,9 +226,19 @@ def compile_many(
     Algorithm 1 at ``effort`` (once, shared by all its option sets).
 
     The result list is ordered circuit-major, option-minor — byte-identical
-    for any ``workers`` value.  ``workers=None`` uses all CPUs.  Programs
+    for any ``workers`` value.  ``workers=None`` (the default, the
+    package-wide convention) uses one worker per CPU.  Programs
     are dropped from the results unless ``keep_programs=True`` (they are
     the bulky part of the pickle when results cross process boundaries).
+
+    ``cache``/``cache_dir`` attach a
+    :class:`~repro.core.cache.SynthesisCache` memoizing the ``rewrite=True``
+    rewriting step per circuit fingerprint.  Pool workers use the cache
+    read-only (a disk-backed view when it has a ``cache_dir``) and ship
+    the entries they computed back; only this process merges and writes.
+    A *memory-only* cache therefore only helps inline runs (one worker)
+    and same-process repeats — pooled workers start empty unless the
+    cache has a ``cache_dir`` they can read.
 
     Example — two registry circuits under the default option set:
 
@@ -202,10 +249,17 @@ def compile_many(
         >>> all(c.num_instructions > 0 for c in cells)
         True
     """
+    if cache is None and cache_dir is not None:
+        cache = SynthesisCache(cache_dir)
+    inline = resolve_workers(workers) <= 1 or len(migs_or_specs) <= 1
+    cache_ref = payload_cache_ref(cache, inline)
     labelled = _label_option_sets(option_sets)
     payloads = [
-        (index, spec, labelled, rewrite, effort, keep_programs)
+        (index, spec, labelled, rewrite, effort, keep_programs, cache_ref)
         for index, spec in enumerate(migs_or_specs)
     ]
     grouped = parallel_map(_compile_task, payloads, workers=workers)
-    return [cell for group in grouped for cell in group]
+    if cache is not None and not inline:
+        for _, entries in grouped:
+            cache.absorb(entries)
+    return [cell for group, _ in grouped for cell in group]

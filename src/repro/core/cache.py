@@ -1,0 +1,439 @@
+"""Content-addressed synthesis cache.
+
+Rewriting is the compiler's dominant cost, and sweep-shaped workloads
+(:func:`~repro.core.pareto.pareto_sweep`, Table 1 runs, benchmark
+snapshots) rewrite the same circuits over and over.  The
+:class:`SynthesisCache` memoizes the two expensive products behind a
+*content address* — :meth:`repro.mig.graph.Mig.fingerprint`, a canonical
+structural hash that is invariant under gate-creation order and
+strash-equivalent rebuilds — so a repeated rewrite of the same circuit
+(or of a reordered-but-identical build of it) is a lookup, not a
+recomputation:
+
+* **rewrites** — ``rewrite_for_plim`` results, keyed on
+  ``(fingerprint, RewriteOptions)``, serialized in the native ``.mig``
+  text format;
+* **fronts** — whole :class:`~repro.core.pareto.ParetoFront` results,
+  keyed on ``(fingerprint, sweep parameters)``, serialized as JSON.
+
+The cache is in-memory by default; give it a ``cache_dir`` and every
+entry is also persisted to disk (atomic ``os.replace`` writes), so
+repeated ``plimc pareto`` / ``plimc table1`` / benchmark runs of one
+circuit family reuse results across processes.  Corrupt or unreadable
+entries are treated as misses (and removed best-effort), never as errors.
+
+For a given build of a circuit, a cache hit never changes *what* a
+caller computes, only how long it takes: the stored result is exactly
+what a cold run on that build produced.  Because the address
+canonicalizes gate-creation order, a *reordered* build of a cached
+circuit also hits — and receives the canonical representative's
+functionally identical (but possibly not bit-identical) result.  That
+is the designed trade-off of content addressing; studies whose subject
+is order sensitivity itself must bypass the cache, as
+:func:`repro.eval.table1.run_benchmark` does for shuffled rows.
+
+Process pools cooperate through the read-only + merge protocol:
+:func:`payload_cache_ref` turns a cache into a picklable payload field,
+workers rebuild a read-only view with :func:`worker_cache` (disk reads
+allowed, no writes), ship the entries they computed back via
+:meth:`SynthesisCache.export_fresh`, and the parent merges them with
+:meth:`SynthesisCache.absorb` — so only the main process ever writes.
+Note the implication for *memory-only* caches: a pool worker starts
+empty (there is no disk store to read), so an in-memory cache only
+accelerates inline runs (one worker) and same-process repeats — give the
+cache a ``cache_dir`` whenever pooled workers should see prior results.
+
+Example — the second rewrite of a circuit is a hit:
+
+    >>> from repro import Mig, RewriteOptions, SynthesisCache, rewrite_for_plim
+    >>> m = Mig()
+    >>> a, b, c = m.add_pi("a"), m.add_pi("b"), m.add_pi("c")
+    >>> _ = m.add_po(m.add_maj(a, b, m.add_maj(a, b, c)), "f")
+    >>> cache = SynthesisCache()
+    >>> rewrite_for_plim(m, cache=cache).num_gates
+    1
+    >>> rewrite_for_plim(m, cache=cache).num_gates
+    1
+    >>> (cache.stats.hits, cache.stats.misses, cache.stats.stores)
+    (1, 1, 1)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro._version import __version__
+from repro.mig.graph import Mig
+from repro.mig.io_mig import read_mig, write_mig
+
+#: entry kinds (also the on-disk subdirectory names)
+REWRITE_KIND = "rewrites"
+FRONT_KIND = "fronts"
+
+_EXTENSIONS = {REWRITE_KIND: ".mig", FRONT_KIND: ".json"}
+
+#: prefix of in-flight atomic-write temp files (never valid entries)
+_TMP_PREFIX = ".tmp-"
+
+#: bump when a serialization format changes: old entries then simply miss
+_FORMAT_VERSION = 1
+
+#: REVISION OF THE SYNTHESIS ALGORITHMS THE CACHED RESULTS EMBODY.
+#: Bump this in any PR that changes what rewriting (or the Pareto sweep)
+#: produces — new/changed Ω rules, engine search-order changes, chain
+#: policy changes — so persistent cache dirs never serve a pre-change
+#: result as if the current algorithms had computed it (old entries then
+#: simply miss and are recomputed).  The package version is folded in as
+#: well, but it moves too rarely to be the only guard.
+ALGORITHM_REVISION = 5  # PR 5: warm chains + cache introduced
+
+_KEY_SALT = f"{_FORMAT_VERSION}.{ALGORITHM_REVISION}.{__version__}"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters of one :class:`SynthesisCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: corrupt or unreadable entries recovered as misses
+    errors: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "errors": self.errors,
+        }
+
+
+class SynthesisCache:
+    """Memoizes rewriting results and Pareto fronts by content address.
+
+    ``cache_dir=None`` (the default) keeps everything in memory;
+    otherwise entries are also written under ``cache_dir`` and found
+    again by later processes.  ``read_only=True`` never writes to disk
+    (the worker side of the read-only + merge protocol) and implies
+    ``collect_fresh``: serialized fresh entries are retained for
+    :meth:`export_fresh`.  Ordinary long-lived caches do *not* collect
+    fresh entries (the texts would accumulate unboundedly alongside the
+    deserialized values); only worker-side views built by
+    :func:`worker_cache` do, and they are drained once per task.
+
+    Example:
+
+        >>> from repro.core.cache import SynthesisCache
+        >>> cache = SynthesisCache()
+        >>> cache.get_rewrite("fp", None) is None
+        True
+        >>> cache.stats.misses
+        1
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[Union[str, Path]] = None,
+        *,
+        read_only: bool = False,
+        collect_fresh: bool = False,
+    ):
+        self._dir = Path(cache_dir) if cache_dir is not None else None
+        self._read_only = read_only
+        self._collect_fresh = collect_fresh or read_only
+        self._mem: dict[tuple[str, str], object] = {}
+        self._fresh: list[tuple[str, str, str]] = []
+        self.stats = CacheStats()
+
+    @property
+    def cache_dir(self) -> Optional[Path]:
+        """The on-disk directory, or ``None`` for an in-memory cache."""
+        return self._dir
+
+    @property
+    def read_only(self) -> bool:
+        """True when this instance never writes to disk."""
+        return self._read_only
+
+    # ------------------------------------------------------------------
+    # keys
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def rewrite_key(fingerprint: str, options) -> str:
+        """Content address of one ``(input, RewriteOptions)`` rewrite.
+
+        ``options`` is a frozen dataclass of primitives, so its ``repr``
+        is a canonical token; ``None`` stands for the default options.
+        Keys are salted with the package version (see ``_KEY_SALT``).
+        """
+        token = f"rewrite{_KEY_SALT}|{fingerprint}|{options!r}"
+        return hashlib.sha256(token.encode("utf-8")).hexdigest()
+
+    @staticmethod
+    def front_key(fingerprint: str, params: dict) -> str:
+        """Content address of one ``(input, sweep parameters)`` front.
+
+        Salted with the package version like :meth:`rewrite_key`."""
+        token = (
+            f"front{_KEY_SALT}|{fingerprint}|"
+            + json.dumps(params, sort_keys=True)
+        )
+        return hashlib.sha256(token.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    # rewrites
+    # ------------------------------------------------------------------
+
+    def get_rewrite(self, fingerprint: str, options) -> Optional[Mig]:
+        """The cached rewrite of the MIG fingerprinting ``fingerprint``
+        under ``options``, or ``None``.  Hits return a private copy."""
+        hit = self._get(REWRITE_KIND, self.rewrite_key(fingerprint, options))
+        if hit is None:
+            return None
+        return hit.clone()
+
+    def put_rewrite(self, fingerprint: str, options, result: Mig) -> None:
+        """Store ``result`` as the rewrite of ``fingerprint`` under
+        ``options`` (a no-op when the entry already exists)."""
+        key = self.rewrite_key(fingerprint, options)
+        if (REWRITE_KIND, key) in self._mem:
+            return
+        self._put(REWRITE_KIND, key, result.clone(), _serialize_mig(result))
+
+    # ------------------------------------------------------------------
+    # Pareto fronts
+    # ------------------------------------------------------------------
+
+    def get_front(self, fingerprint: str, params: dict):
+        """The cached :class:`~repro.core.pareto.ParetoFront` for
+        ``(fingerprint, params)``, or ``None``."""
+        return self._get(FRONT_KIND, self.front_key(fingerprint, params))
+
+    def put_front(self, fingerprint: str, params: dict, front) -> None:
+        """Store a sweep's :class:`~repro.core.pareto.ParetoFront`."""
+        key = self.front_key(fingerprint, params)
+        if (FRONT_KIND, key) in self._mem:
+            return
+        self._put(FRONT_KIND, key, front, json.dumps(front.to_dict(), indent=2))
+
+    # ------------------------------------------------------------------
+    # the read-only + merge protocol (process pools)
+    # ------------------------------------------------------------------
+
+    def export_fresh(self) -> list[tuple[str, str, str]]:
+        """Drain the serialized entries added since the last export.
+
+        Worker processes call this after their task and ship the result
+        back to the parent, which merges with :meth:`absorb`.  Only
+        collecting caches (``read_only=True`` or ``collect_fresh=True``,
+        i.e. :func:`worker_cache` views) retain fresh entries; for an
+        ordinary cache this returns ``[]``.
+        """
+        fresh, self._fresh = self._fresh, []
+        return fresh
+
+    def absorb(self, entries: list[tuple[str, str, str]]) -> int:
+        """Merge serialized ``(kind, key, text)`` entries from a worker.
+
+        Returns the number of entries that were new to this cache.
+        Malformed entries are counted as errors and skipped.
+        """
+        added = 0
+        for kind, key, text in entries:
+            if (kind, key) in self._mem:
+                continue
+            try:
+                value = _deserialize(kind, text)
+            except Exception:
+                self.stats.errors += 1
+                continue
+            self._put(kind, key, value, text)
+            added += 1
+        return added
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def clear(self) -> int:
+        """Drop every entry (memory and disk); returns the count removed.
+
+        An entry that lives both in memory and on disk (the normal state
+        of a live persistent cache) counts once — the keys are
+        deduplicated, not summed per location.
+        """
+        removed = set(self._mem)
+        self._mem.clear()
+        self._fresh.clear()
+        if self._dir is not None:
+            for kind in _EXTENSIONS:
+                directory = self._dir / kind
+                if not directory.is_dir():
+                    continue
+                for path in directory.iterdir():
+                    if path.is_file():
+                        try:
+                            path.unlink()
+                        except OSError:
+                            continue
+                        # leftovers of interrupted atomic writes are
+                        # reaped but are not entries
+                        if not path.name.startswith(_TMP_PREFIX):
+                            removed.add((kind, path.stem))
+        return len(removed)
+
+    def disk_usage(self) -> dict:
+        """Per-kind entry counts and byte totals of the disk store.
+
+        Leftover ``.tmp-*`` files from interrupted atomic writes are not
+        entries (no key resolves to them) and are excluded.
+        """
+        usage = {}
+        for kind in _EXTENSIONS:
+            files = 0
+            size = 0
+            if self._dir is not None:
+                directory = self._dir / kind
+                if directory.is_dir():
+                    for path in directory.iterdir():
+                        if path.is_file() and not path.name.startswith(_TMP_PREFIX):
+                            files += 1
+                            size += path.stat().st_size
+            usage[kind] = {"entries": files, "bytes": size}
+        return usage
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _get(self, kind: str, key: str):
+        value = self._mem.get((kind, key))
+        if value is not None:
+            self.stats.hits += 1
+            return value
+        value = self._disk_get(kind, key)
+        if value is not None:
+            self._mem[(kind, key)] = value
+            self.stats.hits += 1
+            return value
+        self.stats.misses += 1
+        return None
+
+    def _put(self, kind: str, key: str, value, text: str) -> None:
+        self._mem[(kind, key)] = value
+        if self._collect_fresh:
+            self._fresh.append((kind, key, text))
+        self.stats.stores += 1
+        if self._dir is None or self._read_only:
+            return
+        path = self._entry_path(kind, key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=_TMP_PREFIX, suffix=path.suffix
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            self.stats.errors += 1  # disk store failed; memory entry stands
+
+    def _disk_get(self, kind: str, key: str):
+        if self._dir is None:
+            return None
+        path = self._entry_path(kind, key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            return _deserialize(kind, text)
+        except Exception:
+            # Corrupt entry: recover by treating it as a miss and removing
+            # the file (best-effort) so the recomputed result replaces it.
+            self.stats.errors += 1
+            if not self._read_only:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            return None
+
+    def _entry_path(self, kind: str, key: str) -> Path:
+        return self._dir / kind / f"{key}{_EXTENSIONS[kind]}"
+
+    def __repr__(self) -> str:
+        where = str(self._dir) if self._dir is not None else "memory"
+        return (
+            f"<SynthesisCache {where}: {len(self._mem)} entries, "
+            f"{self.stats.hits} hits / {self.stats.misses} misses>"
+        )
+
+
+def _serialize_mig(mig: Mig) -> str:
+    out = io.StringIO()
+    write_mig(mig, out)
+    return out.getvalue()
+
+
+def _deserialize(kind: str, text: str):
+    if kind == REWRITE_KIND:
+        return read_mig(io.StringIO(text))
+    if kind == FRONT_KIND:
+        # Local import: pareto imports this module at load time.
+        from repro.core.pareto import ParetoFront
+
+        return ParetoFront.from_dict(json.loads(text))
+    raise ValueError(f"unknown cache entry kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# payload plumbing for process pools
+# ----------------------------------------------------------------------
+
+
+def payload_cache_ref(cache: Optional[SynthesisCache], inline: bool):
+    """The picklable stand-in for ``cache`` in a worker payload.
+
+    ``inline=True`` (the task runs in this process) passes the instance
+    through unchanged, so memory hits are shared.  Pool workers instead
+    get the cache directory (or ``True`` for a memory-only cache) and
+    rebuild a read-only view with :func:`worker_cache`.
+    """
+    if cache is None:
+        return None
+    if inline:
+        return cache
+    return str(cache.cache_dir) if cache.cache_dir is not None else True
+
+
+def worker_cache(cache_ref) -> Optional[SynthesisCache]:
+    """Materialize a payload's cache reference inside the task.
+
+    Returns the shared instance (inline execution), a read-only
+    disk-backed view (pool worker of a persistent cache), a fresh
+    collect-only cache (pool worker of a memory cache), or ``None``.
+    """
+    if cache_ref is None:
+        return None
+    if isinstance(cache_ref, SynthesisCache):
+        return cache_ref
+    if cache_ref is True:
+        return SynthesisCache(collect_fresh=True)
+    return SynthesisCache(cache_ref, read_only=True)

@@ -12,16 +12,33 @@ deliverable.  :func:`pareto_sweep` explores the whole trade-off instead:
 2. for every depth budget ``d`` in ``[d_min, d_max)``, run size rewriting
    under the hard depth ceiling (``RewriteOptions.depth_budget`` — the
    ``try_*`` rules reject any candidate that could push a PO level past
-   ``d``), starting from the depth-rewritten graph when the raw input is
-   already deeper than ``d``;
+   ``d``).  Budgets are swept in *warm-started chains*: contiguous runs of
+   budgets from tight to loose in which each point's rewrite is seeded
+   with the previous point's rewritten MIG instead of the raw input
+   (sound — relaxing the budget keeps the tighter point feasible, and the
+   budget-gated rules only ever shrink #N from there).  Each warm step
+   re-rewrites a small already-optimized graph instead of the raw input,
+   so the saving grows with the width of the budget range (at ci scale
+   the two anchor rewrites dominate and warm ≈ cold wall-clock —
+   ``BENCH_pareto_incremental.json`` records both); warm chaining is also
+   *iterated* rewriting and sometimes strictly improves the frontier.  An
+   anti-drift guard recomputes the cold start whenever a warm step
+   stalls, so a chain does not get stuck in a local optimum the cold
+   sweep would have escaped (a heuristic — see :func:`_chain_task`);
 3. compile every candidate through Algorithm 2 so each point is also
    reported in PLiM terms (#I instructions, #R work RRAMs), and
    equivalence-check it against the input;
 4. deduplicate to the non-dominated (#N, #D) set.
 
-Sweep points are independent, so they fan out over the same process-pool
-seam as :func:`repro.core.batch.compile_many` (``workers > 1``); results
-are deterministic regardless of worker count.
+Chains are independent, so they fan out over the same process-pool seam
+as :func:`repro.core.batch.compile_many` (``workers``); chain boundaries
+are fixed (not derived from the worker count), so results are
+deterministic regardless of worker count.  With a
+:class:`~repro.core.cache.SynthesisCache` (``cache=`` / ``cache_dir=``)
+the whole front is memoized under the input's
+:meth:`~repro.mig.graph.Mig.fingerprint`, so repeated sweeps of one
+circuit family are lookups — a hit changes the sweep's wall time, never
+its output.
 
 Example::
 
@@ -41,13 +58,24 @@ import time
 from dataclasses import dataclass
 from typing import Optional, Union
 
-from repro.core.batch import CircuitSpec, _resolve_spec, parallel_map
+from repro.core.batch import CircuitSpec, _resolve_spec, parallel_map, resolve_workers
+from repro.core.cache import SynthesisCache, payload_cache_ref, worker_cache
 from repro.core.compiler import CompilerOptions, PlimCompiler
 from repro.core.rewriting import RewriteOptions, rewrite_for_plim
 from repro.errors import MigError
 from repro.mig.analysis import depth as mig_depth
 from repro.mig.equivalence import equivalent
 from repro.mig.graph import Mig
+
+#: budgets per warm-started chain.  Chain boundaries are part of the
+#: result definition — every chain head is a cold start, every later
+#: budget a warm start — so the length is a fixed constant rather than
+#: "budget count / worker count": results must be identical for any
+#: worker count, and a per-worker partition would move the cold-start
+#: positions whenever the pool size changed.  Four keeps plenty of
+#: independent chains for the pool while bounding how far a warm chain
+#: can drift from the cold baseline between anchoring cold starts.
+CHAIN_LENGTH = 4
 
 
 @dataclass(frozen=True)
@@ -74,6 +102,11 @@ class ParetoPoint:
     #: or ``None`` when the sweep ran with ``verify=False``
     equivalence: Optional[str]
     seconds: float
+    #: how the point's rewrite was seeded: "cold" (raw input / depth seed,
+    #: the pre-incremental behavior), "warm" (previous chain point), or
+    #: "cold-fallback" (the anti-drift guard recomputed and kept the cold
+    #: start)
+    source: str = "cold"
 
     @property
     def counts(self) -> tuple[int, int]:
@@ -90,8 +123,8 @@ class ParetoPoint:
         )
 
     def to_dict(self) -> dict:
-        """JSON-ready row (shared by ``plimc pareto --json`` and the bench
-        snapshot so the two schemas cannot drift)."""
+        """JSON-ready row (shared by ``plimc pareto --json``, the bench
+        snapshot and the synthesis cache so the schemas cannot drift)."""
         return {
             "label": self.label,
             "budget": self.budget,
@@ -101,7 +134,23 @@ class ParetoPoint:
             "num_rrams": self.num_rrams,
             "equivalence": self.equivalence,
             "seconds": round(self.seconds, 6),
+            "source": self.source,
         }
+
+    @staticmethod
+    def from_dict(data: dict) -> "ParetoPoint":
+        """Inverse of :meth:`to_dict` (used by the synthesis cache)."""
+        return ParetoPoint(
+            label=data["label"],
+            budget=data["budget"],
+            num_gates=data["num_gates"],
+            depth=data["depth"],
+            num_instructions=data["num_instructions"],
+            num_rrams=data["num_rrams"],
+            equivalence=data["equivalence"],
+            seconds=data["seconds"],
+            source=data.get("source", "cold"),
+        )
 
     def __repr__(self) -> str:
         return (
@@ -150,6 +199,17 @@ class ParetoFront:
             "seconds": round(self.seconds, 6),
         }
 
+    @staticmethod
+    def from_dict(data: dict) -> "ParetoFront":
+        """Inverse of :meth:`to_dict` (used by the synthesis cache)."""
+        return ParetoFront(
+            circuit=data["circuit"],
+            effort=data["effort"],
+            points=tuple(ParetoPoint.from_dict(p) for p in data["points"]),
+            dominated=tuple(ParetoPoint.from_dict(p) for p in data["dominated"]),
+            seconds=data["seconds"],
+        )
+
     def __repr__(self) -> str:
         span = (
             f"D {self.depth_point.depth}..{self.size_point.depth}, "
@@ -158,32 +218,17 @@ class ParetoFront:
         return f"<ParetoFront {self.circuit}: {len(self.points)} points ({span})>"
 
 
-def _sweep_task(payload):
-    """One sweep point, resolved and rewritten inside the worker process.
-
-    ``seed`` is the depth-rewritten starting graph for budget points whose
-    raw input is over budget; the depth-anchor task produces it once
-    (``ship_rewritten=True`` makes the task return ``(point, rewritten)``
-    so the parent can reuse the graph) instead of every budget worker
-    re-deriving it.  Verification always runs against the raw input.
-    """
-    spec, mode, budget, effort, verify, fix_polarity, seed, ship_rewritten = payload
-    _, mig = _resolve_spec(spec)
-    start = time.perf_counter()
-    if mode == "size":
-        label = "size"
-        rewritten = rewrite_for_plim(mig, RewriteOptions(effort=effort))
-    elif mode == "depth":
-        label = "depth"
-        rewritten = rewrite_for_plim(
-            mig, RewriteOptions(effort=effort, objective="depth")
-        )
-    else:  # depth-budgeted size rewriting
-        label = f"budget={budget}"
-        rewritten = rewrite_for_plim(
-            mig if seed is None else seed,
-            RewriteOptions(effort=effort, depth_budget=budget),
-        )
+def _compile_point(
+    mig: Mig,
+    rewritten: Mig,
+    label: str,
+    budget: Optional[int],
+    verify: bool,
+    fix_polarity: bool,
+    start: float,
+    source: str,
+) -> ParetoPoint:
+    """Algorithm 2 + equivalence check for one rewritten sweep point."""
     program = PlimCompiler(
         CompilerOptions(fix_output_polarity=fix_polarity)
     ).compile(rewritten)
@@ -198,7 +243,7 @@ def _sweep_task(payload):
                 f"{check.counterexample})"
             )
         equivalence = check.mode
-    point = ParetoPoint(
+    return ParetoPoint(
         label=label,
         budget=budget,
         num_gates=rewritten.num_gates,
@@ -207,10 +252,117 @@ def _sweep_task(payload):
         num_rrams=program.num_rrams,
         equivalence=equivalence,
         seconds=time.perf_counter() - start,
+        source=source,
     )
-    if ship_rewritten:
-        return point, rewritten
-    return point
+
+
+def _anchor_task(payload):
+    """One unconstrained extreme ("size"/"depth"), run inside a worker.
+
+    The depth anchor ships its rewritten graph back (``ship_rewritten``):
+    it doubles as the cold-start seed of every budget below the raw
+    input's depth, so no chain worker has to re-derive it.  Verification
+    always runs against the raw input.  Returns
+    ``([point], shipped_rewritten_or_None, fresh_cache_entries)``.
+    """
+    spec, mode, effort, verify, fix_polarity, ship_rewritten, cache_ref = payload
+    cache = worker_cache(cache_ref)
+    _, mig = _resolve_spec(spec)
+    start = time.perf_counter()
+    options = RewriteOptions(effort=effort)
+    if mode == "depth":
+        options = RewriteOptions(effort=effort, objective="depth")
+    rewritten = rewrite_for_plim(mig, options, cache=cache)
+    point = _compile_point(
+        mig, rewritten, mode, None, verify, fix_polarity, start, "cold"
+    )
+    entries = cache.export_fresh() if cache is not None else []
+    return [point], rewritten if ship_rewritten else None, entries
+
+
+def _chain_task(payload):
+    """One warm-started budget chain, run inside a worker.
+
+    ``budgets`` is a contiguous ascending run.  The first budget is a
+    *cold start* — exactly the pre-incremental per-budget behavior: seeded
+    with the depth-rewritten graph when the raw input is over budget,
+    with the raw input otherwise.  Every later budget is *warm-started*
+    from the previous point's rewritten MIG, which is sound (its depth is
+    within the tighter previous budget, hence within this one, and the
+    budget-gated rules only ever shrink #N from there) and skips the
+    expensive re-rewriting of the raw input.
+
+    Anti-drift guard: a warm start inherits the previous point's local
+    optimum, so when the warm step *stalls* (no #N improvement although
+    the loosened budget should buy some — detected by comparing against
+    the previous point's gate count, the chain's running
+    signature-fixed-point) while still above the unconstrained size
+    floor, the cold start the old code would have produced is recomputed
+    and kept instead whenever it is at least as good.  The guard is a
+    heuristic, not a proof: a warm step that improves #N but less than a
+    cold start would have skips the recomputation, so
+    warm-equals-or-dominates-cold is an *empirical* property — asserted
+    on every registry circuit by ``tests/test_pareto.py`` and the
+    ``bench_pareto.py`` CI snapshot, and to be strengthened here if a
+    future circuit or rule change ever trips those gates.  Points whose
+    warm rewrite already reached the floor skip the recomputation
+    outright (in practice no cold start undercuts the unconstrained
+    minimum).
+
+    Returns ``(points, None, fresh_cache_entries)``.
+    """
+    (
+        spec,
+        budgets,
+        effort,
+        verify,
+        fix_polarity,
+        depth_seed,
+        input_depth,
+        size_floor,
+        warm_start,
+        cache_ref,
+    ) = payload
+    cache = worker_cache(cache_ref)
+    _, mig = _resolve_spec(spec)
+
+    def cold_seed(budget: int) -> Mig:
+        return depth_seed if input_depth > budget else mig
+
+    points: list[ParetoPoint] = []
+    previous: Optional[Mig] = None
+    for budget in budgets:
+        start = time.perf_counter()
+        options = RewriteOptions(effort=effort, depth_budget=budget)
+        if previous is None or not warm_start:
+            rewritten = rewrite_for_plim(cold_seed(budget), options, cache=cache)
+            source = "cold"
+        else:
+            rewritten = rewrite_for_plim(previous, options, cache=cache)
+            source = "warm"
+            stalled = rewritten.num_gates >= previous.num_gates
+            if stalled and rewritten.num_gates > size_floor:
+                cold = rewrite_for_plim(cold_seed(budget), options, cache=cache)
+                if (cold.num_gates, mig_depth(cold)) < (
+                    rewritten.num_gates,
+                    mig_depth(rewritten),
+                ):
+                    rewritten, source = cold, "cold-fallback"
+        previous = rewritten
+        points.append(
+            _compile_point(
+                mig,
+                rewritten,
+                f"budget={budget}",
+                budget,
+                verify,
+                fix_polarity,
+                start,
+                source,
+            )
+        )
+    entries = cache.export_fresh() if cache is not None else []
+    return points, None, entries
 
 
 def _subsample(budgets: list[int], max_points: Optional[int]) -> list[int]:
@@ -229,6 +381,11 @@ def _subsample(budgets: list[int], max_points: Optional[int]) -> list[int]:
     span = len(budgets) - 1
     picked = {round(i * span / (max_points - 1)) for i in range(max_points)}
     return [budgets[i] for i in sorted(picked)]
+
+
+def _chunked(budgets: list[int], length: int = CHAIN_LENGTH) -> list[list[int]]:
+    """Split the ascending budget list into fixed-length chain runs."""
+    return [budgets[i : i + length] for i in range(0, len(budgets), length)]
 
 
 def _non_dominated(
@@ -261,32 +418,54 @@ def pareto_sweep(
     circuit: Union[Mig, CircuitSpec],
     *,
     effort: int = 4,
-    workers: Optional[int] = 1,
+    workers: Optional[int] = None,
     max_points: Optional[int] = None,
     verify: bool = True,
     paper_accounting: bool = True,
+    warm_start: bool = True,
+    cache: Optional[SynthesisCache] = None,
+    cache_dir=None,
 ) -> ParetoFront:
     """Sweep the (#N, #D) trade-off of ``circuit`` and return the frontier.
 
     ``circuit`` is anything :func:`repro.core.batch.compile_many` accepts:
     an :class:`~repro.mig.graph.Mig`, a registry name, or a
     ``(name, scale)`` pair (name specs are resolved inside the workers, so
-    only a tiny payload crosses the process boundary — except budget
-    points below the raw input's depth, whose payload carries the shared
+    only a tiny payload crosses the process boundary — except chains of
+    budgets below the raw input's depth, whose payload carries the shared
     depth-rewritten seed graph; ``max_points`` bounds how many).
-    ``workers`` fans
-    the sweep points out over a process pool (``None`` = one per CPU);
-    results are deterministic for any worker count.  ``max_points`` caps
-    the number of intermediate depth budgets (evenly subsampled; ``0``
-    sweeps the two extremes only); ``verify=True`` equivalence-checks every point against the
+    ``workers`` fans the budget chains out over a process pool (``None``,
+    the default, means one worker per CPU — the same convention as
+    :func:`~repro.core.batch.compile_many`); results are deterministic
+    for any worker count.  ``max_points`` caps the number of intermediate
+    depth budgets (evenly subsampled; ``0`` sweeps the two extremes
+    only); ``verify=True`` equivalence-checks every point against the
     input inside its worker and raises :class:`~repro.errors.MigError` on
     any mismatch.  ``paper_accounting=False`` charges output-polarity
     fix-ups in the Algorithm 2 compile (#I/#R), like ``plimc --honest``.
 
+    ``warm_start=True`` (the default) sweeps budgets in warm-started
+    chains (see :func:`_chain_task`); ``False`` restores the cold
+    per-budget restarts of the pre-incremental sweep (the benchmark
+    baseline).  ``cache``/``cache_dir`` attach a
+    :class:`~repro.core.cache.SynthesisCache`: the finished front is
+    memoized under the input's fingerprint and the sweep parameters, and
+    every per-point rewrite under its own content address, so repeated
+    sweeps of one circuit family — even across processes, with
+    ``cache_dir`` — reuse points.  For a given build of a circuit a
+    cache hit never changes the sweep's output, only its wall time.
+    Note the address is the *content* fingerprint, which canonicalizes
+    gate-creation order: sweeping a reordered build of an already-cached
+    circuit returns the cached representative's front (functionally
+    identical, possibly not bit-identical to what a cold sweep of the
+    reordered build would produce).  Order-sensitivity studies must
+    therefore run uncached — exactly as ``run_table1`` does for its
+    ``shuffled=True`` rows.
+
     Example::
 
         >>> from repro import pareto_sweep
-        >>> front = pareto_sweep(("ctrl", "ci"))
+        >>> front = pareto_sweep(("ctrl", "ci"), workers=1)
         >>> front.depth_point.depth <= front.size_point.depth
         True
         >>> any(p.dominates(q) for p in front for q in front)
@@ -299,44 +478,79 @@ def pareto_sweep(
     wall_start = time.perf_counter()
     fix_polarity = not paper_accounting
 
+    if cache is None and cache_dir is not None:
+        cache = SynthesisCache(cache_dir)
+    fingerprint = None
+    front_params = None
+    if cache is not None:
+        fingerprint = mig.fingerprint()
+        front_params = {
+            "circuit": name,
+            "effort": effort,
+            "max_points": max_points,
+            "verify": verify,
+            "paper_accounting": paper_accounting,
+            "warm_start": warm_start,
+        }
+        hit = cache.get_front(fingerprint, front_params)
+        if hit is not None:
+            return hit
+    inline = resolve_workers(workers) <= 1
+    cache_ref = payload_cache_ref(cache, inline)
+
     # The two unconstrained extremes anchor the budget range.  The depth
-    # anchor ships its rewritten graph back: it doubles as the starting
-    # graph of every budget point whose raw input is over budget (the
-    # rewrite is deterministic), so no worker has to re-derive it.
+    # anchor ships its rewritten graph back: it doubles as the cold-start
+    # seed of every budget below the raw input's depth (the rewrite is
+    # deterministic), so no worker has to re-derive it.
     input_depth = mig_depth(mig.cleanup()[0])
-    size_pt, (depth_pt, depth_seed) = parallel_map(
-        _sweep_task,
+    anchor_results = parallel_map(
+        _anchor_task,
         [
-            (spec, "size", None, effort, verify, fix_polarity, None, False),
-            (spec, "depth", None, effort, verify, fix_polarity, None, True),
+            (spec, "size", effort, verify, fix_polarity, False, cache_ref),
+            (spec, "depth", effort, verify, fix_polarity, True, cache_ref),
         ],
         workers=workers,
     )
-    budgets = _subsample(
-        list(range(depth_pt.depth, size_pt.depth)), max_points
+    ([size_pt], _, size_entries), ([depth_pt], depth_seed, depth_entries) = (
+        anchor_results
     )
-    budget_pts = parallel_map(
-        _sweep_task,
+    budgets = _subsample(list(range(depth_pt.depth, size_pt.depth)), max_points)
+    chains = _chunked(budgets, 1 if not warm_start else CHAIN_LENGTH)
+    chain_results = parallel_map(
+        _chain_task,
         [
             (
                 spec,
-                "budget",
-                d,
+                chain,
                 effort,
                 verify,
                 fix_polarity,
-                depth_seed if input_depth > d else None,
-                False,
+                depth_seed if input_depth > chain[0] else None,
+                input_depth,
+                size_pt.num_gates,
+                warm_start,
+                cache_ref,
             )
-            for d in budgets
+            for chain in chains
         ],
         workers=workers,
     )
+    budget_pts = [point for points, _, _ in chain_results for point in points]
+    if cache is not None and not inline:
+        # read-only + merge protocol: pool workers never write; the fresh
+        # entries they computed are merged (and persisted) here instead.
+        for entries in (size_entries, depth_entries):
+            cache.absorb(entries)
+        for _, _, entries in chain_results:
+            cache.absorb(entries)
     front, dominated = _non_dominated([size_pt, depth_pt, *budget_pts])
-    return ParetoFront(
+    result = ParetoFront(
         circuit=name,
         effort=effort,
         points=tuple(front),
         dominated=tuple(dominated),
         seconds=time.perf_counter() - wall_start,
     )
+    if cache is not None:
+        cache.put_front(fingerprint, front_params, result)
+    return result

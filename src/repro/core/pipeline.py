@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.cache import SynthesisCache
 from repro.core.compiler import CompilerOptions, PlimCompiler
 from repro.core.rewriting import RewriteOptions, rewrite_for_plim
 from repro.mig.context import AnalysisContext
@@ -66,6 +67,7 @@ def compile_mig(
     compiler_options: Optional[CompilerOptions] = None,
     rewrite_options: Optional[RewriteOptions] = None,
     context: Optional[AnalysisContext] = None,
+    cache: Optional[SynthesisCache] = None,
 ) -> CompileResult:
     """Rewrite (optional) and compile ``mig`` into a PLiM program.
 
@@ -82,7 +84,10 @@ def compile_mig(
     compiler will actually see (i.e. of ``mig`` itself when
     ``rewrite=False``); pass the same one across repeated calls to share
     the structural analyses.  It is ignored when rewriting is enabled,
-    since rewriting produces a fresh graph.
+    since rewriting produces a fresh graph.  ``cache`` is an optional
+    :class:`~repro.core.cache.SynthesisCache` that memoizes the rewriting
+    step under the input's :meth:`~repro.mig.graph.Mig.fingerprint`
+    (``plimc compile --cache-dir`` threads a persistent one through here).
 
     Returns a :class:`CompileResult`: the :class:`~repro.plim.program.Program`
     plus both the original and the compiled MIG and the exact option sets
@@ -114,7 +119,7 @@ def compile_mig(
                 engine=engine,
                 objective=objective,
             )
-        compiled = rewrite_for_plim(mig, ropts)
+        compiled = rewrite_for_plim(mig, ropts, cache=cache)
         context = None
     program = PlimCompiler(copts).compile(compiled, context=context)
     return CompileResult(

@@ -39,7 +39,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # import cycle: cache deserialization reaches back here
+    from repro.core.cache import SynthesisCache
 
 from repro.core.cost import NEGATION_INSTRUCTIONS, estimate_instructions, negations_needed
 from repro.errors import MigError, ReproError
@@ -112,7 +115,12 @@ ENGINES = ("worklist", "rebuild")
 OBJECTIVES = ("size", "depth", "balanced")
 
 
-def rewrite_for_plim(mig: Mig, options: Optional[RewriteOptions] = None) -> Mig:
+def rewrite_for_plim(
+    mig: Mig,
+    options: Optional[RewriteOptions] = None,
+    *,
+    cache: "Optional[SynthesisCache]" = None,
+) -> Mig:
     """Run MIG rewriting on ``mig`` and return the rewritten MIG.
 
     ``options.objective`` picks the target: ``"size"`` is the paper's
@@ -122,6 +130,11 @@ def rewrite_for_plim(mig: Mig, options: Optional[RewriteOptions] = None) -> Mig:
     budget below the input's depth raises
     :class:`~repro.errors.MigError`).  ``mig`` itself is never modified,
     whichever engine and objective run.
+
+    ``cache`` is an optional :class:`~repro.core.cache.SynthesisCache`:
+    the result is memoized under ``(mig.fingerprint(), options)``, so a
+    repeated rewrite of a structurally identical input — regardless of its
+    gate-creation order — is a lookup instead of a recomputation.
 
     Example — ``⟨a b ⟨a b c⟩⟩`` collapses to ``⟨a b c⟩`` (Ω.A + Ω.M),
     with or without a depth budget:
@@ -160,13 +173,24 @@ def rewrite_for_plim(mig: Mig, options: Optional[RewriteOptions] = None) -> Mig:
                 "depth_budget applies to the 'size' and 'balanced' "
                 "objectives; objective='depth' already minimizes depth"
             )
+    fingerprint = None
+    if cache is not None:
+        fingerprint = mig.fingerprint()
+        hit = cache.get_rewrite(fingerprint, opts)
+        if hit is not None:
+            return hit
     if opts.objective == "size":
         if opts.engine == "worklist":
-            return _rewrite_worklist(mig, opts)
-        return _rewrite_rebuild(mig, opts)
-    if opts.engine == "worklist":
-        return _rewrite_objective_worklist(mig, opts)
-    return _rewrite_objective_rebuild(mig, opts)
+            result = _rewrite_worklist(mig, opts)
+        else:
+            result = _rewrite_rebuild(mig, opts)
+    elif opts.engine == "worklist":
+        result = _rewrite_objective_worklist(mig, opts)
+    else:
+        result = _rewrite_objective_rebuild(mig, opts)
+    if cache is not None:
+        cache.put_rewrite(fingerprint, opts, result)
+    return result
 
 
 def _size_cycle_rebuild(mig: Mig, opts: RewriteOptions) -> Mig:

@@ -168,13 +168,14 @@ def format_pareto_front(name: str, front: ParetoFront) -> str:
             p.depth,
             p.num_instructions,
             p.num_rrams,
+            p.source,
             p.equivalence or "-",
         ]
         for on_front, points in ((True, front.points), (False, front.dominated))
         for p in points
     ]
     return f"Pareto (#N, #D) frontier — {name}\n" + format_table(
-        ["point", "front", "#N", "#D", "#I", "#R", "equivalence"], rows
+        ["point", "front", "#N", "#D", "#I", "#R", "start", "equivalence"], rows
     )
 
 
@@ -371,12 +372,14 @@ ABLATION_SECTIONS = (
 
 
 def run_benchmark_ablations(
-    name: str, scale: str = "default", *, workers: Optional[int] = 1
+    name: str, scale: str = "default", *, workers: Optional[int] = None
 ) -> str:
     """Every ablation section on one benchmark; returns the combined report.
 
     ``workers`` fans the studies out over a process pool (they are
-    independent); the section order of the report is fixed either way.
+    independent; ``None``, the default, means one worker per CPU — the
+    package-wide convention); the section order of the report is fixed
+    either way.
     """
     payloads = [(section, name, scale) for section in ABLATION_SECTIONS]
     return "\n\n".join(parallel_map(_ablation_section, payloads, workers=workers))

@@ -29,7 +29,8 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.circuits.registry import BENCHMARK_NAMES, benchmark_info
-from repro.core.batch import parallel_map, resolve_workers
+from repro.core.batch import parallel_imap, resolve_workers
+from repro.core.cache import SynthesisCache, payload_cache_ref, worker_cache
 from repro.core.compiler import CompilerOptions, PlimCompiler
 from repro.core.rewriting import RewriteOptions, rewrite_for_plim
 from repro.eval.reporting import format_table, improvement, to_csv
@@ -118,11 +119,15 @@ def measure_mig(
     paper_accounting: bool = True,
     compiler_options: Optional[CompilerOptions] = None,
     engine: str = "worklist",
+    cache: Optional[SynthesisCache] = None,
 ) -> Table1Row:
     """Run the three Table 1 configurations on one MIG.
 
     ``engine`` selects the Algorithm 1 implementation ("worklist" or
     "rebuild", see :class:`~repro.core.rewriting.RewriteOptions`).
+    ``cache`` memoizes the rewriting step (the row's dominant cost) under
+    the MIG's fingerprint, so repeated table runs of one circuit family
+    reuse it.
     """
     start = time.perf_counter()
     fix = not paper_accounting
@@ -140,6 +145,7 @@ def measure_mig(
         RewriteOptions(
             effort=effort, po_negation_cost=2 if fix else 0, engine=engine
         ),
+        cache=cache,
     )
     rewritten_context = AnalysisContext(rewritten)
     rewr_prog = PlimCompiler(naive_opts).compile(rewritten, context=rewritten_context)
@@ -172,20 +178,40 @@ def run_benchmark(
     shuffle_seed: int = 42,
     paper_accounting: bool = True,
     engine: str = "worklist",
+    cache: Optional[SynthesisCache] = None,
 ) -> Table1Row:
-    """Build one EPFL benchmark and measure its Table 1 row."""
+    """Build one EPFL benchmark and measure its Table 1 row.
+
+    ``shuffled=True`` disables the cache for the row: the fingerprint is
+    deliberately creation-order invariant, so a shuffled build shares its
+    cache key with the as-built one — a hit would silently substitute the
+    as-built rewriting results and void the very order-sensitivity the
+    flag exists to measure.
+    """
     mig = benchmark_info(name).build(scale)
     if shuffled:
         mig = shuffle_topological(mig, seed=shuffle_seed)
+        cache = None
     return measure_mig(
-        mig, name, effort=effort, paper_accounting=paper_accounting, engine=engine
+        mig,
+        name,
+        effort=effort,
+        paper_accounting=paper_accounting,
+        engine=engine,
+        cache=cache,
     )
 
 
-def _benchmark_task(payload) -> Table1Row:
-    """Module-level task so the table can fan out over a process pool."""
-    name, scale, effort, shuffled, shuffle_seed, paper_accounting, engine = payload
-    return run_benchmark(
+def _benchmark_task(payload):
+    """Module-level task so the table can fan out over a process pool.
+
+    Returns ``(row, fresh_cache_entries)`` — the read-only + merge cache
+    protocol, like :func:`repro.core.batch._compile_task`.
+    """
+    (name, scale, effort, shuffled, shuffle_seed, paper_accounting, engine,
+     cache_ref) = payload
+    cache = worker_cache(cache_ref)
+    row = run_benchmark(
         name,
         scale,
         effort=effort,
@@ -193,7 +219,9 @@ def _benchmark_task(payload) -> Table1Row:
         shuffle_seed=shuffle_seed,
         paper_accounting=paper_accounting,
         engine=engine,
+        cache=cache,
     )
+    return row, cache.export_fresh() if cache is not None else []
 
 
 def run_table1(
@@ -205,35 +233,46 @@ def run_table1(
     shuffle_seed: int = 42,
     paper_accounting: bool = True,
     progress=None,
-    workers: Optional[int] = 1,
+    workers: Optional[int] = None,
     engine: str = "worklist",
+    cache: Optional[SynthesisCache] = None,
+    cache_dir=None,
 ) -> Table1Result:
     """Run the full Table 1 reproduction.
 
     ``progress`` is an optional callback ``(name, row)`` invoked per
-    benchmark (the CLI uses it for live output).  ``workers`` fans the
-    benchmarks out over a process pool (``None`` = all CPUs); row order is
-    deterministic regardless.  ``engine`` selects the Algorithm 1
-    implementation.
+    benchmark as its row completes — live row-by-row output for any
+    worker count (the pooled path streams ordered results through
+    :func:`~repro.core.batch.parallel_imap`).  ``workers`` fans the
+    benchmarks out over a process pool (``None``, the default, means one
+    per CPU — the package-wide convention); row order is deterministic
+    regardless.  ``engine`` selects the Algorithm 1 implementation.
+    ``cache``/``cache_dir`` attach a
+    :class:`~repro.core.cache.SynthesisCache` memoizing each row's
+    rewriting step (pool workers read-only, merged here; ignored for
+    ``shuffled=True`` runs, whose whole point is order sensitivity that
+    the order-invariant fingerprint would cache away).
     """
+    if cache is None and cache_dir is not None:
+        cache = SynthesisCache(cache_dir)
     selected = list(names) if names is not None else list(BENCHMARK_NAMES)
+    inline = resolve_workers(workers) <= 1 or len(selected) <= 1
+    cache_ref = payload_cache_ref(cache, inline)
     payloads = [
-        (name, scale, effort, shuffled, shuffle_seed, paper_accounting, engine)
+        (name, scale, effort, shuffled, shuffle_seed, paper_accounting, engine,
+         cache_ref)
         for name in selected
     ]
-    if resolve_workers(workers) <= 1:
-        # Inline path keeps the progress callback live, row by row.
-        rows = []
-        for name, payload in zip(selected, payloads):
-            row = _benchmark_task(payload)
-            rows.append(row)
-            if progress is not None:
-                progress(name, row)
-    else:
-        rows = parallel_map(_benchmark_task, payloads, workers=workers)
+    rows = []
+    results = parallel_imap(_benchmark_task, payloads, workers=workers)
+    for name, (row, entries) in zip(selected, results):
+        rows.append(row)
+        if cache is not None:
+            # a no-op for inline runs (the entries are already this
+            # cache's); merges read-only pool workers' results otherwise
+            cache.absorb(entries)
         if progress is not None:
-            for name, row in zip(selected, rows):
-                progress(name, row)
+            progress(name, row)
     return Table1Result(
         rows=rows,
         scale=scale,

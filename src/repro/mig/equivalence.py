@@ -20,6 +20,7 @@ from repro.errors import MigError
 from repro.mig.graph import Mig
 from repro.mig.simulate import output_tables, simulate_outputs
 from repro.utils.bits import full_mask
+from repro.utils.limits import EXHAUSTIVE_EQUIVALENCE_LIMIT
 
 
 @dataclass(frozen=True)
@@ -47,7 +48,7 @@ def equivalent(
     a: Mig,
     b: Mig,
     *,
-    exhaustive_limit: int = 14,
+    exhaustive_limit: int = EXHAUSTIVE_EQUIVALENCE_LIMIT,
     num_random_rounds: int = 8,
     patterns_per_round: int = 1024,
     seed: int = 0xE9F1,
@@ -58,7 +59,10 @@ def equivalent(
     are compared by position, so duplicate-named outputs cannot shadow
     each other (a name-keyed comparison would silently collapse them and
     pass on circuits that differ on the shadowed output).  Exhaustive up
-    to ``exhaustive_limit`` inputs, randomized beyond.
+    to ``exhaustive_limit`` inputs (default
+    :data:`~repro.utils.limits.EXHAUSTIVE_EQUIVALENCE_LIMIT`; see that
+    module for why it is larger than the machine-model verifier's window),
+    randomized beyond.
     """
     _check_interfaces(a, b)
     names = a.po_names()

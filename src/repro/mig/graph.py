@@ -42,6 +42,7 @@ answer in O(1) instead of a full traversal.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 from typing import Callable, Iterator, Optional
 
@@ -899,6 +900,52 @@ class Mig:
     # ------------------------------------------------------------------
     # misc
     # ------------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Canonical structural content hash of the graph and its interface.
+
+        A SHA-256 hex digest over the PI names (in declaration order), the
+        PO names, and a Merkle-style structural key per primary output
+        (:func:`~repro.mig.algebra.structural_keys` — a gate's key hashes
+        the *sorted* ``(child key, polarity)`` pairs, so each PO key pins
+        down its whole reachable cone), plus the reachable live-gate count.
+        The digest is therefore invariant under gate-creation order, stored
+        child order, tombstones and unreachable cones — two strash-equivalent
+        builds of the same circuit fingerprint identically — while any
+        change to the computed functions, the PI/PO interface, or an output
+        polarity changes it.
+
+        This is the content address :class:`~repro.core.cache.SynthesisCache`
+        keys rewriting results on.  Per-node keys use Python's integer
+        hashing (stable across processes; a Python upgrade merely turns
+        disk-cache hits into misses).
+
+        Example — rebuilding the same circuit fingerprints identically,
+        flipping an output polarity does not:
+
+            >>> from repro.mig.graph import Mig
+            >>> def build(flip):
+            ...     m = Mig()
+            ...     a, b, c = m.add_pi("a"), m.add_pi("b"), m.add_pi("c")
+            ...     g = m.add_maj(a, b, c)
+            ...     _ = m.add_po(~g if flip else g, "f")
+            ...     return m
+            >>> build(False).fingerprint() == build(False).fingerprint()
+            True
+            >>> build(False).fingerprint() == build(True).fingerprint()
+            False
+        """
+        # Local import: algebra imports this module at load time.
+        from repro.mig.algebra import structural_keys
+
+        keys = structural_keys(self)
+        payload = (
+            tuple(self._pi_names),
+            tuple(self._po_names),
+            tuple((keys[po.node], int(po) & 1) for po in self._pos),
+            len(self._live_set()),
+        )
+        return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
 
     def signal_name(self, signal: Signal) -> str:
         """Readable name for a signal (used by listings and dot output)."""

@@ -19,6 +19,7 @@ from repro.mig.simulate import simulate
 from repro.plim.machine import PlimMachine
 from repro.plim.program import Program
 from repro.utils.bits import full_mask, pattern_mask
+from repro.utils.limits import EXHAUSTIVE_VERIFY_LIMIT
 
 
 @dataclass(frozen=True)
@@ -39,7 +40,7 @@ def verify_program(
     mig: Mig,
     program: Program,
     *,
-    exhaustive_limit: int = 12,
+    exhaustive_limit: int = EXHAUSTIVE_VERIFY_LIMIT,
     num_random_rounds: int = 4,
     patterns_per_round: int = 256,
     seed: int = 0x51AB,
@@ -48,7 +49,10 @@ def verify_program(
     """Check that ``program`` computes exactly what ``mig`` computes.
 
     Exhaustive for up to ``exhaustive_limit`` primary inputs (every
-    assignment packed into one machine pass), randomized otherwise.
+    assignment packed into one machine pass; default
+    :data:`~repro.utils.limits.EXHAUSTIVE_VERIFY_LIMIT` — smaller than the
+    MIG-vs-MIG checker's window because each pattern also pays for the
+    machine model, see that module), randomized otherwise.
     """
     names = mig.pi_names()
     missing = [n for n in names if n not in program.input_cells]

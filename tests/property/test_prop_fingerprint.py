@@ -1,0 +1,98 @@
+"""Property-based tests for :meth:`repro.mig.graph.Mig.fingerprint`.
+
+The fingerprint is the synthesis cache's content address, so its contract
+is load-bearing: on arbitrary well-formed MIGs it must be
+
+* *invariant* under gate-creation order (any topological re-creation of
+  the same circuit), under clone and rebuild round-trips of clean graphs,
+  and under dead/unreachable cones;
+* *sensitive* to anything that changes what the circuit computes or how
+  its interface looks: a PI rename, a PO rename, an output polarity flip,
+  a dropped output, a changed function.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mig.graph import Mig
+from repro.mig.reorder import reorder_dfs, shuffle_topological
+
+from .strategies import migs
+
+FAST = settings(max_examples=40, deadline=None)
+
+
+@FAST
+@given(mig=migs(), seed=st.integers(0, 2**16))
+def test_fingerprint_invariant_under_creation_order(mig, seed):
+    shuffled = shuffle_topological(mig.cleanup()[0], seed=seed)
+    assert shuffled.fingerprint() == mig.fingerprint()
+    assert reorder_dfs(mig.cleanup()[0]).fingerprint() == mig.fingerprint()
+
+
+@FAST
+@given(mig=migs())
+def test_fingerprint_invariant_under_clone_and_rebuild(mig):
+    # A raw strategy graph may contain trivially reducible gates that a
+    # rebuild would simplify away; fingerprint the *clean* form, whose
+    # rebuilds are structure-preserving.
+    clean = mig.cleanup()[0]
+    reference = clean.fingerprint()
+    assert clean.clone().fingerprint() == reference
+    assert clean.rebuild()[0].fingerprint() == reference
+    assert clean.rebuild()[0].rebuild()[0].fingerprint() == reference
+
+
+@FAST
+@given(mig=migs())
+def test_fingerprint_ignores_unreachable_cones(mig):
+    clean = mig.cleanup()[0]
+    reference = clean.fingerprint()
+    # Grow a cone no output reaches: the content address must not move.
+    extended = clean.clone()
+    pis = extended.pis()
+    a, b = pis[0], pis[-1]
+    extended.add_maj(a, ~b, extended.add_maj(a, b, ~a))
+    assert extended.fingerprint() == reference
+
+
+@FAST
+@given(mig=migs())
+def test_fingerprint_sensitive_to_interface_and_function(mig):
+    clean = mig.cleanup()[0]
+    reference = clean.fingerprint()
+
+    def rebuilt(pi_rename=None, po_rename=None, po_flip=False, drop_po=False):
+        from repro.mig.signal import Signal
+
+        new = Mig(name=clean.name)
+        mapping = {0: Signal.CONST0}
+        for pi in clean.pis():
+            name = clean.pi_name(pi.node)
+            mapping[pi.node] = new.add_pi(
+                pi_rename.get(name, name) if pi_rename else name
+            )
+        for v in clean.topo_gates():
+            a, b, c = clean.children(v)
+            mapping[v] = new.add_maj(
+                mapping[a.node].xor_inversion(a.inverted),
+                mapping[b.node].xor_inversion(b.inverted),
+                mapping[c.node].xor_inversion(c.inverted),
+            )
+        pos = list(zip(clean.pos(), clean.po_names()))
+        if drop_po and len(pos) > 1:
+            pos = pos[:-1]
+        for index, (po, name) in enumerate(pos):
+            signal = mapping[po.node].xor_inversion(po.inverted)
+            if po_flip and index == 0:
+                signal = ~signal
+            new.add_po(signal, (po_rename or {}).get(name, name))
+        return new
+
+    first_pi = clean.pi_names()[0]
+    assert rebuilt(pi_rename={first_pi: f"{first_pi}_renamed"}).fingerprint() != reference
+    first_po = clean.po_names()[0]
+    assert rebuilt(po_rename={first_po: f"{first_po}_renamed"}).fingerprint() != reference
+    assert rebuilt(po_flip=True).fingerprint() != reference
+    if clean.num_pos > 1:
+        assert rebuilt(drop_po=True).fingerprint() != reference

@@ -1,0 +1,297 @@
+"""The content-addressed synthesis cache.
+
+Contracts under test:
+
+* hit/miss/store accounting, private-copy hits, and persistence across
+  :class:`~repro.core.cache.SynthesisCache` instances sharing a
+  ``cache_dir``;
+* corrupt disk entries recover as misses (and are replaced), never as
+  errors surfaced to callers;
+* the read-only + merge worker protocol (``export_fresh``/``absorb``);
+* a cache hit never changes what ``rewrite_for_plim``/``compile_mig``/
+  ``compile_many`` return, only how fast;
+* the ``workers`` default convention is uniform across the public entry
+  points (the ``None`` = one-per-CPU convention).
+"""
+
+import inspect
+import json
+
+import pytest
+
+from repro.circuits.registry import build
+from repro.core.batch import compile_many, resolve_workers
+from repro.core.cache import (
+    FRONT_KIND,
+    REWRITE_KIND,
+    SynthesisCache,
+    payload_cache_ref,
+    worker_cache,
+)
+from repro.core.pareto import ParetoFront, ParetoPoint, pareto_sweep
+from repro.core.pipeline import compile_mig
+from repro.core.rewriting import RewriteOptions, rewrite_for_plim
+from repro.eval.table1 import run_table1
+from repro.mig.equivalence import equivalent
+from repro.mig.io_mig import write_mig
+
+from conftest import random_mig
+
+
+OPTS = RewriteOptions()
+
+
+def _listing(mig):
+    import io
+
+    out = io.StringIO()
+    write_mig(mig, out)
+    return out.getvalue()
+
+
+class TestRewriteEntries:
+    def test_memory_hit_and_miss(self):
+        mig = build("ctrl", "ci")
+        cache = SynthesisCache()
+        assert cache.get_rewrite(mig.fingerprint(), OPTS) is None
+        first = rewrite_for_plim(mig, OPTS, cache=cache)
+        second = rewrite_for_plim(mig, OPTS, cache=cache)
+        assert _listing(first) == _listing(second)
+        assert (cache.stats.hits, cache.stats.misses, cache.stats.stores) == (1, 2, 1)
+
+    def test_hits_return_private_copies(self):
+        mig = build("ctrl", "ci")
+        cache = SynthesisCache()
+        first = rewrite_for_plim(mig, OPTS, cache=cache)
+        first.add_po(first.pis()[0], "mutation")  # mutate the returned copy
+        second = rewrite_for_plim(mig, OPTS, cache=cache)
+        assert "mutation" not in second.po_names()
+
+    def test_distinct_options_distinct_entries(self):
+        mig = build("ctrl", "ci")
+        cache = SynthesisCache()
+        size = rewrite_for_plim(mig, RewriteOptions(), cache=cache)
+        depth = rewrite_for_plim(
+            mig, RewriteOptions(objective="depth"), cache=cache
+        )
+        assert cache.stats.stores == 2
+        assert equivalent(size, depth)
+
+    def test_hit_across_creation_orders(self):
+        from repro.mig.reorder import shuffle_topological
+
+        mig = build("ctrl", "ci")
+        cache = SynthesisCache()
+        reference = rewrite_for_plim(mig, OPTS, cache=cache)
+        shuffled = shuffle_topological(mig, seed=7)
+        hit = rewrite_for_plim(shuffled, OPTS, cache=cache)
+        assert cache.stats.hits == 1
+        assert _listing(hit) == _listing(reference)
+        assert equivalent(hit, shuffled)
+
+
+class TestDiskStore:
+    def test_persists_across_instances(self, tmp_path):
+        mig = build("ctrl", "ci")
+        first = rewrite_for_plim(mig, OPTS, cache=SynthesisCache(tmp_path))
+        fresh = SynthesisCache(tmp_path)
+        second = rewrite_for_plim(mig, OPTS, cache=fresh)
+        assert fresh.stats.hits == 1 and fresh.stats.stores == 0
+        assert _listing(first) == _listing(second)
+
+    def test_corrupt_entry_recovers_as_miss(self, tmp_path):
+        mig = build("ctrl", "ci")
+        cache = SynthesisCache(tmp_path)
+        rewrite_for_plim(mig, OPTS, cache=cache)
+        (entry,) = list((tmp_path / REWRITE_KIND).iterdir())
+        entry.write_text("this is not a .mig file", encoding="utf-8")
+        fresh = SynthesisCache(tmp_path)
+        result = rewrite_for_plim(mig, OPTS, cache=fresh)
+        assert equivalent(result, mig)
+        assert fresh.stats.errors == 1 and fresh.stats.misses == 1
+        # the corrupt file was replaced by the recomputed entry
+        again = SynthesisCache(tmp_path)
+        rewrite_for_plim(mig, OPTS, cache=again)
+        assert again.stats.hits == 1 and again.stats.errors == 0
+
+    def test_corrupt_front_recovers_as_miss(self, tmp_path):
+        cache = SynthesisCache(tmp_path)
+        front = pareto_sweep(("ctrl", "ci"), workers=1, cache=cache)
+        (entry,) = list((tmp_path / FRONT_KIND).iterdir())
+        entry.write_text("{not json", encoding="utf-8")
+        fresh = SynthesisCache(tmp_path)
+        again = pareto_sweep(("ctrl", "ci"), workers=1, cache=fresh)
+        strip = lambda p: {**p.to_dict(), "seconds": None}
+        assert [strip(p) for p in again.points] == [strip(p) for p in front.points]
+        assert fresh.stats.errors >= 1
+
+    def test_read_only_never_writes(self, tmp_path):
+        mig = build("ctrl", "ci")
+        cache = SynthesisCache(tmp_path, read_only=True)
+        rewrite_for_plim(mig, OPTS, cache=cache)
+        assert not (tmp_path / REWRITE_KIND).exists()
+        assert len(cache.export_fresh()) == 1
+
+    def test_clear_and_disk_usage(self, tmp_path):
+        cache = SynthesisCache(tmp_path)
+        pareto_sweep(("ctrl", "ci"), workers=1, cache=cache)
+        usage = cache.disk_usage()
+        assert usage[REWRITE_KIND]["entries"] >= 1
+        assert usage[FRONT_KIND]["entries"] == 1
+        total = sum(u["entries"] for u in usage.values())
+        # every entry lives in memory AND on disk here; clear() counts
+        # each once, not per location
+        assert cache.clear() == total
+        usage = cache.disk_usage()
+        assert usage[REWRITE_KIND]["entries"] == 0
+        assert usage[FRONT_KIND]["entries"] == 0
+
+    def test_export_and_absorb_round_trip(self, tmp_path):
+        mig = build("ctrl", "ci")
+        worker = SynthesisCache(tmp_path, read_only=True)
+        reference = rewrite_for_plim(mig, OPTS, cache=worker)
+        entries = worker.export_fresh()
+        parent = SynthesisCache(tmp_path)
+        assert parent.absorb(entries) == 1
+        merged = rewrite_for_plim(mig, OPTS, cache=SynthesisCache(tmp_path))
+        assert _listing(merged) == _listing(reference)
+
+    def test_absorb_skips_malformed_entries(self):
+        cache = SynthesisCache()
+        assert cache.absorb([(REWRITE_KIND, "key", "not a mig")]) == 0
+        assert cache.stats.errors == 1
+
+    def test_ordinary_caches_do_not_accumulate_fresh_entries(self, tmp_path):
+        """Only worker-side collecting views retain serialized fresh
+        entries; a long-lived cache must not grow them unboundedly."""
+        cache = SynthesisCache(tmp_path)
+        for seed in range(3):
+            rewrite_for_plim(
+                random_mig(seed=seed, num_pis=4, num_gates=10), OPTS, cache=cache
+            )
+        assert cache.export_fresh() == []
+        assert len(cache._fresh) == 0
+
+    def test_tmp_files_are_not_entries(self, tmp_path):
+        cache = SynthesisCache(tmp_path)
+        rewrite_for_plim(build("ctrl", "ci"), OPTS, cache=cache)
+        stray = tmp_path / REWRITE_KIND / ".tmp-interrupted.mig"
+        stray.write_text("partial write", encoding="utf-8")
+        assert cache.disk_usage()[REWRITE_KIND]["entries"] == 1
+        assert cache.clear() == 1  # the stray tmp file is reaped, not counted
+        assert not stray.exists()
+
+
+class TestFrontRoundTrip:
+    def test_front_serialization_round_trip(self):
+        front = pareto_sweep(("i2c", "ci"), workers=1)
+        clone = ParetoFront.from_dict(json.loads(json.dumps(front.to_dict())))
+        assert clone.to_dict() == front.to_dict()
+        assert isinstance(clone.points[0], ParetoPoint)
+
+    def test_point_from_dict_defaults_source(self):
+        data = pareto_sweep(("ctrl", "ci"), workers=1).points[0].to_dict()
+        del data["source"]  # pre-incremental cache entries lack the field
+        assert ParetoPoint.from_dict(data).source == "cold"
+
+
+class TestPipelineIntegration:
+    def test_compile_mig_cache_preserves_result(self):
+        mig = build("ctrl", "ci")
+        cache = SynthesisCache()
+        plain = compile_mig(mig)
+        cold = compile_mig(mig, cache=cache)
+        hit = compile_mig(mig, cache=cache)
+        for result in (cold, hit):
+            assert result.num_instructions == plain.num_instructions
+            assert result.num_rrams == plain.num_rrams
+            assert result.num_gates == plain.num_gates
+        assert cache.stats.hits == 1
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_compile_many_cache_preserves_results(self, tmp_path, workers):
+        specs = [("ctrl", "ci"), ("dec", "ci")]
+        plain = compile_many(specs, workers=1, rewrite=True)
+        cache = SynthesisCache(tmp_path)
+        cached = compile_many(specs, workers=workers, rewrite=True, cache=cache)
+        strip = lambda r: {**r.to_dict(), "seconds": None}
+        assert [strip(r) for r in plain] == [strip(r) for r in cached]
+        # the rewrites were persisted (merged from workers when pooled)
+        assert cache.disk_usage()[REWRITE_KIND]["entries"] == 2
+        warm = compile_many(specs, workers=1, rewrite=True, cache_dir=tmp_path)
+        assert [r.counts for r in warm] == [r.counts for r in plain]
+
+    def test_shuffled_table1_ignores_the_cache(self, tmp_path):
+        """--shuffled measures order sensitivity; the order-invariant
+        fingerprint would alias shuffled and as-built builds, so shuffled
+        rows must bypass the cache entirely."""
+        run_table1(names=["bar"], scale="ci", workers=1, cache_dir=tmp_path)
+        plain = run_table1(names=["bar"], scale="ci", workers=1, shuffled=True)
+        cached = run_table1(
+            names=["bar"], scale="ci", workers=1, shuffled=True,
+            cache_dir=tmp_path,
+        )
+        row_plain, row_cached = plain.rows[0], cached.rows[0]
+        assert (row_plain.rewr_n, row_plain.rewr_i, row_plain.rewr_r) == (
+            row_cached.rewr_n, row_cached.rewr_i, row_cached.rewr_r
+        )
+
+    def test_run_table1_cache_preserves_rows(self, tmp_path):
+        cold = run_table1(names=["ctrl"], scale="ci", workers=1)
+        cached = run_table1(
+            names=["ctrl"], scale="ci", workers=1, cache_dir=tmp_path
+        )
+        hit = run_table1(
+            names=["ctrl"], scale="ci", workers=1, cache_dir=tmp_path
+        )
+        def strip(row):
+            return {
+                k: v
+                for k, v in row.__dict__.items()
+                if k != "seconds"
+            }
+        assert strip(cold.rows[0]) == strip(cached.rows[0]) == strip(hit.rows[0])
+
+    def test_random_migs_cache_equivalence(self, tmp_path):
+        cache = SynthesisCache(tmp_path)
+        for seed in range(3):
+            mig = random_mig(seed=seed, num_pis=4, num_gates=15)
+            cold = rewrite_for_plim(mig, OPTS, cache=cache)
+            hit = rewrite_for_plim(mig, OPTS, cache=cache)
+            assert equivalent(cold, mig) and _listing(cold) == _listing(hit)
+
+
+class TestWorkerProtocolHelpers:
+    def test_payload_ref_inline_passes_instance(self):
+        cache = SynthesisCache()
+        assert payload_cache_ref(cache, inline=True) is cache
+        assert worker_cache(cache) is cache
+
+    def test_payload_ref_pool_variants(self, tmp_path):
+        assert payload_cache_ref(None, inline=False) is None
+        disk = SynthesisCache(tmp_path)
+        ref = payload_cache_ref(disk, inline=False)
+        assert ref == str(tmp_path)
+        rebuilt = worker_cache(ref)
+        assert rebuilt.read_only and rebuilt.cache_dir == tmp_path
+        mem_ref = payload_cache_ref(SynthesisCache(), inline=False)
+        assert mem_ref is True
+        assert worker_cache(mem_ref).cache_dir is None
+
+
+class TestWorkersConvention:
+    def test_public_entry_points_share_the_none_default(self):
+        from repro.core.batch import parallel_map
+        from repro.eval.ablations import run_benchmark_ablations
+
+        for fn in (pareto_sweep, compile_many, parallel_map, run_table1,
+                   run_benchmark_ablations):
+            default = inspect.signature(fn).parameters["workers"].default
+            assert default is None, f"{fn.__name__} breaks the workers=None convention"
+
+    def test_resolve_workers_none_is_per_cpu(self):
+        import os
+
+        assert resolve_workers(None) == (os.cpu_count() or 1)
+        assert resolve_workers(0) == 1
+        assert resolve_workers(3) == 3

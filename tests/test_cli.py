@@ -153,6 +153,65 @@ class TestParetoCommand:
     def test_pareto_unknown_circuit(self):
         assert main(["pareto", "not-a-benchmark"]) == 2
 
+    def test_pareto_cold_flag(self, capsys):
+        assert main(
+            ["pareto", "int2float", "--scale", "ci", "--workers", "1",
+             "--cold", "--json"]
+        ) == 0
+        import json as json_module
+
+        payload = json_module.loads(capsys.readouterr().out)
+        assert all(
+            p["source"] == "cold"
+            for p in payload["points"] + payload["dominated"]
+        )
+
+
+class TestCacheCommands:
+    def test_pareto_cache_dir_round_trip(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = ["pareto", "ctrl", "--scale", "ci", "--workers", "1",
+                "--cache-dir", cache_dir, "--json"]
+        import json as json_module
+
+        assert main(args) == 0
+        first = json_module.loads(capsys.readouterr().out)
+        assert main(args) == 0
+        second = json_module.loads(capsys.readouterr().out)
+        assert second == first  # front hit: identical output, stored timings
+
+    def test_compile_cache_dir(self, circuit_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        out = tmp_path / "out.plim"
+        args = ["compile", circuit_file, "-o", str(out), "--cache-dir", cache_dir]
+        assert main(args) == 0
+        cold = out.read_text()
+        assert main(args) == 0
+        assert out.read_text() == cold
+
+    def test_table1_cache_dir(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = ["table1", "--names", "ctrl", "--scale", "ci", "--workers", "1",
+                "--cache-dir", cache_dir]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == cold
+
+    def test_cache_stats_and_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["pareto", "ctrl", "--scale", "ci", "--workers", "1",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "rewrites" in out and "fronts" in out and "total" in out
+        assert main(["cache", "clear", cache_dir]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert main(["cache", "stats", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "rewrites       0 entries" in out
+
 
 class TestNewCompileFlags:
     def test_max_rrams_flag(self, circuit_file, capsys):

@@ -28,6 +28,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 DOCTEST_MODULES = [
     "repro",
     "repro.core.batch",
+    "repro.core.cache",
     "repro.core.pareto",
     "repro.core.pipeline",
     "repro.core.rewriting",
