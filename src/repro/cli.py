@@ -21,7 +21,8 @@ flags persist a content-addressed synthesis cache across runs
 (``plimc cache`` inspects or clears one).
 
 Circuit files are detected by extension: ``.mig`` (native), ``.blif``,
-``.aag`` (ASCII AIGER).  ``plimc <subcommand> --help`` documents every
+``.aag``/``.aig`` (ASCII/binary AIGER — ``read_aiger`` sniffs the header,
+so either extension accepts either flavour).  ``plimc <subcommand> --help`` documents every
 flag; the full walkthrough with example output lives in ``docs/cli.md``.
 """
 
@@ -52,7 +53,12 @@ from repro.plim.machine import PlimMachine
 from repro.plim.program import Program
 from repro.plim.verify import verify_program
 
-READERS = {".mig": read_mig, ".blif": read_blif, ".aag": read_aiger}
+READERS = {
+    ".mig": read_mig,
+    ".blif": read_blif,
+    ".aag": read_aiger,
+    ".aig": read_aiger,
+}
 
 
 def load_circuit(path: str) -> Mig:
@@ -378,7 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
         "plimc compile c.mig --objective depth --engine rebuild (the oracle);  "
         "use 'plimc pareto' to sweep the whole (#N, #D) trade-off",
     )
-    p.add_argument("circuit", help="input circuit (.mig, .blif, .aag)")
+    p.add_argument("circuit", help="input circuit (.mig, .blif, .aag, .aig)")
     p.add_argument("-o", "--output", help="write the .plim program here")
     p.add_argument("--no-rewrite", action="store_true", help="skip Algorithm 1")
     p.add_argument("--effort", type=int, default=4, help="rewriting effort (default 4)")
@@ -459,7 +465,7 @@ def build_parser() -> argparse.ArgumentParser:
         "circuits",
         nargs="+",
         metavar="CIRCUIT",
-        help="registry benchmark names and/or circuit files (.mig, .blif, .aag)",
+        help="registry benchmark names and/or circuit files (.mig, .blif, .aag, .aig)",
     )
     p.add_argument("--scale", choices=SCALES, default="default")
     p.add_argument(

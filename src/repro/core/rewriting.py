@@ -64,6 +64,7 @@ from repro.mig.algebra import (
 )
 from repro.mig.analysis import complement_stats, depth
 from repro.mig.graph import Mig
+from repro.mig.signal import Signal
 
 
 @dataclass(frozen=True)
@@ -394,12 +395,15 @@ def _sweep_commutativity(work: Mig) -> None:
     )
 
     keys = structural_keys(work)
-    children_list = work._children  # bound once: this sweep is a hot path
+    # bound once: this sweep is a hot path (encoding views work on both
+    # the array core and the DictMig reference core)
+    ca, cb, cc = work._ca, work._cb, work._cc
     refs = work._refs
     for v in list(work.topo_gates()):
-        triple = children_list[v]
-        if triple is None:
+        ea = ca[v]
+        if ea < 0:
             continue
+        triple = (Signal(ea), Signal(cb[v]), Signal(cc[v]))
         scores = []
         child_keys = []
         for child in triple:
@@ -410,7 +414,7 @@ def _sweep_commutativity(work: Mig) -> None:
                 scores.append(SLOT_SCORES_CONST)
             elif encoding & 1:
                 scores.append(SLOT_SCORES_INVERTED)
-            elif children_list[n] is not None and refs[n] == 1:
+            elif ca[n] >= 0 and refs[n] == 1:
                 scores.append(SLOT_SCORES_PLAIN_SINGLE_GATE)
             else:
                 scores.append(SLOT_SCORES_PLAIN)
@@ -435,24 +439,27 @@ def _sweep_inverters_cost_aware(work: Mig, po_negation_cost: int = 0) -> None:
     order = list(work.topo_gates())
     position = {v: i for i, v in enumerate(order)}
     evicted: set[int] = set()
+    ca, cb, cc = work._ca, work._cb, work._cc  # encoding views, hot sweep
     for v in order:
-        if not work.is_gate(v):  # replaced by an earlier flip's cascade
+        if ca[v] < 0:  # replaced by an earlier flip's cascade
             continue
-        nonconst = [s for s in work.children(v) if not s.is_const]
-        complemented = sum(1 for s in nonconst if s.inverted)
-        has_const = len(nonconst) < 3
+        enc = (ca[v], cb[v], cc[v])
+        num_nonconst = sum(1 for e in enc if e >= 2)
+        complemented = sum(1 for e in enc if e >= 2 and e & 1)
+        has_const = num_nonconst < 3
         flip = False
         if complemented >= 2:
             # Cost at this node if we flip: complements become k - c.
-            delta = extra_cost(len(nonconst) - complemented, has_const) - extra_cost(
+            delta = extra_cost(num_nonconst - complemented, has_const) - extra_cost(
                 complemented, has_const
             )
             # Cost at each fanout target: its edge to us toggles polarity.
             for p in work.parents_of_node(v):
-                c_p, const_p = Mig._triple_profile(work.children(p))
-                for edge in work.children(p):
-                    if edge.node == v:
-                        c_p_flipped = c_p + (-1 if edge.inverted else 1)
+                pe = (ca[p], cb[p], cc[p])
+                c_p, const_p = Mig._profile_enc(*pe)
+                for edge in pe:
+                    if edge >> 1 == v:
+                        c_p_flipped = c_p + (-1 if edge & 1 else 1)
                         delta += extra_cost(c_p_flipped, const_p) - extra_cost(
                             c_p, const_p
                         )
@@ -469,11 +476,12 @@ def _sweep_push_inverters(work: Mig, threshold: int) -> None:
     order = list(work.topo_gates())
     position = {v: i for i, v in enumerate(order)}
     evicted: set[int] = set()
+    ca, cb, cc = work._ca, work._cb, work._cc  # encoding views, hot sweep
     for v in order:
-        if not work.is_gate(v):
+        if ca[v] < 0:
             continue
         inverted_nonconst = sum(
-            1 for s in work.children(v) if s.inverted and not s.is_const
+            1 for e in (ca[v], cb[v], cc[v]) if e >= 2 and e & 1
         )
         _visit_for_flip(work, v, inverted_nonconst >= threshold, position, evicted)
 
@@ -608,14 +616,8 @@ def _private_clean_copy(mig: Mig) -> Mig:
     per-gate re-hash.  Unreachable cones a clone carries over are swept by
     the caller with ``collect_unused()`` once in-place maintenance is on.
     """
-    if mig._topo_dirty or mig._dead:
+    if not mig.is_append_clean():
         return mig.rebuild()[0]
-    children = mig._children
-    for v in mig.gates():
-        a, b, c = children[v]
-        # inlined Ω.M triviality test (_simplify_triple, sans allocations)
-        if a == b or a == c or b == c or a ^ 1 == b or a ^ 1 == c or b ^ 1 == c:
-            return mig.rebuild()[0]
     return mig.clone()
 
 

@@ -537,11 +537,10 @@ def try_majority(
     ``v`` by one of its own children (or a constant), which can only lower
     levels.
     """
-    a, b, c = mig.children(v)
-    replacement = Mig._simplify_triple(a, b, c)
-    if replacement is None:
+    replacement = Mig._simplify_enc(mig._ca[v], mig._cb[v], mig._cc[v])
+    if replacement < 0:
         return set()
-    return mig.replace_node(v, replacement)
+    return mig.replace_node(v, Signal(replacement))
 
 
 def try_distributivity_rl(
@@ -560,25 +559,27 @@ def try_distributivity_rl(
     budget is rejected before any node is created.
     """
     _require_levels_for_budget(mig, depth_budget)
-    triple = mig.children(v)
-    children = mig._children  # bound once: this match loop is the hot path
+    # bound once, matched on raw encodings: this loop is the hot path and
+    # mostly rejects, so Signals are only built for surviving candidates
+    ca, cb, cc = mig._ca, mig._cb, mig._cc
+    enc = (ca[v], cb[v], cc[v])
     levels = mig._levels
     for i, j in ((0, 1), (0, 2), (1, 2)):
-        gi, gj = triple[i], triple[j]
-        ni, nj = int(gi) >> 1, int(gj) >> 1
+        ei, ej = enc[i], enc[j]
+        ni, nj = ei >> 1, ej >> 1
         if ni == nj:
             continue
-        if children[ni] is None or children[nj] is None:
+        if ca[ni] < 0 or ca[nj] < 0:  # child slot a empty => not a gate
             continue
         if _fanout(mig, fanouts, ni) != 1 or _fanout(mig, fanouts, nj) != 1:
             continue
         common = _common_pair(
-            effective_children(mig, gi), effective_children(mig, gj)
+            effective_children(mig, Signal(ei)), effective_children(mig, Signal(ej))
         )
         if common is None:
             continue
         (x, y), p, q = common
-        z = triple[3 - i - j]
+        z = Signal(enc[3 - i - j])
         if depth_budget is not None:
             inner_level = _predicted_level(levels, (p, q, z))
             outer_level = _predicted_level(levels, (x, y), floor=inner_level)
@@ -626,13 +627,17 @@ def try_associativity(
     gated).
     """
     _require_levels_for_budget(mig, depth_budget)
-    triple = mig.children(v)
+    # raw-encoding prefilter: most gates reject on the fanout test, so
+    # Signal construction is deferred until a candidate child survives
+    ca = mig._ca
+    enc = (ca[v], mig._cb[v], mig._cc[v])
     for k in range(3):
-        g = triple[k]
-        if not mig.is_gate(g.node) or _fanout(mig, fanouts, g.node) != 1:
+        n = enc[k] >> 1
+        if ca[n] < 0 or _fanout(mig, fanouts, n) != 1:
             continue
+        g = Signal(enc[k])
         inner = effective_children(mig, g)
-        others = [triple[i] for i in range(3) if i != k]
+        others = [Signal(enc[i]) for i in range(3) if i != k]
         for u_pos in range(2):
             u = others[u_pos]
             x = others[1 - u_pos]
@@ -692,7 +697,7 @@ def try_associativity_depth(
             "call enable_levels() first"
         )
     triple = mig.children(v)
-    children = mig._children  # bound once: this match loop is the hot path
+    ca = mig._ca  # bound once: this match loop is the hot path
     levels = mig._levels
     lv = levels[v]
     for k in range(3):
@@ -702,7 +707,7 @@ def try_associativity_depth(
         # critical child — cheap reject before any pattern matching.
         if levels[n] + 1 != lv:
             continue
-        if children[n] is None or _fanout(mig, fanouts, n) != 1:
+        if ca[n] < 0 or _fanout(mig, fanouts, n) != 1:
             continue
         inner = effective_children(mig, g)
         others = [triple[i] for i in range(3) if i != k]

@@ -1,4 +1,30 @@
-"""The Majority-Inverter Graph data structure, on a flat array core.
+"""The original dict-of-objects MIG core, preserved as a reference.
+
+:class:`DictMig` is the pre-array implementation of
+:class:`repro.mig.graph.Mig`: per-node child triples stored as Python
+tuples of :class:`~repro.mig.signal.Signal` in one list, tombstones in a
+``set``, strash keys as sorted int 3-tuples.  It is **not** used by the
+compiler — :mod:`repro.mig.graph` replaced it with a flat
+struct-of-arrays core — but it stays behind as
+
+* the **differential oracle** for the array core: both classes implement
+  the same algorithms over different storage, so any behavioral
+  difference between them (node indices, strash merges, rewriting
+  output) is a bug in one of the two
+  (``tests/test_graph_core_differential.py`` compares them circuit by circuit);
+* the **baseline** for the ``BENCH_graph_core.json`` dict-core vs
+  array-core throughput and memory ratios
+  (``benchmarks/bench_graph_core.py``).
+
+It exposes the same hot-path encoding protocol as the array core
+(``_ca``/``_cb``/``_cc`` views, ``is_append_clean``) so the worklist
+rewriting engine runs on either class unchanged.  Everything below the
+protocol shims is the historical implementation, kept byte-for-byte in
+sync with the algorithms of the array core.
+
+----
+
+The Majority-Inverter Graph data structure.
 
 An :class:`Mig` is a DAG with three kinds of nodes:
 
@@ -11,37 +37,12 @@ Outputs are a list of signals.  Gates are created strictly after their
 children, so node indices are already a topological order — every traversal
 in this package relies on that invariant.
 
-**Storage.**  The hot per-node state lives in flat struct-of-arrays
-vectors indexed by node id, not in per-node Python objects:
-
-* ``_ca``/``_cb``/``_cc`` — ``array('q')`` of the three child-edge
-  *encodings* (``node << 1 | complement``, the same packing
-  :class:`~repro.mig.signal.Signal` uses), ``-1`` in every slot of a
-  non-gate (constant, PI, tombstone);
-* ``_kind`` — one byte per node: constant / PI / gate / tombstone;
-* ``_refs`` (reference counts, in-place mode) and ``_levels``
-  (topological levels, depth mode) — ``array('q')`` vectors;
-* the structural-hash table keys on one packed integer per sorted child
-  triple instead of an int 3-tuple.
-
-This drops the constant factor of the previous dict-of-objects core
-(~25 bytes of child state per gate instead of ~200) and lets the
-simulation kernel (:mod:`repro.mig.simulate`) compile gate schedules
-straight out of the arrays — the difference between topping out at a few
-tens of thousands of nodes and ingesting the 10⁵–10⁶-node EPFL/ISCAS
-benchmark circuits.  The previous core survives verbatim as
-:class:`repro.mig.graph_dict.DictMig`, the differential oracle and
-benchmark baseline.  Node ids are capped at ``2**23 - 1`` (~8.3M live +
-tombstoned slots) by the packed strash key; exceeding the cap raises
-:class:`~repro.errors.MigError` instead of silently corrupting the table.
-
-Everything below the storage layer is behavior-identical to the dict
-core.  Structural hashing (strash) is performed on the *sorted* child
-triple, which makes node sharing insensitive to commutativity (Ω.C),
-while the child order given at construction time is preserved for
-storage.  The stored order matters: the paper's naïve translator picks
-RM3 operands "in order of their children (from left to right)", so
-builders control what naïve compilation sees.
+Structural hashing (strash) is performed on the *sorted* child triple, which
+makes node sharing insensitive to commutativity (Ω.C), while the child order
+given at construction time is preserved for storage.  The stored order
+matters: the paper's naïve translator picks RM3 operands "in order of their
+children (from left to right)", so builders control what naïve compilation
+sees.
 
 Trivial majority simplifications (Ω.M: ``⟨x x z⟩ = x``, ``⟨x x̄ z⟩ = z``) are
 applied on construction unless ``simplify=False`` is passed, which tests and
@@ -69,24 +70,38 @@ from __future__ import annotations
 
 import hashlib
 import heapq
-from array import array
 from typing import Callable, Iterator, Optional
 
 from repro.errors import MigError
 from repro.mig.signal import Signal
 
-#: node kinds stored in the per-node ``_kind`` byte vector
-_CONST = 0
-_PI = 1
-_GATE = 2
-_DEAD = 3
 
-#: highest admissible node index: child encodings must fit the 24-bit
-#: fields of the packed strash key
-_MAX_NODE = (1 << 23) - 1
+class _ChildEncodingView:
+    """Array-protocol adapter: child-``slot`` encodings over tuple storage.
+
+    ``view[v]`` is the integer encoding of gate ``v``'s child in ``slot``,
+    or ``-1`` when ``v`` is not a live gate — the exact contract of the
+    array core's ``_ca``/``_cb``/``_cc`` vectors, so hot loops written
+    against the encoding protocol run on either core.
+    """
+
+    __slots__ = ("_children", "_slot")
+
+    def __init__(self, children, slot):
+        self._children = children
+        self._slot = slot
+
+    def __getitem__(self, node):
+        triple = self._children[node]
+        if triple is None:
+            return -1
+        return int(triple[self._slot])
+
+    def __len__(self):
+        return len(self._children)
 
 
-class Mig:
+class DictMig:
     """A majority-inverter graph with named primary inputs and outputs.
 
     Nodes are the constant (index 0), primary inputs, and 3-input majority
@@ -94,8 +109,8 @@ class Mig:
     optional complement bit.  ``add_maj`` applies the trivial Ω.M rules
     and structural hashing by default, so building is already a cleanup:
 
-        >>> from repro.mig.graph import Mig
-        >>> m = Mig(name="demo")
+        >>> from repro.mig.graph_dict import DictMig
+        >>> m = DictMig(name="demo")
         >>> a, b, c = m.add_pi("a"), m.add_pi("b"), m.add_pi("c")
         >>> g = m.add_maj(a, b, ~c)
         >>> _ = m.add_po(g, "f")
@@ -113,24 +128,20 @@ class Mig:
 
     def __init__(self, name: Optional[str] = None):
         self.name = name
-        # struct-of-arrays node store: _ca/_cb/_cc hold the child-edge
-        # encodings of gate v (all -1 for the constant, PIs, and dead
-        # gates); _kind holds the node class byte.  Slot 0 is the constant.
-        self._ca: array = array("q", (-1,))
-        self._cb: array = array("q", (-1,))
-        self._cc: array = array("q", (-1,))
-        self._kind: bytearray = bytearray((_CONST,))
-        self._num_dead: int = 0
+        # _children[v] is None for the constant, for PIs and for tombstoned
+        # (dead) gates, otherwise a 3-tuple of Signals in the order the
+        # builder supplied them.
+        self._children: list[Optional[tuple[Signal, Signal, Signal]]] = [None]
         self._pi_ids: list[int] = []
         self._pi_names: list[str] = []
         self._name_to_pi: dict[str, int] = {}
         self._pi_pos: dict[int, int] = {}
         self._pos: list[Signal] = []
         self._po_names: list[Optional[str]] = []
-        # strash: packed sorted-child-triple key -> node index
-        self._strash: dict[int, int] = {}
+        self._strash: dict[tuple[int, int, int], int] = {}
         # --- in-place rewriting state (None/empty until enable_inplace) ---
-        self._refs: Optional[array] = None
+        self._dead: set[int] = set()
+        self._refs: Optional[list[int]] = None
         self._parents: Optional[list[set[int]]] = None
         self._po_of: Optional[dict[int, list[int]]] = None
         # complemented-non-constant-child histogram over live gates, plus
@@ -149,7 +160,7 @@ class Mig:
         # per-node topological levels, maintained incrementally once
         # enable_levels() is called (depth objective); None until then so
         # pure size rewriting pays nothing for level bookkeeping
-        self._levels: Optional[array] = None
+        self._levels: Optional[list[int]] = None
         self._topo_dirty: bool = False
         # cached topo_gates order for dirty graphs, keyed on a shape
         # version (bumped by node creation, rewiring and tombstoning;
@@ -157,37 +168,20 @@ class Mig:
         self._shape_version: int = 0
         self._topo_cache: Optional[list[int]] = None
         self._topo_cache_version: int = -1
-        # compiled simulation schedule (repro.mig.simulate), keyed on
-        # (len, shape_version) so structural edits invalidate it
-        self._sim_plan = None
-        self._sim_plan_key: tuple[int, int] = (-1, -1)
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
 
-    def _new_slot(self, kind: int, ea: int, eb: int, ec: int) -> int:
-        """Append one node slot; returns its index."""
-        index = len(self._kind)
-        if index > _MAX_NODE:
-            raise MigError(
-                f"MIG node limit exceeded: {index} slots would not fit the "
-                f"packed strash key (max {_MAX_NODE})"
-            )
-        self._ca.append(ea)
-        self._cb.append(eb)
-        self._cc.append(ec)
-        self._kind.append(kind)
-        return index
-
     def add_pi(self, name: Optional[str] = None) -> Signal:
         """Append a primary input and return its (plain) signal."""
+        index = len(self._children)
         if name is None:
             name = f"i{len(self._pi_ids) + 1}"
         if name in self._name_to_pi:
             raise MigError(f"duplicate primary input name {name!r}")
-        index = self._new_slot(_PI, -1, -1, -1)
         self._pi_pos[index] = len(self._pi_ids)
+        self._children.append(None)
         self._pi_ids.append(index)
         self._pi_names.append(name)
         self._name_to_pi[name] = index
@@ -212,27 +206,24 @@ class Mig:
             simplified = self._simplify_triple(a, b, c)
             if simplified is not None:
                 return simplified
-        ea, eb, ec = int(a), int(b), int(c)
-        key = self._pack_key(ea, eb, ec)
+        key = self._strash_key(a, b, c)
         existing = self._strash.get(key)
         if existing is not None:
             return Signal.make(existing)
-        index = self._new_slot(_GATE, ea, eb, ec)
+        index = len(self._children)
+        self._children.append((a, b, c))
         self._strash[key] = index
         if self._refs is not None:
             self._refs.append(0)
             self._parents.append(set())
             self._order.append((index,))
             self._shape_version += 1
-            for e in (ea, eb, ec):
-                self._refs[e >> 1] += 1
-                self._parents[e >> 1].add(index)
-            self._hist_add_enc(ea, eb, ec)
+            for s in (a, b, c):
+                self._refs[s.node] += 1
+                self._parents[s.node].add(index)
+            self._hist_add((a, b, c))
         if self._levels is not None:
-            levels = self._levels
-            self._levels.append(
-                1 + max(levels[ea >> 1], levels[eb >> 1], levels[ec >> 1])
-            )
+            self._levels.append(1 + max(self._levels[s.node] for s in (a, b, c)))
         return Signal.make(index)
 
     def add_po(self, signal: Signal, name: Optional[str] = None) -> int:
@@ -250,10 +241,9 @@ class Mig:
     def _check_signal(self, signal: Signal) -> Signal:
         if not isinstance(signal, Signal):
             raise MigError(f"expected a Signal, got {signal!r}")
-        node = signal.node
-        if node >= len(self._kind):
+        if signal.node >= len(self._children):
             raise MigError(f"signal {signal!r} refers to a node that does not exist yet")
-        if self._kind[node] == _DEAD:
+        if signal.node in self._dead:
             raise MigError(f"signal {signal!r} refers to a dead (replaced) node")
         return signal
 
@@ -275,36 +265,9 @@ class Mig:
         return None
 
     @staticmethod
-    def _simplify_enc(ea: int, eb: int, ec: int) -> int:
-        """Encoding form of :meth:`_simplify_triple`: result or ``-1``.
-
-        Same decision order; pure int arithmetic for the in-place cascade
-        hot path (``x == ~y`` over signals is ``ex == ey ^ 1`` over
-        encodings).
-        """
-        if ea == eb or ea == ec:
-            return ea
-        if eb == ec:
-            return eb
-        if ea == eb ^ 1:
-            return ec
-        if ea == ec ^ 1:
-            return eb
-        if eb == ec ^ 1:
-            return ea
-        return -1
-
-    @staticmethod
-    def _pack_key(ea: int, eb: int, ec: int) -> int:
-        """Order-insensitive strash key: three sorted 24-bit encodings
-        packed into one int (cheaper to hash and store than a tuple)."""
-        if ea > eb:
-            ea, eb = eb, ea
-        if eb > ec:
-            eb, ec = ec, eb
-        if ea > eb:
-            ea, eb = eb, ea
-        return (ea << 48) | (eb << 24) | ec
+    def _strash_key(a: Signal, b: Signal, c: Signal) -> tuple[int, int, int]:
+        x, y, z = sorted((int(a), int(b), int(c)))
+        return (x, y, z)
 
     # ------------------------------------------------------------------
     # queries
@@ -323,11 +286,11 @@ class Mig:
     @property
     def num_gates(self) -> int:
         """Number of live majority gates (the paper's #N)."""
-        return len(self._kind) - 1 - len(self._pi_ids) - self._num_dead
+        return len(self._children) - 1 - len(self._pi_ids) - len(self._dead)
 
     def __len__(self) -> int:
         """Total node-slot count including the constant, PIs and tombstones."""
-        return len(self._kind)
+        return len(self._children)
 
     def is_const(self, node: int) -> bool:
         """True for the constant-zero node."""
@@ -335,18 +298,34 @@ class Mig:
 
     def is_pi(self, node: int) -> bool:
         """True for primary-input nodes."""
-        return self._kind[node] == _PI
+        return node != 0 and self._children[node] is None and node not in self._dead
 
     def is_gate(self, node: int) -> bool:
         """True for majority-gate nodes."""
-        return self._kind[node] == _GATE
+        return self._children[node] is not None
 
     def children(self, node: int) -> tuple[Signal, Signal, Signal]:
         """The three child edges of a gate, in stored order."""
-        ea = self._ca[node]
-        if ea < 0:
+        triple = self._children[node]
+        if triple is None:
             raise MigError(f"node {node} is not a gate")
-        return (Signal(ea), Signal(self._cb[node]), Signal(self._cc[node]))
+        return triple
+
+    @property
+    def _ca(self) -> _ChildEncodingView:
+        """Child-0 encodings (``-1`` for non-gates) — the hot-path protocol
+        shared with the array core; see :class:`_ChildEncodingView`."""
+        return _ChildEncodingView(self._children, 0)
+
+    @property
+    def _cb(self) -> _ChildEncodingView:
+        """Child-1 encodings (``-1`` for non-gates)."""
+        return _ChildEncodingView(self._children, 1)
+
+    @property
+    def _cc(self) -> _ChildEncodingView:
+        """Child-2 encodings (``-1`` for non-gates)."""
+        return _ChildEncodingView(self._children, 2)
 
     def is_append_clean(self) -> bool:
         """True when a :meth:`clone` is as good as a :meth:`rebuild`.
@@ -355,17 +334,12 @@ class Mig:
         gate trivially reducible under Ω.M — the fast-path test of
         :func:`repro.core.rewriting._private_clean_copy`.
         """
-        if self._topo_dirty or self._num_dead:
+        if self._topo_dirty or self._dead:
             return False
-        ca, cb, cc = self._ca, self._cb, self._cc
-        for v in range(1, len(ca)):
-            ea = ca[v]
-            if ea < 0:
-                continue
-            eb, ec = cb[v], cc[v]
-            if ea == eb or ea == ec or eb == ec:
-                return False
-            if ea ^ 1 == eb or ea ^ 1 == ec or eb ^ 1 == ec:
+        children = self._children
+        for v in self.gates():
+            a, b, c = children[v]
+            if a == b or a == c or b == c or a ^ 1 == b or a ^ 1 == c or b ^ 1 == c:
                 return False
         return True
 
@@ -406,9 +380,8 @@ class Mig:
         after in-place replacements it may not be — use :meth:`topo_gates`
         when children must be visited before their parents.
         """
-        kind = self._kind
-        for v in range(1, len(kind)):
-            if kind[v] == _GATE:
+        for v in range(1, len(self._children)):
+            if self._children[v] is not None:
                 yield v
 
     def topo_gates(self) -> Iterator[int]:
@@ -431,7 +404,7 @@ class Mig:
 
     def _topo_order(self) -> list[int]:
         """Stable topological sort of the live gates by order key."""
-        ca, cb, cc = self._ca, self._cb, self._cc
+        children = self._children
         order = self._order
 
         def key(v: int) -> tuple[int, ...]:
@@ -443,9 +416,9 @@ class Mig:
         heap: list[tuple[tuple[int, ...], int]] = []
         for v in self.gates():
             count = 0
-            for e in (ca[v], cb[v], cc[v]):
-                child = e >> 1
-                if ca[child] >= 0:
+            for s in children[v]:
+                child = s.node
+                if children[child] is not None:
                     count += 1
                     dependents.setdefault(child, []).append(v)
             if count == 0:
@@ -464,7 +437,7 @@ class Mig:
 
     def nodes(self) -> Iterator[int]:
         """All node indices (constant, PIs, gates, tombstones) in creation order."""
-        return iter(range(len(self._kind)))
+        return iter(range(len(self._children)))
 
     # ------------------------------------------------------------------
     # in-place rewriting (the engine under the worklist rewriter)
@@ -494,21 +467,19 @@ class Mig:
         """
         if self._refs is not None:
             return
-        n = len(self._kind)
-        refs = array("q", bytes(8 * n))
+        n = len(self._children)
+        refs = [0] * n
         parents: list[set[int]] = [set() for _ in range(n)]
         hist = [0, 0, 0, 0]
         c0_noconst = 0
-        ca, cb, cc = self._ca, self._cb, self._cc
         for v in range(1, n):
-            ea = ca[v]
-            if ea < 0:
+            triple = self._children[v]
+            if triple is None:
                 continue
-            eb, ec = cb[v], cc[v]
-            for e in (ea, eb, ec):
-                refs[e >> 1] += 1
-                parents[e >> 1].add(v)
-            complemented, has_const = self._profile_enc(ea, eb, ec)
+            for s in triple:
+                refs[s.node] += 1
+                parents[s.node].add(v)
+            complemented, has_const = self._triple_profile(triple)
             hist[complemented] += 1
             if complemented == 0 and not has_const:
                 c0_noconst += 1
@@ -553,12 +524,9 @@ class Mig:
         self._require_inplace()
         if self._levels is not None:
             return
-        levels = array("q", bytes(8 * len(self._kind)))
-        ca, cb, cc = self._ca, self._cb, self._cc
+        levels = [0] * len(self._children)
         for v in self.topo_gates():
-            levels[v] = 1 + max(
-                levels[ca[v] >> 1], levels[cb[v] >> 1], levels[cc[v] >> 1]
-            )
+            levels[v] = 1 + max(levels[s.node] for s in self._children[v])
         self._levels = levels
 
     def level_of(self, node: int) -> int:
@@ -582,12 +550,12 @@ class Mig:
             )
         if self.num_gates == 0:
             return 0
-        levels = self._levels
         if self._pos:
-            return max(levels[po.node] for po in self._pos)
-        kind = self._kind
+            return max(self._levels[po.node] for po in self._pos)
         return max(
-            levels[v] for v in range(1, len(kind)) if kind[v] == _GATE
+            self._levels[v]
+            for v in range(1, len(self._children))
+            if self._children[v] is not None
         )
 
     def _propagate_levels(self, start: int) -> None:
@@ -599,21 +567,18 @@ class Mig:
         levels = self._levels
         if levels is None:
             return
-        ca, cb, cc = self._ca, self._cb, self._cc
         stack = [start]
         while stack:
             v = stack.pop()
-            ea = ca[v]
-            if ea < 0:
+            triple = self._children[v]
+            if triple is None:
                 continue
-            new_level = 1 + max(
-                levels[ea >> 1], levels[cb[v] >> 1], levels[cc[v] >> 1]
-            )
+            new_level = 1 + max(levels[s.node] for s in triple)
             if new_level == levels[v]:
                 continue
             levels[v] = new_level
             for p in self._parents[v]:
-                if ca[p] >= 0:
+                if self._children[p] is not None:
                     stack.append(p)
 
     def fanout_of(self, node: int) -> int:
@@ -635,8 +600,7 @@ class Mig:
     def parents_of_node(self, node: int) -> tuple[int, ...]:
         """Current live gate parents of ``node`` (each parent once)."""
         self._require_inplace()
-        ca = self._ca
-        return tuple(p for p in self._parents[node] if ca[p] >= 0)
+        return tuple(p for p in self._parents[node] if self._children[p] is not None)
 
     def po_edges_of(self, node: int) -> list[Signal]:
         """Primary-output signals currently pointing at ``node``."""
@@ -662,14 +626,14 @@ class Mig:
         simplified = self._simplify_triple(a, b, c)
         if simplified is not None:
             return simplified
-        existing = self._strash.get(self._pack_key(int(a), int(b), int(c)))
+        existing = self._strash.get(self._strash_key(a, b, c))
         if existing is not None:
             return Signal.make(existing)
         return None
 
     def strash_owner(self, a: Signal, b: Signal, c: Signal) -> Optional[int]:
         """Node currently owning the strash key of ``⟨a b c⟩``, if any."""
-        return self._strash.get(self._pack_key(int(a), int(b), int(c)))
+        return self._strash.get(self._strash_key(a, b, c))
 
     def evict_strash(self, node: int) -> None:
         """Withdraw ``node``'s strash ownership; it stays live.
@@ -681,10 +645,10 @@ class Mig:
         evicted and re-hashed (:meth:`rehash_node`) at its own turn.
         """
         self._require_inplace()
-        ea = self._ca[node]
-        if ea < 0:
+        triple = self._children[node]
+        if triple is None:
             return
-        key = self._pack_key(ea, self._cb[node], self._cc[node])
+        key = self._strash_key(*triple)
         if self._strash.get(key) == node:
             del self._strash[key]
 
@@ -696,10 +660,10 @@ class Mig:
         re-claims the key and returns an empty set.
         """
         self._require_inplace()
-        ea = self._ca[node]
-        if ea < 0:
+        triple = self._children[node]
+        if triple is None:
             return set()
-        key = self._pack_key(ea, self._cb[node], self._cc[node])
+        key = self._strash_key(*triple)
         owner = self._strash.get(key)
         if owner is None:
             self._strash[key] = node
@@ -742,49 +706,44 @@ class Mig:
             if new_signal.inverted:
                 raise MigError(f"cannot replace node {old} by its own complement")
             return set()
-        ca, cb, cc = self._ca, self._cb, self._cc
-        refs = self._refs
         affected: set[int] = set()
-        # queue entries are (old node, replacement encoding)
-        queue: list[tuple[int, int]] = [(old, int(new_signal))]
+        queue: list[tuple[int, Signal]] = [(old, new_signal)]
         # Every queued replacement target is pinned with an artificial
         # reference: a sibling cascade branch may otherwise retire it
         # before its entry is processed, and readers would be redirected
         # to a tombstone.
-        refs[new_signal.node] += 1
+        self._refs[new_signal.node] += 1
         while queue:
             o, ns = queue.pop()
-            ns_node = ns >> 1
-            refs[ns_node] -= 1  # release the pin
-            if ca[o] < 0 or ns_node == o:
+            self._refs[ns.node] -= 1  # release the pin
+            if self._children[o] is None or ns.node == o:
                 # the replaced node was already retired by an earlier
                 # cascade step; if the pin was the replacement's last
                 # reference, nothing can reach it anymore either
-                if refs[ns_node] == 0 and ca[ns_node] >= 0:
-                    self._kill(ns_node)
+                if self._refs[ns.node] == 0 and self._children[ns.node] is not None:
+                    self._kill(ns.node)
                 continue
             for po_index in self._po_of.pop(o, ()):
-                po = int(self._pos[po_index])
-                self._pos[po_index] = Signal(ns ^ (po & 1))
-                refs[o] -= 1
-                refs[ns_node] += 1
-                self._po_of.setdefault(ns_node, []).append(po_index)
+                po = self._pos[po_index]
+                self._pos[po_index] = ns.xor_inversion(po.inverted)
+                self._refs[o] -= 1
+                self._refs[ns.node] += 1
+                self._po_of.setdefault(ns.node, []).append(po_index)
             for p in list(self._parents[o]):
-                ea = ca[p]
-                if ea < 0:  # retired earlier in the cascade
+                if self._children[p] is None:  # retired earlier in the cascade
                     continue
-                eb, ec = cb[p], cc[p]
-                na = ns ^ (ea & 1) if ea >> 1 == o else ea
-                nb = ns ^ (eb & 1) if eb >> 1 == o else eb
-                nc = ns ^ (ec & 1) if ec >> 1 == o else ec
-                collapse = self._rewire_enc(p, na, nb, nc)
+                triple = self._children[p]
+                new_triple = tuple(
+                    ns.xor_inversion(s.inverted) if s.node == o else s for s in triple
+                )
+                collapse = self._rewire(p, new_triple)
                 affected.add(p)
-                if collapse >= 0:
+                if collapse is not None:
                     queue.append((p, collapse))
-                    refs[collapse >> 1] += 1  # pin until processed
+                    self._refs[collapse.node] += 1  # pin until processed
             self._topo_dirty = True
             self._edit_count += 1
-            if refs[o] == 0:
+            if self._refs[o] == 0:
                 self._kill(o)
         return affected
 
@@ -796,18 +755,14 @@ class Mig:
         is what child-order translators consume (Ω.C).
         """
         self._require_inplace()
-        ea = self._ca[node]
-        if ea < 0:
+        current = self._children[node]
+        if current is None:
             raise MigError(f"node {node} is not a live gate")
-        current = (ea, self._cb[node], self._cc[node])
-        na, nb, nc = int(triple[0]), int(triple[1]), int(triple[2])
-        if (na, nb, nc) == current:
+        if triple == current:
             return
-        if sorted((na, nb, nc)) != sorted(current):
+        if sorted(map(int, triple)) != sorted(map(int, current)):
             raise MigError("reorder_children requires a permutation of the children")
-        self._ca[node] = na
-        self._cb[node] = nb
-        self._cc[node] = nc
+        self._children[node] = triple
         self._edit_count += 1
 
     def release_if_dead(self, node: int) -> None:
@@ -817,7 +772,7 @@ class Mig:
         when the enclosing rewrite simplified past it.
         """
         self._require_inplace()
-        if self._kind[node] == _GATE and self._refs[node] == 0:
+        if self.is_gate(node) and self._refs[node] == 0:
             self._kill(node)
 
     def collect_unused(self) -> int:
@@ -829,91 +784,80 @@ class Mig:
         boundaries — the in-place analogue of a pass's trailing rebuild.
         """
         self._require_inplace()
-        before = self._num_dead
-        kind = self._kind
-        refs = self._refs
-        for v in range(1, len(kind)):
-            if kind[v] == _GATE and refs[v] == 0:
+        before = len(self._dead)
+        for v in range(1, len(self._children)):
+            if self._children[v] is not None and self._refs[v] == 0:
                 self._kill(v)
-        return self._num_dead - before
+        return len(self._dead) - before
 
-    def _rewire_enc(self, p: int, na: int, nb: int, nc: int) -> int:
-        """Physically set ``p``'s children to the encoded triple.
+    def _rewire(
+        self,
+        p: int,
+        new_triple: tuple[Signal, Signal, Signal],
+    ) -> Optional[Signal]:
+        """Physically set ``p``'s children to ``new_triple``.
 
         Maintains strash, refs, parents and the histogram.  Returns the
-        encoding ``p`` collapses to when the new triple simplifies
-        trivially or hashes to another gate (the caller must then replace
-        ``p``), or ``-1`` when ``p`` stays.
+        signal ``p`` collapses to when the new triple simplifies trivially
+        or hashes to another gate (the caller must then replace ``p``), or
+        ``None`` when ``p`` stays.
         """
-        ca, cb, cc = self._ca, self._cb, self._cc
-        ea, eb, ec = ca[p], cb[p], cc[p]
-        if (na, nb, nc) == (ea, eb, ec):
-            return -1
-        strash = self._strash
-        old_key = self._pack_key(ea, eb, ec)
-        if strash.get(old_key) == p:
-            del strash[old_key]
-        refs = self._refs
-        parents = self._parents
-        old_nodes = (ea >> 1, eb >> 1, ec >> 1)
-        new_nodes = (na >> 1, nb >> 1, nc >> 1)
+        old_triple = self._children[p]
+        if new_triple == old_triple:
+            return None
+        old_key = self._strash_key(*old_triple)
+        if self._strash.get(old_key) == p:
+            del self._strash[old_key]
+        old_nodes = [s.node for s in old_triple]
+        new_nodes = [s.node for s in new_triple]
         for u in old_nodes:
-            refs[u] -= 1
+            self._refs[u] -= 1
         for u in new_nodes:
-            refs[u] += 1
+            self._refs[u] += 1
         old_set, new_set = set(old_nodes), set(new_nodes)
         for u in old_set - new_set:
-            parents[u].discard(p)
+            self._parents[u].discard(p)
         for u in new_set - old_set:
-            parents[u].add(p)
-        self._hist_remove_enc(ea, eb, ec)
-        self._hist_add_enc(na, nb, nc)
-        ca[p] = na
-        cb[p] = nb
-        cc[p] = nc
+            self._parents[u].add(p)
+        self._hist_remove(old_triple)
+        self._hist_add(new_triple)
+        self._children[p] = new_triple
         self._edit_count += 1
         self._shape_version += 1
         if self._levels is not None:
             self._propagate_levels(p)
-        collapse = self._simplify_enc(na, nb, nc)
-        if collapse >= 0:
+        collapse = self._simplify_triple(*new_triple)
+        if collapse is not None:
             return collapse
-        key = self._pack_key(na, nb, nc)
-        existing = strash.get(key)
+        key = self._strash_key(*new_triple)
+        existing = self._strash.get(key)
         if existing is not None and existing != p:
-            return existing << 1
-        strash[key] = p
-        return -1
+            return Signal.make(existing)
+        self._strash[key] = p
+        return None
 
     def _kill(self, node: int) -> None:
         """Tombstone ``node`` and, recursively, children left without readers."""
-        ca, cb, cc = self._ca, self._cb, self._cc
-        kind = self._kind
-        refs = self._refs
-        parents = self._parents
-        strash = self._strash
         stack = [node]
         while stack:
             u = stack.pop()
-            ea = ca[u]
-            if ea < 0 or refs[u] != 0:
+            triple = self._children[u]
+            if triple is None or self._refs[u] != 0:
                 continue
-            eb, ec = cb[u], cc[u]
-            key = self._pack_key(ea, eb, ec)
-            if strash.get(key) == u:
-                del strash[key]
-            self._hist_remove_enc(ea, eb, ec)
-            ca[u] = cb[u] = cc[u] = -1
-            kind[u] = _DEAD
-            self._num_dead += 1
-            parents[u].clear()
+            key = self._strash_key(*triple)
+            if self._strash.get(key) == u:
+                del self._strash[key]
+            self._hist_remove(triple)
+            self._children[u] = None
+            self._dead.add(u)
+            self._parents[u].clear()
             self._edit_count += 1
             self._shape_version += 1
-            for e in (ea, eb, ec):
-                n = e >> 1
-                refs[n] -= 1
-                parents[n].discard(u)
-                if refs[n] == 0 and ca[n] >= 0:
+            for s in triple:
+                n = s.node
+                self._refs[n] -= 1
+                self._parents[n].discard(u)
+                if self._refs[n] == 0 and self._children[n] is not None:
                     stack.append(n)
 
     @staticmethod
@@ -930,31 +874,18 @@ class Mig:
                 complemented += 1
         return complemented, has_const
 
-    @staticmethod
-    def _profile_enc(ea: int, eb: int, ec: int) -> tuple[int, bool]:
-        """Encoding form of :meth:`_triple_profile` (constant = node 0,
-        i.e. encoding below 2)."""
-        complemented = 0
-        has_const = False
-        for e in (ea, eb, ec):
-            if e < 2:
-                has_const = True
-            elif e & 1:
-                complemented += 1
-        return complemented, has_const
-
-    def _hist_add_enc(self, ea: int, eb: int, ec: int) -> None:
+    def _hist_add(self, triple: tuple[Signal, Signal, Signal]) -> None:
         if self._hist is None:
             return
-        complemented, has_const = self._profile_enc(ea, eb, ec)
+        complemented, has_const = self._triple_profile(triple)
         self._hist[complemented] += 1
         if complemented == 0 and not has_const:
             self._c0_noconst += 1
 
-    def _hist_remove_enc(self, ea: int, eb: int, ec: int) -> None:
+    def _hist_remove(self, triple: tuple[Signal, Signal, Signal]) -> None:
         if self._hist is None:
             return
-        complemented, has_const = self._profile_enc(ea, eb, ec)
+        complemented, has_const = self._triple_profile(triple)
         self._hist[complemented] -= 1
         if complemented == 0 and not has_const:
             self._c0_noconst -= 1
@@ -965,9 +896,9 @@ class Mig:
 
     def rebuild(
         self,
-        gate_fn: Optional[Callable[["Mig", int, tuple[Signal, Signal, Signal]], Signal]] = None,
+        gate_fn: Optional[Callable[["DictMig", int, tuple[Signal, Signal, Signal]], Signal]] = None,
         keep_dead: bool = False,
-    ) -> tuple["Mig", dict[int, Signal]]:
+    ) -> tuple["DictMig", dict[int, Signal]]:
         """Copy this MIG into a fresh one, applying ``gate_fn`` per gate.
 
         ``gate_fn(new_mig, old_node, mapped_children)`` must return the
@@ -985,20 +916,19 @@ class Mig:
         """
         if keep_dead and self._topo_dirty:
             raise MigError("keep_dead is unsupported after in-place rewriting")
-        new = Mig(name=self.name)
+        new = DictMig(name=self.name)
         mapping: dict[int, Signal] = {0: Signal.CONST0}
         for node, name in zip(self._pi_ids, self._pi_names):
             mapping[node] = new.add_pi(name)
         live = self._live_set() if not keep_dead else None
-        ca, cb, cc = self._ca, self._cb, self._cc
         for v in self.topo_gates():
             if live is not None and v not in live:
                 continue
-            ea, eb, ec = ca[v], cb[v], cc[v]
+            a, b, c = self._children[v]
             mapped = (
-                Signal(int(mapping[ea >> 1]) ^ (ea & 1)),
-                Signal(int(mapping[eb >> 1]) ^ (eb & 1)),
-                Signal(int(mapping[ec >> 1]) ^ (ec & 1)),
+                mapping[a.node].xor_inversion(a.inverted),
+                mapping[b.node].xor_inversion(b.inverted),
+                mapping[c.node].xor_inversion(c.inverted),
             )
             if gate_fn is None:
                 mapping[v] = new.add_maj(*mapped)
@@ -1010,37 +940,31 @@ class Mig:
 
     def _live_set(self) -> set[int]:
         """Gates reachable from the primary outputs."""
-        ca, cb, cc = self._ca, self._cb, self._cc
         live: set[int] = set()
-        stack = [po.node for po in self._pos if ca[po.node] >= 0]
+        stack = [po.node for po in self._pos if self.is_gate(po.node)]
         while stack:
             v = stack.pop()
             if v in live:
                 continue
             live.add(v)
-            for e in (ca[v], cb[v], cc[v]):
-                child = e >> 1
-                if ca[child] >= 0 and child not in live:
-                    stack.append(child)
+            for child in self._children[v]:
+                if self.is_gate(child.node) and child.node not in live:
+                    stack.append(child.node)
         return live
 
-    def cleanup(self) -> tuple["Mig", dict[int, Signal]]:
+    def cleanup(self) -> tuple["DictMig", dict[int, Signal]]:
         """Remove dead gates and re-hash; returns (new MIG, node map)."""
         return self.rebuild()
 
-    def clone(self) -> "Mig":
+    def clone(self) -> "DictMig":
         """Deep copy preserving node indices (including dead gates).
 
         The clone starts without in-place maintenance (call
         :meth:`enable_inplace` on it again if needed); tombstones, the
         edit counter and the index-order flag carry over.
         """
-        new = Mig(name=self.name)
-        new._ca = self._ca[:]
-        new._cb = self._cb[:]
-        new._cc = self._cc[:]
-        new._kind = bytearray(self._kind)
-        new._num_dead = self._num_dead
+        new = DictMig(name=self.name)
+        new._children = list(self._children)
         new._pi_ids = list(self._pi_ids)
         new._pi_names = list(self._pi_names)
         new._name_to_pi = dict(self._name_to_pi)
@@ -1048,6 +972,7 @@ class Mig:
         new._pos = list(self._pos)
         new._po_names = list(self._po_names)
         new._strash = dict(self._strash)
+        new._dead = set(self._dead)
         new._edit_count = self._edit_count
         new._topo_dirty = self._topo_dirty
         # order keys travel with the clone so its topo_gates sequence
@@ -1081,9 +1006,9 @@ class Mig:
         Example — rebuilding the same circuit fingerprints identically,
         flipping an output polarity does not:
 
-            >>> from repro.mig.graph import Mig
+            >>> from repro.mig.graph_dict import DictMig
             >>> def build(flip):
-            ...     m = Mig()
+            ...     m = DictMig()
             ...     a, b, c = m.add_pi("a"), m.add_pi("b"), m.add_pi("c")
             ...     g = m.add_maj(a, b, c)
             ...     _ = m.add_po(~g if flip else g, "f")
@@ -1136,6 +1061,34 @@ class Mig:
     def __repr__(self) -> str:
         name = f" {self.name!r}" if self.name else ""
         return (
-            f"<Mig{name}: {self.num_pis} PIs, {self.num_pos} POs, "
+            f"<DictMig{name}: {self.num_pis} PIs, {self.num_pos} POs, "
             f"{self.num_gates} gates>"
         )
+
+
+def as_dict_mig(mig) -> DictMig:
+    """Structural copy of an append-clean array-core MIG into the dict core.
+
+    Node ids are preserved exactly — gates are re-added in topological
+    (= id) order with ``simplify=False``, so even order-sensitive passes
+    (the worklist engine's id-ordered sweeps) see the same graph on both
+    cores.  This is the entry point of both the differential oracle tests
+    and the dict-core baseline of ``benchmarks/bench_graph_core.py``.
+    """
+    if not mig.is_append_clean():
+        raise MigError("structural copy requires an append-clean source")
+    copy = DictMig(mig.name)
+    translated = {0: 0}
+    for pi in mig.pis():
+        node = int(pi) >> 1
+        translated[node] = int(copy.add_pi(mig.pi_name(node))) >> 1
+    for v in mig.topo_gates():
+        children = [
+            Signal((translated[int(s) >> 1] << 1) | (int(s) & 1))
+            for s in mig.children(v)
+        ]
+        translated[v] = int(copy.add_maj(*children, simplify=False)) >> 1
+    for po, name in zip(mig.pos(), mig.po_names()):
+        e = int(po)
+        copy.add_po(Signal((translated[e >> 1] << 1) | (e & 1)), name)
+    return copy

@@ -1,19 +1,32 @@
-"""ASCII AIGER (``.aag``) reader and writer.
+"""AIGER reader and writer — ASCII (``.aag``) and binary (``.aig``).
 
 AIGs (And-Inverter Graphs) are the lingua franca of logic synthesis tools;
 reading them gives this package access to standard benchmark circuits, and
 AND nodes transpose directly to majority nodes with a constant-0 child —
-the AOIG→MIG embedding of paper Fig. 1(a).
+the AOIG→MIG embedding of paper Fig. 1(a).  Every real benchmark suite
+(EPFL, ISCAS, IWLS) ships the compact *binary* format, so both are
+supported: :func:`read_aiger` sniffs the header magic and dispatches.
 
 Only the combinational subset is supported (no latches); symbols and
 comments are honoured on read and emitted on write.  Writing decomposes
-each majority gate into its AND/OR form ``⟨abc⟩ = (a∧b) ∨ (a∧c) ∨ (b∧c)``
+each majority gate into its AND/OR form ``⟨abc⟩ = (a∧b) ∨ (c∧(a∨b))``
 (four AIG nodes), since AIGs have no native majority.
+
+Binary format in brief (see the AIGER 1.9 spec): the header reads
+``aig M I L O A`` with ``M = I + L + A``; inputs are implicit (literals
+``2 .. 2I``), outputs are one ASCII literal per line, and the ``A`` AND
+gates follow as byte pairs of LEB128-style deltas — gate ``i`` has the
+implicit LHS ``2*(I + L + i + 1)`` and stores ``lhs - rhs0`` and
+``rhs0 - rhs1`` in 7-bit groups with a continuation MSB.  The encoding
+requires ``rhs0 >= rhs1`` and increasing LHS order, which the literal
+assignment here produces naturally (inputs first, gates in topological
+order).
 """
 
 from __future__ import annotations
 
-from typing import TextIO
+import io
+from typing import TextIO, Union
 
 from repro.errors import ParseError
 from repro.mig.build import LogicBuilder
@@ -22,11 +35,24 @@ from repro.mig.signal import Signal
 
 
 def read_aiger(path_or_file) -> Mig:
-    """Parse an ASCII AIGER file into an MIG (ANDs become ⟨a b 0⟩)."""
+    """Parse an AIGER file — ASCII or binary — into an MIG.
+
+    The format is sniffed from the header magic (``aag`` vs ``aig``), so
+    callers never need to know which flavour a benchmark ships in.  ANDs
+    become ``⟨a b 0⟩``.
+    """
     if hasattr(path_or_file, "read"):
-        return _read(path_or_file)
-    with open(path_or_file, "r", encoding="utf-8") as handle:
-        return _read(handle)
+        data = path_or_file.read()
+    else:
+        with open(path_or_file, "rb") as handle:
+            data = handle.read()
+    if isinstance(data, str):
+        raw = data.encode("utf-8")
+    else:
+        raw = data
+    if raw.startswith(b"aig "):
+        return _read_binary(raw)
+    return _read(io.StringIO(raw.decode("utf-8")))
 
 
 def _read(handle: TextIO) -> Mig:
@@ -39,9 +65,6 @@ def _read(handle: TextIO) -> Mig:
         raise ParseError("non-numeric AIGER header fields", 1) from None
     if num_latch:
         raise ParseError("sequential AIGER (latches) is not supported", 1)
-
-    builder = LogicBuilder()
-    literal_map: dict[int, Signal] = {0: Signal.CONST0, 1: Signal.CONST1}
 
     input_literals: list[int] = []
     for i in range(num_in):
@@ -61,7 +84,88 @@ def _read(handle: TextIO) -> Mig:
             raise ParseError("malformed AND row", 2 + num_in + num_out + i)
         and_rows.append(tuple(int(p) for p in parts))
 
-    # Symbol table and comments.
+    input_names, output_names = _parse_symbols(handle)
+    return _build_mig(
+        input_literals, output_literals, and_rows, input_names, output_names
+    )
+
+
+def _read_binary(data: bytes) -> Mig:
+    """Parse the compact binary (``aig``) encoding."""
+    try:
+        nl = data.index(b"\n")
+    except ValueError:
+        raise ParseError("truncated binary AIGER header", 1) from None
+    header = data[:nl].split()
+    if len(header) != 6 or header[0] != b"aig":
+        raise ParseError("expected header 'aig M I L O A'", 1)
+    try:
+        max_var, num_in, num_latch, num_out, num_and = (int(x) for x in header[1:])
+    except ValueError:
+        raise ParseError("non-numeric AIGER header fields", 1) from None
+    if num_latch:
+        raise ParseError("sequential AIGER (latches) is not supported", 1)
+    if max_var != num_in + num_latch + num_and:
+        raise ParseError(
+            f"binary AIGER requires M = I + L + A, got M={max_var}, "
+            f"I={num_in}, L={num_latch}, A={num_and}",
+            1,
+        )
+
+    pos = nl + 1
+    output_literals: list[int] = []
+    for i in range(num_out):
+        try:
+            line_end = data.index(b"\n", pos)
+        except ValueError:
+            raise ParseError("truncated output section", 2 + i) from None
+        try:
+            output_literals.append(int(data[pos:line_end]))
+        except ValueError:
+            raise ParseError(
+                f"non-numeric output literal {data[pos:line_end]!r}", 2 + i
+            ) from None
+        pos = line_end + 1
+
+    size = len(data)
+    and_rows: list[tuple[int, int, int]] = []
+    for i in range(num_and):
+        lhs = 2 * (num_in + num_latch + i + 1)
+        deltas = []
+        for _ in range(2):
+            value = 0
+            shift = 0
+            while True:
+                if pos >= size:
+                    raise ParseError(
+                        f"truncated delta encoding in AND gate {i}"
+                    )
+                byte = data[pos]
+                pos += 1
+                value |= (byte & 0x7F) << shift
+                if not byte & 0x80:
+                    break
+                shift += 7
+            deltas.append(value)
+        rhs0 = lhs - deltas[0]
+        rhs1 = rhs0 - deltas[1]
+        if rhs1 < 0:
+            raise ParseError(
+                f"AND gate {i}: deltas {deltas} underflow below literal 0"
+            )
+        and_rows.append((lhs, rhs0, rhs1))
+
+    input_names, output_names = _parse_symbols(
+        io.StringIO(data[pos:].decode("utf-8", errors="replace"))
+    )
+    input_literals = [2 * (i + 1) for i in range(num_in)]
+    return _build_mig(
+        input_literals, output_literals, and_rows, input_names, output_names
+    )
+
+
+def _parse_symbols(handle: TextIO) -> tuple[dict[int, str], dict[int, str]]:
+    """Symbol table (and ignored comment section) of either format."""
     input_names: dict[int, str] = {}
     output_names: dict[int, str] = {}
     for raw in handle:
@@ -74,6 +178,19 @@ def _read(handle: TextIO) -> Mig:
         elif line.startswith("o"):
             pos, name = line[1:].split(" ", 1)
             output_names[int(pos)] = name
+    return input_names, output_names
+
+
+def _build_mig(
+    input_literals: list[int],
+    output_literals: list[int],
+    and_rows: list[tuple[int, int, int]],
+    input_names: dict[int, str],
+    output_names: dict[int, str],
+) -> Mig:
+    """Shared back half of both readers: literals → LogicBuilder calls."""
+    builder = LogicBuilder()
+    literal_map: dict[int, Signal] = {0: Signal.CONST0, 1: Signal.CONST1}
 
     for pos, literal in enumerate(input_literals):
         literal_map[literal] = builder.input(input_names.get(pos, f"i{pos}"))
@@ -94,16 +211,37 @@ def _read(handle: TextIO) -> Mig:
     return builder.mig
 
 
-def write_aiger(mig: Mig, path_or_file) -> None:
-    """Serialize ``mig`` as ASCII AIGER (majority → 4 AND nodes)."""
+def write_aiger(mig: Mig, path_or_file, *, binary: Union[bool, None] = None) -> None:
+    """Serialize ``mig`` as AIGER (majority → 4 AND nodes).
+
+    ``binary=None`` (the default) infers the flavour: paths ending in
+    ``.aig`` get the binary encoding, everything else — including open
+    text handles — gets ASCII.  Pass ``binary`` explicitly to override.
+    """
     if hasattr(path_or_file, "write"):
-        _write(mig, path_or_file)
+        if binary:
+            _write_binary(mig, path_or_file)
+        else:
+            _write(mig, path_or_file)
+        return
+    if binary is None:
+        binary = str(path_or_file).endswith(".aig")
+    if binary:
+        with open(path_or_file, "wb") as handle:
+            _write_binary(mig, handle)
     else:
         with open(path_or_file, "w", encoding="utf-8") as handle:
             _write(mig, handle)
 
 
-def _write(mig: Mig, out: TextIO) -> None:
+def _assign_literals(mig: Mig):
+    """AIG literal assignment shared by both writers.
+
+    Inputs take literals ``2 .. 2I``; gate decompositions follow in
+    topological order with strictly increasing LHS literals and
+    ``rhs0 >= rhs1`` per row — exactly the layout the binary delta
+    encoding requires, so ASCII and binary emit the same AIG.
+    """
     next_var = [0]
     literal_of: dict[int, int] = {}  # MIG signal int -> AIG literal
     and_rows: list[tuple[int, int, int]] = []
@@ -135,7 +273,7 @@ def _write(mig: Mig, out: TextIO) -> None:
         literal_of[int(~pi)] = literal ^ 1
         input_literals.append(literal)
 
-    for v in mig.gates():
+    for v in mig.topo_gates():
         a, b, c = (literal_of[int(s)] for s in mig.children(v))
         # ⟨abc⟩ = (a∧b) ∨ (c∧(a∨b)): four AND nodes instead of five.
         result = emit_or(emit_and(a, b), emit_and(c, emit_or(a, b)))
@@ -143,8 +281,13 @@ def _write(mig: Mig, out: TextIO) -> None:
         literal_of[(v << 1) | 1] = result ^ 1
 
     output_literals = [literal_of[int(po)] for po in mig.pos()]
+    return next_var[0], input_literals, output_literals, and_rows
+
+
+def _write(mig: Mig, out: TextIO) -> None:
+    max_var, input_literals, output_literals, and_rows = _assign_literals(mig)
     out.write(
-        f"aag {next_var[0]} {mig.num_pis} 0 {mig.num_pos} {len(and_rows)}\n"
+        f"aag {max_var} {mig.num_pis} 0 {mig.num_pos} {len(and_rows)}\n"
     )
     for literal in input_literals:
         out.write(f"{literal}\n")
@@ -157,3 +300,33 @@ def _write(mig: Mig, out: TextIO) -> None:
     for pos, name in enumerate(mig.po_names()):
         out.write(f"o{pos} {name}\n")
     out.write(f"c\nwritten by repro {mig.name or ''}\n".rstrip() + "\n")
+
+
+def _write_binary(mig: Mig, out) -> None:
+    """Binary (``aig``) writer over the shared literal assignment.
+
+    The assignment yields gate LHS literals ``2(I+1), 2(I+2), ...`` in
+    emission order, matching the implicit LHS numbering of the binary
+    format, so no re-numbering pass is needed.
+    """
+    max_var, input_literals, output_literals, and_rows = _assign_literals(mig)
+    chunks: list[bytes] = [
+        f"aig {max_var} {mig.num_pis} 0 {mig.num_pos} {len(and_rows)}\n".encode()
+    ]
+    for literal in output_literals:
+        chunks.append(f"{literal}\n".encode())
+    encoded = bytearray()
+    for lhs, rhs0, rhs1 in and_rows:
+        for delta in (lhs - rhs0, rhs0 - rhs1):
+            while delta >= 0x80:
+                encoded.append(0x80 | (delta & 0x7F))
+                delta >>= 7
+            encoded.append(delta)
+    chunks.append(bytes(encoded))
+    for pos, name in enumerate(mig.pi_names()):
+        chunks.append(f"i{pos} {name}\n".encode())
+    for pos, name in enumerate(mig.po_names()):
+        chunks.append(f"o{pos} {name}\n".encode())
+    comment = f"c\nwritten by repro {mig.name or ''}\n".rstrip() + "\n"
+    chunks.append(comment.encode())
+    out.write(b"".join(chunks))

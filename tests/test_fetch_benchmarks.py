@@ -1,0 +1,140 @@
+"""Tests for ``tools/fetch_benchmarks.py`` — download, pin, verify.
+
+No network: every transfer goes through ``file://`` URLs into a temp
+directory, which exercises the identical ``urllib`` code path the real
+EPFL downloads use.  Tier-1 therefore never needs connectivity, and the
+``--offline-ok`` escape hatch is covered with a URL that cannot resolve.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS_DIR = Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS_DIR))
+
+import fetch_benchmarks as fb  # noqa: E402
+
+
+@pytest.fixture
+def source(tmp_path):
+    """A fake upstream: one circuit file served over ``file://``."""
+    upstream = tmp_path / "upstream"
+    upstream.mkdir()
+    payload = b"aig 0 0 0 0 0\n"
+    (upstream / "tiny.aig").write_bytes(payload)
+    return {
+        "entry": {"url": (upstream / "tiny.aig").as_uri(), "suite": "test"},
+        "payload": payload,
+        "upstream": upstream,
+    }
+
+
+class TestFetch:
+    def test_first_fetch_pins(self, source, tmp_path):
+        dest = tmp_path / "circuits"
+        pins = {}
+        path, updated = fb.fetch("tiny", source["entry"], dest, pins)
+        assert updated
+        assert path.read_bytes() == source["payload"]
+        assert pins["tiny"] == fb.sha256_of(path)
+
+    def test_verified_refetch_is_a_noop(self, source, tmp_path):
+        dest = tmp_path / "circuits"
+        pins = {}
+        fb.fetch("tiny", source["entry"], dest, pins)
+        path, updated = fb.fetch("tiny", source["entry"], dest, pins)
+        assert not updated
+
+    def test_on_disk_tamper_detected(self, source, tmp_path):
+        dest = tmp_path / "circuits"
+        pins = {}
+        path, _ = fb.fetch("tiny", source["entry"], dest, pins)
+        path.write_bytes(b"tampered")
+        with pytest.raises(fb.FetchError, match="digest"):
+            fb.fetch("tiny", source["entry"], dest, pins)
+
+    def test_pinned_mismatch_refuses_write(self, source, tmp_path):
+        dest = tmp_path / "circuits"
+        pins = {"tiny": "0" * 64}
+        with pytest.raises(fb.FetchError, match="does not match the"):
+            fb.fetch("tiny", source["entry"], dest, pins)
+        assert not (dest / "tiny.aig").exists()
+
+    def test_force_redownload_verifies_pin(self, source, tmp_path):
+        dest = tmp_path / "circuits"
+        pins = {}
+        fb.fetch("tiny", source["entry"], dest, pins)
+        # upstream changes after pinning — a forced refetch must refuse
+        (source["upstream"] / "tiny.aig").write_bytes(b"aig 1 1 0 0 0\n")
+        with pytest.raises(fb.FetchError, match="does not match the"):
+            fb.fetch("tiny", source["entry"], dest, pins, force=True)
+
+    def test_dead_url_raises(self, tmp_path):
+        entry = {"url": (tmp_path / "missing.aig").as_uri()}
+        with pytest.raises(fb.FetchError, match="download failed"):
+            fb.fetch("gone", entry, tmp_path / "circuits", {})
+
+
+class TestManifestAndPins:
+    def test_builtin_manifest_covers_epfl(self):
+        manifest = fb.load_manifest()
+        assert len(manifest) == 20
+        assert manifest["adder"]["suite"] == "epfl-arithmetic"
+        assert manifest["voter"]["url"].endswith("/random_control/voter.aig")
+
+    def test_user_manifest_requires_url(self, tmp_path):
+        bad = tmp_path / "manifest.json"
+        bad.write_text(json.dumps({"x": {"suite": "s"}}))
+        with pytest.raises(fb.FetchError, match="no 'url'"):
+            fb.load_manifest(bad)
+
+    def test_pins_roundtrip_sorted(self, tmp_path):
+        lockfile = tmp_path / "locks" / "pins.json"
+        fb.save_pins(lockfile, {"b": "2" * 64, "a": "1" * 64})
+        assert list(fb.load_pins(lockfile)) == ["a", "b"]
+        assert fb.load_pins(tmp_path / "absent.json") == {}
+
+
+class TestCli:
+    def _manifest_file(self, source, tmp_path):
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(json.dumps({"tiny": source["entry"]}))
+        return manifest
+
+    def test_fetch_and_pin_via_cli(self, source, tmp_path, capsys):
+        manifest = self._manifest_file(source, tmp_path)
+        lockfile = tmp_path / "pins.json"
+        dest = tmp_path / "circuits"
+        argv = ["--manifest", str(manifest), "--lockfile", str(lockfile),
+                "--dest", str(dest)]
+        assert fb.main(argv) == 0
+        assert "newly pinned" in capsys.readouterr().out
+        assert (dest / "tiny.aig").exists()
+        assert "tiny" in fb.load_pins(lockfile)
+        # second run verifies against the committed pin, changes nothing
+        assert fb.main(argv) == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_unknown_name_rejected(self, source, tmp_path):
+        manifest = self._manifest_file(source, tmp_path)
+        with pytest.raises(SystemExit):
+            fb.main(["nonesuch", "--manifest", str(manifest)])
+
+    def test_offline_ok_downgrades_failure(self, tmp_path, capsys):
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(json.dumps(
+            {"gone": {"url": (tmp_path / "missing.aig").as_uri()}}
+        ))
+        argv = ["--manifest", str(manifest), "--lockfile",
+                str(tmp_path / "pins.json"), "--dest", str(tmp_path / "c")]
+        assert fb.main(argv) == 1
+        assert fb.main(argv + ["--offline-ok"]) == 0
+        assert "continuing" in capsys.readouterr().err
+
+    def test_list_prints_manifest(self, source, tmp_path, capsys):
+        manifest = self._manifest_file(source, tmp_path)
+        assert fb.main(["--list", "--manifest", str(manifest)]) == 0
+        assert "tiny" in capsys.readouterr().out

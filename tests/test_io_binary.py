@@ -1,0 +1,160 @@
+"""Binary AIGER (``aig``) reader/writer tests.
+
+The binary flavour shares the literal assignment and the MIG↔AND bridge
+with the ASCII writer, so the regression of record is: for the same MIG,
+the binary round-trip and the ASCII round-trip land on the *same* graph
+(fingerprint-identical), not merely equivalent ones.
+"""
+
+import io
+
+import pytest
+
+from repro.circuits.registry import build
+from repro.errors import ParseError
+from repro.mig.equivalence import equivalent
+from repro.mig.graph import Mig
+from repro.mig.io_aiger import read_aiger, write_aiger
+from repro.mig.simulate import output_tables, truth_tables
+
+from conftest import random_mig
+
+
+def binary_roundtrip(mig: Mig) -> Mig:
+    buffer = io.BytesIO()
+    write_aiger(mig, buffer, binary=True)
+    buffer.seek(0)
+    return read_aiger(buffer)
+
+
+def ascii_roundtrip(mig: Mig) -> Mig:
+    buffer = io.StringIO()
+    write_aiger(mig, buffer)
+    buffer.seek(0)
+    return read_aiger(buffer)
+
+
+class TestBinaryRoundtrip:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_function_preserved(self, seed):
+        mig = random_mig(seed, num_pis=4, num_gates=15)
+        back = binary_roundtrip(mig)
+        assert truth_tables(back) == truth_tables(mig)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_ascii_writer_exactly(self, seed):
+        """Both flavours decode to the identical graph, gate for gate."""
+        mig = random_mig(seed, num_pis=4, num_gates=15)
+        assert binary_roundtrip(mig).fingerprint() == ascii_roundtrip(mig).fingerprint()
+
+    def test_interface_preserved(self):
+        mig = random_mig(2, num_pis=3, num_gates=8)
+        back = binary_roundtrip(mig)
+        assert back.pi_names() == mig.pi_names()
+        assert back.po_names() == mig.po_names()
+
+    @pytest.mark.parametrize("name", ["ctrl", "int2float", "router"])
+    def test_registry_circuits(self, name):
+        mig = build(name, "ci")
+        back = binary_roundtrip(mig)
+        assert equivalent(back, mig)
+        assert binary_roundtrip(mig).fingerprint() == ascii_roundtrip(mig).fingerprint()
+
+    def test_rewritten_graph_writes_cleanly(self):
+        """A worklist-rewritten (non-append-clean) MIG serializes fine —
+        the literal assignment walks ``topo_gates``, not raw slot order."""
+        from repro.core.rewriting import RewriteOptions, rewrite_for_plim
+
+        mig = rewrite_for_plim(build("cavlc", "ci"), RewriteOptions(effort=1))
+        back = binary_roundtrip(mig)
+        assert equivalent(back, mig)
+
+    def test_binary_is_smaller(self):
+        mig = build("voter", "ci")
+        ascii_buf, binary_buf = io.StringIO(), io.BytesIO()
+        write_aiger(mig, ascii_buf)
+        write_aiger(mig, binary_buf, binary=True)
+        assert len(binary_buf.getvalue()) < len(ascii_buf.getvalue().encode())
+
+
+class TestPathInference:
+    def test_aig_extension_writes_binary(self, tmp_path):
+        mig = random_mig(0, num_pis=3, num_gates=6)
+        target = tmp_path / "circuit.aig"
+        write_aiger(mig, target)
+        assert target.read_bytes().startswith(b"aig ")
+        assert truth_tables(read_aiger(target)) == truth_tables(mig)
+
+    def test_aag_extension_writes_ascii(self, tmp_path):
+        mig = random_mig(0, num_pis=3, num_gates=6)
+        target = tmp_path / "circuit.aag"
+        write_aiger(mig, target)
+        assert target.read_bytes().startswith(b"aag ")
+        assert truth_tables(read_aiger(target)) == truth_tables(mig)
+
+    def test_explicit_override_beats_extension(self, tmp_path):
+        mig = random_mig(0, num_pis=3, num_gates=6)
+        target = tmp_path / "circuit.aag"
+        write_aiger(mig, target, binary=True)
+        assert target.read_bytes().startswith(b"aig ")
+        assert truth_tables(read_aiger(target)) == truth_tables(mig)
+
+
+class TestKnownVectors:
+    def test_minimal_and_gate(self):
+        # aig 3 2 0 1 1 ; output 6 ; AND 6 = 4 & 2 → deltas (2, 2)
+        mig = read_aiger(io.BytesIO(b"aig 3 2 0 1 1\n6\n\x02\x02"))
+        assert (mig.num_pis, mig.num_pos) == (2, 1)
+        assert output_tables(mig) == [0b1000]
+
+    def test_multi_byte_delta(self):
+        # 200 ANDs chained: the last deltas exceed 127 and need two bytes.
+        mig = random_mig(3, num_pis=5, num_gates=80)
+        buffer = io.BytesIO()
+        write_aiger(mig, buffer, binary=True)
+        payload = buffer.getvalue()
+        assert any(b & 0x80 for b in payload.split(b"\n", 1)[1])  # continuation bits present
+        buffer.seek(0)
+        assert truth_tables(read_aiger(buffer)) == truth_tables(mig)
+
+    def test_symbol_table_read(self):
+        data = b"aig 3 2 0 1 1\n6\n\x02\x02i0 alpha\ni1 beta\no0 out\n"
+        mig = read_aiger(io.BytesIO(data))
+        assert mig.pi_names() == ["alpha", "beta"]
+        assert mig.po_names() == ["out"]
+
+
+class TestBinaryErrors:
+    def test_latches_rejected(self):
+        with pytest.raises(ParseError, match="latches"):
+            read_aiger(io.BytesIO(b"aig 2 1 1 0 0\n"))
+
+    def test_header_invariant_enforced(self):
+        with pytest.raises(ParseError, match="M = I \\+ L \\+ A"):
+            read_aiger(io.BytesIO(b"aig 5 2 0 1 2\n"))
+
+    def test_truncated_header(self):
+        with pytest.raises(ParseError, match="truncated"):
+            read_aiger(io.BytesIO(b"aig 1 1 0 0 0"))
+
+    def test_truncated_output_section(self):
+        with pytest.raises(ParseError, match="truncated output"):
+            read_aiger(io.BytesIO(b"aig 1 1 0 1 0\n"))
+
+    def test_non_numeric_output(self):
+        with pytest.raises(ParseError, match="non-numeric output"):
+            read_aiger(io.BytesIO(b"aig 1 1 0 1 0\nxyz\n"))
+
+    def test_truncated_delta_stream(self):
+        # continuation bit set, then the file ends
+        with pytest.raises(ParseError, match="truncated delta"):
+            read_aiger(io.BytesIO(b"aig 2 1 0 1 1\n4\n\x80"))
+
+    def test_delta_underflow(self):
+        # lhs=4: delta0=1 → rhs0=3, delta1=4 → rhs1=-1
+        with pytest.raises(ParseError, match="underflow"):
+            read_aiger(io.BytesIO(b"aig 2 1 0 1 1\n4\n\x01\x04"))
+
+    def test_bad_magic(self):
+        with pytest.raises(ParseError):
+            read_aiger(io.BytesIO(b"axg 1 1 0 1 0\n2\n"))

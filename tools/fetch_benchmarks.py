@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Download and SHA-256-verify real benchmark circuits into ``benchmarks/circuits/``.
+
+The EPFL combinational suite (the circuits of the paper's Table 1, in
+binary AIGER) is listed in the built-in manifest; ISCAS/IWLS sets have no
+single canonical URL, so they come in through the same mechanism via
+``--manifest`` pointing at a JSON file of ``{name: {url, suite}}`` entries
+(see ``_BUILTIN_MANIFEST`` for the shape).
+
+Integrity is pinned in ``tools/benchmarks.sha256.json``: the first
+successful download of a circuit records its SHA-256 (trust on first use)
+and every later fetch — on any machine — verifies against the recorded
+digest and refuses mismatches.  Commit the lockfile after first fetch to
+freeze the pins for everyone else.
+
+The destination directory is gitignored; nothing in the test suite
+requires network access.  Tests (and air-gapped mirrors) exercise the
+full download/verify/pin path through ``file://`` URLs, and the CLI exits
+cleanly with a warning (``--offline-ok``) when the network is down.
+
+Usage::
+
+    python tools/fetch_benchmarks.py                 # whole EPFL suite
+    python tools/fetch_benchmarks.py adder div       # just these circuits
+    python tools/fetch_benchmarks.py --list          # show the manifest
+    python tools/fetch_benchmarks.py --offline-ok    # no-fail on dead network
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_DEST = _REPO_ROOT / "benchmarks" / "circuits"
+DEFAULT_LOCKFILE = _REPO_ROOT / "tools" / "benchmarks.sha256.json"
+
+_EPFL_BASE = "https://raw.githubusercontent.com/lsils/benchmarks/master"
+_EPFL_ARITHMETIC = (
+    "adder", "bar", "div", "hyp", "log2", "max", "multiplier", "sin",
+    "sqrt", "square",
+)
+_EPFL_CONTROL = (
+    "arbiter", "cavlc", "ctrl", "dec", "i2c", "int2float", "mem_ctrl",
+    "priority", "router", "voter",
+)
+
+_BUILTIN_MANIFEST: dict[str, dict[str, str]] = {}
+for _name in _EPFL_ARITHMETIC:
+    _BUILTIN_MANIFEST[_name] = {
+        "url": f"{_EPFL_BASE}/arithmetic/{_name}.aig",
+        "suite": "epfl-arithmetic",
+    }
+for _name in _EPFL_CONTROL:
+    _BUILTIN_MANIFEST[_name] = {
+        "url": f"{_EPFL_BASE}/random_control/{_name}.aig",
+        "suite": "epfl-control",
+    }
+
+
+class FetchError(Exception):
+    """A download failed or a digest did not match its pin."""
+
+
+def load_manifest(path: Path | None = None) -> dict[str, dict[str, str]]:
+    """The circuit manifest: built-in EPFL suite or a user-supplied JSON."""
+    if path is None:
+        return dict(_BUILTIN_MANIFEST)
+    with open(path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    for name, entry in manifest.items():
+        if "url" not in entry:
+            raise FetchError(f"manifest entry {name!r} has no 'url'")
+    return manifest
+
+
+def load_pins(lockfile: Path) -> dict[str, str]:
+    if lockfile.exists():
+        with open(lockfile, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    return {}
+
+
+def save_pins(lockfile: Path, pins: dict[str, str]) -> None:
+    lockfile.parent.mkdir(parents=True, exist_ok=True)
+    with open(lockfile, "w", encoding="utf-8") as handle:
+        json.dump(dict(sorted(pins.items())), handle, indent=2)
+        handle.write("\n")
+
+
+def sha256_of(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def fetch(
+    name: str,
+    entry: dict[str, str],
+    dest_dir: Path,
+    pins: dict[str, str],
+    *,
+    force: bool = False,
+) -> tuple[Path, bool]:
+    """Download one circuit, verify/record its pin; returns (path, updated).
+
+    ``updated`` reports whether the pin set changed (first fetch of an
+    unpinned circuit).  A circuit already on disk with a matching digest
+    is not re-downloaded unless ``force``.
+    """
+    dest_dir.mkdir(parents=True, exist_ok=True)
+    filename = entry.get("filename") or entry["url"].rsplit("/", 1)[-1]
+    target = dest_dir / filename
+    pinned = pins.get(name)
+
+    if target.exists() and not force:
+        digest = sha256_of(target)
+        if pinned is None:
+            pins[name] = digest
+            return target, True
+        if digest == pinned:
+            return target, False
+        raise FetchError(
+            f"{name}: on-disk file {target} has digest {digest[:16]}… "
+            f"but the lockfile pins {pinned[:16]}… — delete it (or re-pin) "
+            "to proceed"
+        )
+
+    try:
+        with urllib.request.urlopen(entry["url"]) as response:
+            payload = response.read()
+    except (urllib.error.URLError, OSError) as exc:
+        raise FetchError(f"{name}: download failed from {entry['url']}: {exc}") from exc
+
+    digest = hashlib.sha256(payload).hexdigest()
+    if pinned is not None and digest != pinned:
+        raise FetchError(
+            f"{name}: downloaded digest {digest[:16]}… does not match the "
+            f"pinned {pinned[:16]}… — refusing to write {target}"
+        )
+    target.write_bytes(payload)
+    if pinned is None:
+        pins[name] = digest
+        return target, True
+    return target, False
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("names", nargs="*", help="circuit names (default: whole manifest)")
+    parser.add_argument("--dest", type=Path, default=DEFAULT_DEST)
+    parser.add_argument("--manifest", type=Path, default=None,
+                        help="JSON manifest to use instead of the built-in EPFL suite")
+    parser.add_argument("--lockfile", type=Path, default=DEFAULT_LOCKFILE)
+    parser.add_argument("--force", action="store_true", help="re-download even if present")
+    parser.add_argument("--list", action="store_true", help="print the manifest and exit")
+    parser.add_argument(
+        "--offline-ok", action="store_true",
+        help="exit 0 (with a warning) when downloads fail — for air-gapped runs",
+    )
+    args = parser.parse_args(argv)
+
+    manifest = load_manifest(args.manifest)
+    if args.list:
+        for name, entry in sorted(manifest.items()):
+            print(f"{name:12s} {entry.get('suite', '-'):16s} {entry['url']}")
+        return 0
+
+    names = args.names or sorted(manifest)
+    unknown = [n for n in names if n not in manifest]
+    if unknown:
+        parser.error(f"not in the manifest: {', '.join(unknown)}")
+
+    pins = load_pins(args.lockfile)
+    newly_pinned = 0
+    failures = 0
+    for name in names:
+        try:
+            target, updated = fetch(
+                name, manifest[name], args.dest, pins, force=args.force
+            )
+        except FetchError as exc:
+            failures += 1
+            print(f"FAIL {exc}", file=sys.stderr)
+            continue
+        if updated:
+            newly_pinned += 1
+            print(f"ok   {name}: {target} (newly pinned)")
+        else:
+            print(f"ok   {name}: {target} (verified)")
+    if newly_pinned:
+        save_pins(args.lockfile, pins)
+        print(
+            f"pinned {newly_pinned} new digest(s) in {args.lockfile} — "
+            "commit the lockfile to freeze them"
+        )
+    if failures:
+        if args.offline_ok:
+            print(
+                f"warning: {failures} download(s) failed; continuing "
+                "(--offline-ok)", file=sys.stderr,
+            )
+            return 0
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
