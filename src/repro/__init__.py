@@ -48,6 +48,7 @@ from repro.core.cache import CacheStats, SynthesisCache
 from repro.core.pareto import ParetoFront, ParetoPoint, pareto_sweep
 from repro.core.pipeline import CompileResult, compile_mig
 from repro.core.compiler import CompilerOptions, PlimCompiler
+from repro.core.resilience import TaskError, TaskFailure, TaskPolicy
 from repro.core.rewriting import RewriteOptions, rewrite_depth, rewrite_for_plim
 from repro.plim.program import Program
 from repro.plim.machine import PlimMachine
@@ -68,6 +69,9 @@ __all__ = [
     "CompilerOptions",
     "CompileResult",
     "RewriteOptions",
+    "TaskError",
+    "TaskFailure",
+    "TaskPolicy",
     "compile_mig",
     "compile_many",
     "pareto_sweep",

@@ -14,11 +14,20 @@ Subcommands::
     plimc table1 [--scale ...] [--shuffled] [--csv] [--workers N] [--cache-dir DIR]
     plimc fig3
     plimc ablate <name> [--scale ...] [--workers N]
-    plimc cache stats|clear <dir>
+    plimc cache stats|clear|trim <dir>
 
 ``--workers N`` flags default to one worker per CPU; ``--cache-dir DIR``
 flags persist a content-addressed synthesis cache across runs
-(``plimc cache`` inspects or clears one).
+(``plimc cache`` inspects, empties, or shrinks one; ``--cache-max-bytes``
+sets a standing LRU eviction cap).  The pooled subcommands (``batch``,
+``pareto``, ``table1``) take a fault policy — ``--timeout`` kills hung
+tasks, ``--retries`` re-runs failed ones, and ``--on-error skip``
+degrades failures into per-task records (partial results) instead of
+aborting the run.
+
+Exit codes: 0 success, 1 verification failure, 2 usage/input error
+(:class:`~repro.errors.ReproError`), 3 a task failed permanently under
+``--on-error raise``, 130 interrupted (Ctrl-C).
 
 Circuit files are detected by extension: ``.mig`` (native), ``.blif``,
 ``.aag``/``.aig`` (ASCII/binary AIGER — ``read_aiger`` sniffs the header,
@@ -39,6 +48,7 @@ from repro.core.compiler import CompilerOptions
 from repro.core.pipeline import compile_mig
 from repro.core.rewriting import ENGINES as REWRITE_ENGINES
 from repro.core.rewriting import OBJECTIVES as REWRITE_OBJECTIVES
+from repro.core.resilience import ON_ERROR_MODES, TaskError, TaskFailure, TaskPolicy
 from repro.errors import ReproError
 from repro.eval import ablations
 from repro.eval.fig3 import run_fig3
@@ -94,10 +104,40 @@ def _resolve_cli_circuit(item: str, scale: str):
 def _make_cache(args):
     """The ``--cache-dir`` synthesis cache, or ``None`` when not given."""
     if getattr(args, "cache_dir", None) is None:
+        if getattr(args, "cache_max_bytes", None) is not None:
+            raise ReproError("--cache-max-bytes requires --cache-dir")
         return None
     from repro.core.cache import SynthesisCache
 
-    return SynthesisCache(args.cache_dir)
+    return SynthesisCache(
+        args.cache_dir, max_bytes=getattr(args, "cache_max_bytes", None)
+    )
+
+
+def _make_policy(args) -> TaskPolicy | None:
+    """The task policy of the ``--timeout/--retries/--on-error`` flags.
+
+    ``None`` when every flag is at its default (the engine then uses its
+    own default policy); invalid values (negative timeout/retries) are
+    rejected by :class:`~repro.core.resilience.TaskPolicy` itself with a
+    :class:`~repro.errors.ReproError` → exit code 2.
+    """
+    timeout = getattr(args, "timeout", None)
+    retries = getattr(args, "retries", 0)
+    on_error = getattr(args, "on_error", "raise")
+    if timeout is None and not retries and on_error == "raise":
+        return None
+    return TaskPolicy(timeout_s=timeout, retries=retries, on_error=on_error)
+
+
+def _report_task_failures(context: str, failures) -> None:
+    """One stderr line per permanently failed task of a skip-mode run."""
+    for label, failure in failures:
+        print(
+            f"plimc: {context}: {label} failed after {failure.attempts} "
+            f"attempt(s) [{failure.kind}]: {failure.message}",
+            file=sys.stderr,
+        )
 
 
 def _cmd_compile(args) -> int:
@@ -257,14 +297,21 @@ def _cmd_batch(args) -> int:
             )
         option_sets[label] = BATCH_CONFIGS[label]()
 
-    specs = [_resolve_cli_circuit(item, args.scale)[0] for item in args.circuits]
-
+    resolved = [_resolve_cli_circuit(item, args.scale) for item in args.circuits]
+    specs = [spec for spec, _ in resolved]
+    names = [name for _, name in resolved]
     results = compile_many(
         specs,
         option_sets,
         workers=args.workers,
         rewrite=args.rewrite,
         effort=args.effort,
+        policy=_make_policy(args),
+    )
+    failures = [r for r in results if isinstance(r, TaskFailure)]
+    compiled = [r for r in results if not isinstance(r, TaskFailure)]
+    _report_task_failures(
+        "batch", [(names[f.index], f) for f in failures]
     )
     if args.json:
         print(json.dumps([r.to_dict() for r in results], indent=2))
@@ -272,7 +319,7 @@ def _cmd_batch(args) -> int:
         rows = [
             [r.circuit, r.option_label, r.num_gates, r.num_instructions,
              r.num_rrams, f"{r.seconds:.2f}s"]
-            for r in results
+            for r in compiled
         ]
         print(format_table(["circuit", "config", "#N", "#I", "#R", "time"], rows))
     return 0
@@ -296,7 +343,9 @@ def _cmd_table1(args) -> int:
         workers=args.workers,
         engine=args.engine,
         cache=_make_cache(args),
+        policy=_make_policy(args),
     )
+    _report_task_failures("table1", result.failures)
     print(table1_csv(result) if args.csv else format_table1(result))
     return 0
 
@@ -335,7 +384,18 @@ def _cmd_pareto(args) -> int:
         paper_accounting=not args.honest,
         warm_start=not args.cold,
         cache=_make_cache(args),
+        policy=_make_policy(args),
     )
+    if front.incomplete:
+        _report_task_failures(
+            "pareto", [(f"task {f.index}", f) for f in front.failures]
+        )
+        print(
+            f"plimc: pareto: partial frontier — "
+            f"{len(front.failed_budgets)} budget point(s) failed: "
+            f"{', '.join(front.failed_budgets)}",
+            file=sys.stderr,
+        )
     if args.json:
         print(json.dumps(front.to_dict(), indent=2))
     else:
@@ -350,7 +410,8 @@ def _cmd_pareto(args) -> int:
 
 
 def _cmd_cache(args) -> int:
-    """Inspect (``stats``) or empty (``clear``) a synthesis cache dir."""
+    """Inspect (``stats``), empty (``clear``), or shrink (``trim``) a
+    synthesis cache dir."""
     from repro.core.cache import SynthesisCache
 
     cache = SynthesisCache(args.dir)
@@ -363,9 +424,57 @@ def _cmd_cache(args) -> int:
             print(f"  {kind:9s} {u['entries']:6d} entries, {u['bytes']:10d} bytes")
         print(f"  {'total':9s} {total_entries:6d} entries, {total_bytes:10d} bytes")
         return 0
+    if args.cache_command == "trim":
+        evicted = cache.trim(args.max_bytes)
+        usage = cache.disk_usage()
+        remaining = sum(u["bytes"] for u in usage.values())
+        print(
+            f"evicted {evicted} entries from {args.dir} "
+            f"({remaining} bytes remain, cap {args.max_bytes})"
+        )
+        return 0
     removed = cache.clear()
     print(f"cleared {removed} entries from {args.dir}")
     return 0
+
+
+def _add_policy_flags(p: argparse.ArgumentParser) -> None:
+    """``--timeout/--retries/--on-error`` for the pooled subcommands."""
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task deadline; a task still running after this long is "
+        "killed and counts as failed (default: no deadline)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="re-run a failed or timed-out task up to N more times with "
+        "exponential backoff (default: 0)",
+    )
+    p.add_argument(
+        "--on-error",
+        choices=list(ON_ERROR_MODES),
+        default="raise",
+        help="what to do when a task fails permanently: raise aborts the run "
+        "(default, exit code 3), skip records the failure and keeps the "
+        "surviving results, degrade makes one last in-process attempt first",
+    )
+
+
+def _add_cache_max_bytes_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="LRU eviction cap for the --cache-dir store (memory and disk "
+        "enforced independently; default: unbounded)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -434,6 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist the synthesis cache here (rewrites memoized by "
         "content fingerprint across runs)",
     )
+    _add_cache_max_bytes_flag(p)
     p.set_defaults(func=_cmd_compile)
 
     p = sub.add_parser("stats", help="print MIG statistics of a circuit file")
@@ -484,6 +594,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rewrite", action="store_true", help="run Algorithm 1 first")
     p.add_argument("--effort", type=int, default=4, help="rewriting effort (default 4)")
     p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    _add_policy_flags(p)
     p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser(
@@ -533,7 +644,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist the synthesis cache here (whole fronts and per-point "
         "rewrites memoized by content fingerprint across runs)",
     )
+    _add_cache_max_bytes_flag(p)
     p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    _add_policy_flags(p)
     p.set_defaults(func=_cmd_pareto)
 
     p = sub.add_parser("table1", help="reproduce the paper's Table 1")
@@ -559,6 +672,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist the synthesis cache here (per-row rewrites memoized "
         "by content fingerprint across runs)",
     )
+    _add_cache_max_bytes_flag(p)
+    _add_policy_flags(p)
     p.set_defaults(func=_cmd_table1)
 
     p = sub.add_parser("fig3", help="regenerate the paper's motivating examples")
@@ -577,17 +692,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "cache",
-        help="inspect or clear a --cache-dir synthesis cache",
+        help="inspect, clear, or trim a --cache-dir synthesis cache",
         epilog="examples: plimc cache stats .plim-cache;  "
-        "plimc cache clear .plim-cache",
+        "plimc cache clear .plim-cache;  "
+        "plimc cache trim .plim-cache --max-bytes 10000000",
     )
     cache_sub = p.add_subparsers(dest="cache_command", required=True)
     for command, blurb in (
         ("stats", "entry counts and sizes of a cache directory"),
         ("clear", "delete every entry in a cache directory"),
+        ("trim", "evict least-recently-used entries down to a byte budget"),
     ):
         pc = cache_sub.add_parser(command, help=blurb)
         pc.add_argument("dir", help="the synthesis cache directory")
+        if command == "trim":
+            pc.add_argument(
+                "--max-bytes",
+                type=int,
+                required=True,
+                metavar="BYTES",
+                help="the byte budget to trim down to (0 empties the cache)",
+            )
         pc.set_defaults(func=_cmd_cache)
 
     return parser
@@ -598,9 +723,22 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except TaskError as error:
+        # a task failed permanently under --on-error raise (TaskError is a
+        # ReproError subclass, so this must precede the generic handler)
+        print(f"plimc: task failed: {error}", file=sys.stderr)
+        return 3
     except ReproError as error:
         print(f"plimc: error: {error}", file=sys.stderr)
         return 2
+    except OSError as error:
+        # missing/unreadable circuit files, unwritable outputs — user
+        # input problems, not crashes: one line, no traceback
+        print(f"plimc: error: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("plimc: interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -17,16 +17,24 @@ Circuits may be given as :class:`~repro.mig.graph.Mig` objects, registry
 names (``"adder"``), or ``(name, scale)`` pairs.  Name specs are resolved
 *inside* the worker, so only a tiny payload crosses the process boundary.
 
-This is deliberately dependency-free (``concurrent.futures`` only) and is
-the seam future scaling work — sharding, result caching, remote backends —
-plugs into.
+Both maps run on :mod:`repro.core.resilience`'s supervised per-task
+worker pool instead of a bare ``pool.map``: an optional
+:class:`~repro.core.resilience.TaskPolicy` adds per-task deadlines,
+retries and structured :class:`~repro.core.resilience.TaskFailure`
+records, and a crashed worker (OOM kill, ``os._exit``) costs exactly the
+task it was running instead of aborting the whole run with a
+``BrokenProcessPool``.  Without a policy the behavior matches the old
+pool: the first error propagates.
+
+This is deliberately dependency-free (stdlib ``multiprocessing`` only)
+and is the seam future scaling work — sharding, result caching, remote
+backends — plugs into.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import (
     Callable,
@@ -42,6 +50,7 @@ from typing import (
 from repro.circuits.registry import build as build_benchmark
 from repro.core.cache import SynthesisCache, payload_cache_ref, worker_cache
 from repro.core.compiler import CompilerOptions, PlimCompiler
+from repro.core.resilience import FaultPlan, TaskFailure, TaskPolicy, iter_tasks
 from repro.core.rewriting import RewriteOptions, rewrite_for_plim
 from repro.errors import ReproError
 from repro.mig.context import AnalysisContext
@@ -56,14 +65,31 @@ CircuitSpec = Union[Mig, str, tuple]
 
 
 def resolve_workers(workers: Optional[int]) -> int:
-    """``None`` → one worker per CPU; otherwise at least 1."""
+    """``None`` → one worker per CPU; explicit counts must be >= 1.
+
+    A zero or negative worker count is a caller bug that used to be
+    silently clamped to 1; it now raises
+    :class:`~repro.errors.ReproError` so the mistake surfaces at the
+    boundary it was made (CLI flag, library call) instead of quietly
+    serializing a sweep.
+    """
     if workers is None:
         return os.cpu_count() or 1
-    return max(1, workers)
+    if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+        raise ReproError(
+            f"workers must be a positive integer or None (= one per CPU), "
+            f"got {workers!r}"
+        )
+    return workers
 
 
 def parallel_imap(
-    fn: Callable[[_T], _R], items: Iterable[_T], workers: Optional[int] = None
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    workers: Optional[int] = None,
+    *,
+    policy: Optional[TaskPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> "Iterator[_R]":
     """Yield ``fn(x)`` per item, in input order, pooled like
     :func:`parallel_map`.
@@ -72,30 +98,46 @@ def parallel_imap(
     one by one as they become available (in input order), so callers can
     report progress row by row even when a pool is running — the
     evaluation harness's live table output depends on this.
+
+    ``policy`` configures per-task deadlines/retries/failure disposition
+    (see :class:`~repro.core.resilience.TaskPolicy`); under
+    ``on_error="skip"``/``"degrade"`` an unrecovered task's slot yields
+    its :class:`~repro.core.resilience.TaskFailure` record instead of a
+    result.  ``fault_plan`` injects deterministic faults for testing.
     """
     items = list(items)
-    workers = resolve_workers(workers)
-    if workers <= 1 or len(items) <= 1:
-        for item in items:
-            yield fn(item)
-        return
-    with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
-        yield from pool.map(fn, items)
+    yield from iter_tasks(
+        fn,
+        items,
+        workers=min(resolve_workers(workers), max(1, len(items))),
+        policy=policy,
+        fault_plan=fault_plan,
+    )
 
 
 def parallel_map(
-    fn: Callable[[_T], _R], items: Iterable[_T], workers: Optional[int] = None
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    workers: Optional[int] = None,
+    *,
+    policy: Optional[TaskPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> "list[_R]":
     """``[fn(x) for x in items]`` with deterministic ordering, fanned out
-    over a process pool when more than one worker resolves.
+    over a supervised process pool when more than one worker resolves.
 
     ``workers=None`` (the default, the package-wide convention) means one
     worker per CPU.  ``fn`` and the items must be picklable (``fn`` a
     module-level function).  With one worker (or one item) everything
     runs inline in this process — no pool, no pickling — which is also
     the fallback the tests rely on for exact reproducibility checks.
+
+    ``policy``/``fault_plan`` are forwarded to the resilience engine —
+    see :func:`parallel_imap` and :mod:`repro.core.resilience`.
     """
-    return list(parallel_imap(fn, items, workers=workers))
+    return list(
+        parallel_imap(fn, items, workers=workers, policy=policy, fault_plan=fault_plan)
+    )
 
 
 @dataclass(frozen=True)
@@ -216,7 +258,9 @@ def compile_many(
     keep_programs: bool = False,
     cache: Optional[SynthesisCache] = None,
     cache_dir=None,
-) -> list[BatchResult]:
+    policy: Optional[TaskPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+) -> "list[Union[BatchResult, TaskFailure]]":
     """Compile every circuit under every option set; return all cells.
 
     ``option_sets`` is a sequence of :class:`CompilerOptions` (labelled
@@ -240,6 +284,15 @@ def compile_many(
     and same-process repeats — pooled workers start empty unless the
     cache has a ``cache_dir`` they can read.
 
+    ``policy`` attaches a :class:`~repro.core.resilience.TaskPolicy` to
+    the pool (one task = one circuit with all its option sets): with
+    ``on_error="skip"`` a circuit whose task failed permanently — crashed
+    worker, blown deadline, raised exception after all retries — takes a
+    single :class:`~repro.core.resilience.TaskFailure` slot in the result
+    list (at its circuit-major position) while every other circuit's
+    cells survive.  Without a policy the first failure raises, as before.
+    ``fault_plan`` injects deterministic faults by task index (testing).
+
     Example — two registry circuits under the default option set:
 
         >>> from repro import compile_many
@@ -258,8 +311,17 @@ def compile_many(
         (index, spec, labelled, rewrite, effort, keep_programs, cache_ref)
         for index, spec in enumerate(migs_or_specs)
     ]
-    grouped = parallel_map(_compile_task, payloads, workers=workers)
-    if cache is not None and not inline:
-        for _, entries in grouped:
+    grouped = parallel_map(
+        _compile_task, payloads, workers=workers, policy=policy,
+        fault_plan=fault_plan,
+    )
+    flattened: "list[Union[BatchResult, TaskFailure]]" = []
+    for outcome in grouped:
+        if isinstance(outcome, TaskFailure):
+            flattened.append(outcome)
+            continue
+        group, entries = outcome
+        if cache is not None and not inline:
             cache.absorb(entries)
-    return [cell for group, _ in grouped for cell in group]
+        flattened.extend(group)
+    return flattened

@@ -65,11 +65,13 @@ import io
 import json
 import os
 import tempfile
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
 from repro._version import __version__
+from repro.errors import ReproError
 from repro.mig.graph import Mig
 from repro.mig.io_mig import read_mig, write_mig
 
@@ -110,6 +112,8 @@ class CacheStats:
     stores: int = 0
     #: corrupt or unreadable entries recovered as misses
     errors: int = 0
+    #: entries dropped to enforce ``max_bytes`` (memory and disk summed)
+    evictions: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -117,6 +121,7 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "errors": self.errors,
+            "evictions": self.evictions,
         }
 
 
@@ -132,6 +137,18 @@ class SynthesisCache:
     fresh entries (the texts would accumulate unboundedly alongside the
     deserialized values); only worker-side views built by
     :func:`worker_cache` do, and they are drained once per task.
+
+    ``max_bytes`` caps the cache at a byte budget with least-recently-
+    used eviction, so a long-lived ``cache_dir`` cannot grow without
+    bound.  The in-memory map (sized by each entry's serialized text)
+    and the disk store (sized by file size, ordered by mtime — disk
+    hits touch their file, so mtime *is* recency) are enforced
+    independently against the same budget after every store.  The
+    most recent entry always survives, even when it alone exceeds the
+    cap; :meth:`trim` enforces an explicit cap once, without that
+    exemption.  Eviction is safe under concurrent writers sharing one
+    directory: entries are written atomically, eviction races resolve
+    to whoever unlinks first, and losing a race is never an error.
 
     Example:
 
@@ -149,11 +166,24 @@ class SynthesisCache:
         *,
         read_only: bool = False,
         collect_fresh: bool = False,
+        max_bytes: Optional[int] = None,
     ):
+        if max_bytes is not None and (
+            not isinstance(max_bytes, int)
+            or isinstance(max_bytes, bool)
+            or max_bytes < 1
+        ):
+            raise ReproError(
+                f"max_bytes must be a positive integer or None (= unbounded), "
+                f"got {max_bytes!r}"
+            )
         self._dir = Path(cache_dir) if cache_dir is not None else None
         self._read_only = read_only
         self._collect_fresh = collect_fresh or read_only
-        self._mem: dict[tuple[str, str], object] = {}
+        self._max_bytes = max_bytes
+        self._mem: OrderedDict[tuple[str, str], object] = OrderedDict()
+        self._sizes: dict[tuple[str, str], int] = {}
+        self._mem_bytes = 0
         self._fresh: list[tuple[str, str, str]] = []
         self.stats = CacheStats()
 
@@ -166,6 +196,11 @@ class SynthesisCache:
     def read_only(self) -> bool:
         """True when this instance never writes to disk."""
         return self._read_only
+
+    @property
+    def max_bytes(self) -> Optional[int]:
+        """The LRU byte cap, or ``None`` for an unbounded cache."""
+        return self._max_bytes
 
     # ------------------------------------------------------------------
     # keys
@@ -277,6 +312,8 @@ class SynthesisCache:
         """
         removed = set(self._mem)
         self._mem.clear()
+        self._sizes.clear()
+        self._mem_bytes = 0
         self._fresh.clear()
         if self._dir is not None:
             for kind in _EXTENSIONS:
@@ -295,11 +332,30 @@ class SynthesisCache:
                             removed.add((kind, path.stem))
         return len(removed)
 
+    def trim(self, max_bytes: int) -> int:
+        """Enforce ``max_bytes`` once, now, on memory and disk alike.
+
+        Unlike the standing cap set at construction, a trim has no
+        keep-the-latest exemption: ``trim(0)`` empties the cache.
+        Returns the number of entries evicted (memory + disk; an entry
+        living in both places counts twice, as two evictions happen).
+        """
+        if not isinstance(max_bytes, int) or isinstance(max_bytes, bool) \
+                or max_bytes < 0:
+            raise ReproError(
+                f"trim budget must be a non-negative integer, got {max_bytes!r}"
+            )
+        evicted = self._enforce_mem_cap(max_bytes, keep_latest=False)
+        evicted += self._enforce_disk_cap(max_bytes, keep_latest=False)
+        return evicted
+
     def disk_usage(self) -> dict:
         """Per-kind entry counts and byte totals of the disk store.
 
         Leftover ``.tmp-*`` files from interrupted atomic writes are not
-        entries (no key resolves to them) and are excluded.
+        entries (no key resolves to them) and are excluded; files
+        removed mid-scan by a concurrent process are skipped, never
+        double-counted.
         """
         usage = {}
         for kind in _EXTENSIONS:
@@ -309,9 +365,15 @@ class SynthesisCache:
                 directory = self._dir / kind
                 if directory.is_dir():
                     for path in directory.iterdir():
-                        if path.is_file() and not path.name.startswith(_TMP_PREFIX):
+                        if path.name.startswith(_TMP_PREFIX):
+                            continue
+                        try:
+                            st = path.stat()
+                        except OSError:
+                            continue  # unlinked by a concurrent evictor
+                        if path.is_file():
                             files += 1
-                            size += path.stat().st_size
+                            size += st.st_size
             usage[kind] = {"entries": files, "bytes": size}
         return usage
 
@@ -322,18 +384,89 @@ class SynthesisCache:
     def _get(self, kind: str, key: str):
         value = self._mem.get((kind, key))
         if value is not None:
+            self._mem.move_to_end((kind, key))
             self.stats.hits += 1
             return value
-        value = self._disk_get(kind, key)
-        if value is not None:
-            self._mem[(kind, key)] = value
+        found = self._disk_get(kind, key)
+        if found is not None:
+            value, size = found
+            self._mem_insert(kind, key, value, size)
+            self._enforce_mem_cap(self._max_bytes)
+            if not self._read_only:
+                # a disk hit is a *use*: refresh the file's mtime so LRU
+                # eviction (which orders by mtime) sees the recency
+                try:
+                    os.utime(self._entry_path(kind, key))
+                except OSError:
+                    pass
             self.stats.hits += 1
             return value
         self.stats.misses += 1
         return None
 
+    def _mem_insert(self, kind: str, key: str, value, size: int) -> None:
+        entry = (kind, key)
+        if entry in self._mem:
+            self._mem_bytes -= self._sizes.get(entry, 0)
+            self._mem.move_to_end(entry)
+        self._mem[entry] = value
+        self._sizes[entry] = size
+        self._mem_bytes += size
+
+    def _enforce_mem_cap(self, cap: Optional[int], keep_latest: bool = True) -> int:
+        if cap is None:
+            return 0
+        evicted = 0
+        floor = 1 if keep_latest else 0
+        while self._mem_bytes > cap and len(self._mem) > floor:
+            entry, _ = self._mem.popitem(last=False)
+            self._mem_bytes -= self._sizes.pop(entry, 0)
+            self.stats.evictions += 1
+            evicted += 1
+        return evicted
+
+    def _disk_entries(self) -> list:
+        """``(mtime, size, path)`` of every disk entry, oldest first."""
+        entries = []
+        for kind in _EXTENSIONS:
+            directory = self._dir / kind
+            if not directory.is_dir():
+                continue
+            for path in directory.iterdir():
+                if path.name.startswith(_TMP_PREFIX):
+                    continue
+                try:
+                    st = path.stat()
+                except OSError:
+                    continue  # a concurrent writer/evictor removed it
+                if path.is_file():
+                    entries.append((st.st_mtime, st.st_size, path))
+        entries.sort(key=lambda e: (e[0], e[2].name))
+        return entries
+
+    def _enforce_disk_cap(self, cap: Optional[int], keep_latest: bool = True) -> int:
+        if cap is None or self._dir is None or self._read_only:
+            return 0
+        entries = self._disk_entries()
+        total = sum(size for _, size, _ in entries)
+        if keep_latest and entries:
+            entries = entries[:-1]  # the newest write always survives
+        evicted = 0
+        for _, size, path in entries:
+            if total <= cap:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue  # a concurrent evictor won the race — fine
+            total -= size
+            self.stats.evictions += 1
+            evicted += 1
+        return evicted
+
     def _put(self, kind: str, key: str, value, text: str) -> None:
-        self._mem[(kind, key)] = value
+        self._mem_insert(kind, key, value, len(text.encode("utf-8")))
+        self._enforce_mem_cap(self._max_bytes)
         if self._collect_fresh:
             self._fresh.append((kind, key, text))
         self.stats.stores += 1
@@ -357,8 +490,11 @@ class SynthesisCache:
                 raise
         except OSError:
             self.stats.errors += 1  # disk store failed; memory entry stands
+            return
+        self._enforce_disk_cap(self._max_bytes)
 
     def _disk_get(self, kind: str, key: str):
+        """``(value, serialized size)`` of the disk entry, or ``None``."""
         if self._dir is None:
             return None
         path = self._entry_path(kind, key)
@@ -367,7 +503,7 @@ class SynthesisCache:
         except OSError:
             return None
         try:
-            return _deserialize(kind, text)
+            return _deserialize(kind, text), len(text.encode("utf-8"))
         except Exception:
             # Corrupt entry: recover by treating it as a miss and removing
             # the file (best-effort) so the recomputed result replaces it.

@@ -60,6 +60,7 @@ from typing import Optional, Union
 
 from repro.core.batch import CircuitSpec, _resolve_spec, parallel_map, resolve_workers
 from repro.core.cache import SynthesisCache, payload_cache_ref, worker_cache
+from repro.core.resilience import FaultPlan, TaskFailure, TaskPolicy
 from repro.core.compiler import CompilerOptions, PlimCompiler
 from repro.core.rewriting import RewriteOptions, rewrite_for_plim
 from repro.errors import MigError
@@ -173,6 +174,15 @@ class ParetoFront:
     points: tuple[ParetoPoint, ...]
     dominated: tuple[ParetoPoint, ...]
     seconds: float
+    #: True when one or more sweep tasks failed permanently under a skip
+    #: policy — the frontier is then a *partial* (but still verified and
+    #: staircase-valid) view of the trade-off
+    incomplete: bool = False
+    #: labels of the points lost to failed tasks ("size"/"depth" anchors,
+    #: "budget=<d>" chain points), in ascending-budget order
+    failed_budgets: tuple = ()
+    #: the structured failure records behind ``failed_budgets``
+    failures: tuple = ()
 
     def __iter__(self):
         return iter(self.points)
@@ -197,6 +207,9 @@ class ParetoFront:
             "points": [p.to_dict() for p in self.points],
             "dominated": [p.to_dict() for p in self.dominated],
             "seconds": round(self.seconds, 6),
+            "incomplete": self.incomplete,
+            "failed_budgets": list(self.failed_budgets),
+            "failures": [f.to_dict() for f in self.failures],
         }
 
     @staticmethod
@@ -208,14 +221,25 @@ class ParetoFront:
             points=tuple(ParetoPoint.from_dict(p) for p in data["points"]),
             dominated=tuple(ParetoPoint.from_dict(p) for p in data["dominated"]),
             seconds=data["seconds"],
+            incomplete=data.get("incomplete", False),
+            failed_budgets=tuple(data.get("failed_budgets", ())),
+            failures=tuple(
+                TaskFailure.from_dict(f) for f in data.get("failures", ())
+            ),
         )
 
     def __repr__(self) -> str:
+        if not self.points:
+            return f"<ParetoFront {self.circuit}: empty (incomplete)>"
         span = (
             f"D {self.depth_point.depth}..{self.size_point.depth}, "
             f"N {self.size_point.num_gates}..{self.depth_point.num_gates}"
         )
-        return f"<ParetoFront {self.circuit}: {len(self.points)} points ({span})>"
+        flag = ", incomplete" if self.incomplete else ""
+        return (
+            f"<ParetoFront {self.circuit}: {len(self.points)} points "
+            f"({span}{flag})>"
+        )
 
 
 def _compile_point(
@@ -425,6 +449,8 @@ def pareto_sweep(
     warm_start: bool = True,
     cache: Optional[SynthesisCache] = None,
     cache_dir=None,
+    policy: Optional[TaskPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> ParetoFront:
     """Sweep the (#N, #D) trade-off of ``circuit`` and return the frontier.
 
@@ -461,6 +487,19 @@ def pareto_sweep(
     reordered build would produce).  Order-sensitivity studies must
     therefore run uncached — exactly as ``run_table1`` does for its
     ``shuffled=True`` rows.
+
+    ``policy`` attaches a :class:`~repro.core.resilience.TaskPolicy` to
+    the sweep's pools.  Under ``on_error="skip"``/``"degrade"`` a
+    permanently failed task — a crashed or hung worker, a raised
+    exception after all retries — no longer aborts the sweep: the
+    surviving points are staircase-filtered as usual and the front comes
+    back flagged ``incomplete=True`` with the lost point labels in
+    ``failed_budgets`` (an anchor failure loses that extreme; a chain
+    failure loses that chain's budgets).  Partial fronts are *never*
+    cached, so a later healthy sweep recomputes the full frontier.
+    ``fault_plan`` injects deterministic faults; the sweep consumes the
+    ``"anchor"`` and ``"chain"`` phases of the plan (task indices within
+    each phase).
 
     Example::
 
@@ -502,6 +541,7 @@ def pareto_sweep(
     # anchor ships its rewritten graph back: it doubles as the cold-start
     # seed of every budget below the raw input's depth (the rewrite is
     # deterministic), so no worker has to re-derive it.
+    plan = fault_plan or FaultPlan()
     input_depth = mig_depth(mig.cleanup()[0])
     anchor_results = parallel_map(
         _anchor_task,
@@ -510,47 +550,80 @@ def pareto_sweep(
             (spec, "depth", effort, verify, fix_polarity, True, cache_ref),
         ],
         workers=workers,
+        policy=policy,
+        fault_plan=plan.scoped("anchor"),
     )
-    ([size_pt], _, size_entries), ([depth_pt], depth_seed, depth_entries) = (
-        anchor_results
-    )
-    budgets = _subsample(list(range(depth_pt.depth, size_pt.depth)), max_points)
-    chains = _chunked(budgets, 1 if not warm_start else CHAIN_LENGTH)
-    chain_results = parallel_map(
-        _chain_task,
-        [
-            (
-                spec,
-                chain,
-                effort,
-                verify,
-                fix_polarity,
-                depth_seed if input_depth > chain[0] else None,
-                input_depth,
-                size_pt.num_gates,
-                warm_start,
-                cache_ref,
-            )
-            for chain in chains
-        ],
-        workers=workers,
-    )
-    budget_pts = [point for points, _, _ in chain_results for point in points]
-    if cache is not None and not inline:
-        # read-only + merge protocol: pool workers never write; the fresh
-        # entries they computed are merged (and persisted) here instead.
-        for entries in (size_entries, depth_entries):
+    failures: list[TaskFailure] = []
+    failed_labels: list[str] = []
+    size_pt = depth_pt = depth_seed = None
+    for label, outcome in zip(("size", "depth"), anchor_results):
+        if isinstance(outcome, TaskFailure):
+            failures.append(outcome)
+            failed_labels.append(label)
+            continue
+        [point], shipped, entries = outcome
+        if cache is not None and not inline:
+            # read-only + merge protocol: pool workers never write; the
+            # fresh entries they computed are merged (persisted) here.
             cache.absorb(entries)
-        for _, _, entries in chain_results:
-            cache.absorb(entries)
-    front, dominated = _non_dominated([size_pt, depth_pt, *budget_pts])
+        if label == "size":
+            size_pt = point
+        else:
+            depth_pt, depth_seed = point, shipped
+
+    # Intermediate budgets need both anchors: the depth extreme is the
+    # range's floor, the size extreme its ceiling and the chains' stall
+    # floor.  Losing either degrades to the surviving extreme(s) only.
+    budget_pts: list[ParetoPoint] = []
+    if size_pt is not None and depth_pt is not None:
+        budgets = _subsample(
+            list(range(depth_pt.depth, size_pt.depth)), max_points
+        )
+        chains = _chunked(budgets, 1 if not warm_start else CHAIN_LENGTH)
+        chain_results = parallel_map(
+            _chain_task,
+            [
+                (
+                    spec,
+                    chain,
+                    effort,
+                    verify,
+                    fix_polarity,
+                    depth_seed if input_depth > chain[0] else None,
+                    input_depth,
+                    size_pt.num_gates,
+                    warm_start,
+                    cache_ref,
+                )
+                for chain in chains
+            ],
+            workers=workers,
+            policy=policy,
+            fault_plan=plan.scoped("chain"),
+        )
+        for chain, outcome in zip(chains, chain_results):
+            if isinstance(outcome, TaskFailure):
+                failures.append(outcome)
+                failed_labels.extend(f"budget={b}" for b in chain)
+                continue
+            points, _, entries = outcome
+            if cache is not None and not inline:
+                cache.absorb(entries)
+            budget_pts.extend(points)
+    anchors = [p for p in (size_pt, depth_pt) if p is not None]
+    front, dominated = _non_dominated([*anchors, *budget_pts])
     result = ParetoFront(
         circuit=name,
         effort=effort,
         points=tuple(front),
         dominated=tuple(dominated),
         seconds=time.perf_counter() - wall_start,
+        incomplete=bool(failures),
+        failed_budgets=tuple(failed_labels),
+        failures=tuple(failures),
     )
-    if cache is not None:
+    if cache is not None and not result.incomplete:
+        # partial fronts are never cached: a later healthy sweep must
+        # recompute the budgets this one lost
         cache.put_front(fingerprint, front_params, result)
     return result

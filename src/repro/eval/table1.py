@@ -25,12 +25,13 @@ harness options deviate-by-default and are reported explicitly:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.circuits.registry import BENCHMARK_NAMES, benchmark_info
 from repro.core.batch import parallel_imap, resolve_workers
 from repro.core.cache import SynthesisCache, payload_cache_ref, worker_cache
+from repro.core.resilience import FaultPlan, TaskFailure, TaskPolicy
 from repro.core.compiler import CompilerOptions, PlimCompiler
 from repro.core.rewriting import RewriteOptions, rewrite_for_plim
 from repro.eval.reporting import format_table, improvement, to_csv
@@ -79,13 +80,20 @@ class Table1Row:
 
 @dataclass
 class Table1Result:
-    """All rows plus the Σ row of the reproduction run."""
+    """All rows plus the Σ row of the reproduction run.
+
+    ``failures`` lists the benchmarks whose row task failed permanently
+    under a skip/degrade :class:`~repro.core.resilience.TaskPolicy`
+    (``(name, TaskFailure)`` pairs); their rows are absent from ``rows``
+    and the Σ row covers the surviving benchmarks only.
+    """
 
     rows: list[Table1Row]
     scale: str
     effort: int
     shuffled: bool
     paper_accounting: bool
+    failures: list = field(default_factory=list)
 
     def total(self) -> Table1Row:
         def s(attr):
@@ -237,6 +245,8 @@ def run_table1(
     engine: str = "worklist",
     cache: Optional[SynthesisCache] = None,
     cache_dir=None,
+    policy: Optional[TaskPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Table1Result:
     """Run the full Table 1 reproduction.
 
@@ -252,6 +262,12 @@ def run_table1(
     rewriting step (pool workers read-only, merged here; ignored for
     ``shuffled=True`` runs, whose whole point is order sensitivity that
     the order-invariant fingerprint would cache away).
+
+    ``policy`` is an optional :class:`~repro.core.resilience.TaskPolicy`;
+    under ``on_error="skip"`` (or a ``"degrade"`` whose inline re-run also
+    fails) the failed benchmark's row is dropped and recorded on
+    :attr:`Table1Result.failures` while the remaining rows complete.
+    ``fault_plan`` injects deterministic faults for testing.
     """
     if cache is None and cache_dir is not None:
         cache = SynthesisCache(cache_dir)
@@ -264,8 +280,16 @@ def run_table1(
         for name in selected
     ]
     rows = []
-    results = parallel_imap(_benchmark_task, payloads, workers=workers)
-    for name, (row, entries) in zip(selected, results):
+    failures = []
+    results = parallel_imap(
+        _benchmark_task, payloads, workers=workers,
+        policy=policy, fault_plan=fault_plan,
+    )
+    for name, outcome in zip(selected, results):
+        if isinstance(outcome, TaskFailure):
+            failures.append((name, outcome))
+            continue
+        row, entries = outcome
         rows.append(row)
         if cache is not None:
             # a no-op for inline runs (the entries are already this
@@ -279,6 +303,7 @@ def run_table1(
         effort=effort,
         shuffled=shuffled,
         paper_accounting=paper_accounting,
+        failures=failures,
     )
 
 

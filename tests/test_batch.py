@@ -18,8 +18,9 @@ import time
 import pytest
 
 from repro.circuits.registry import BENCHMARK_NAMES, build
-from repro.core.batch import BatchResult, compile_many, parallel_map
+from repro.core.batch import BatchResult, compile_many, parallel_map, resolve_workers
 from repro.core.compiler import CompilerOptions, PlimCompiler
+from repro.core.resilience import Fault, FaultPlan, TaskFailure, TaskPolicy
 from repro.errors import MigError, ReproError
 from repro.mig import analysis
 from repro.mig.context import AnalysisContext
@@ -211,6 +212,63 @@ class TestParallelMap:
 
     def test_single_item_runs_inline(self):
         assert parallel_map(_square, [7], workers=8) == [49]
+
+
+class TestResolveWorkers:
+    """Satellite 6: the Optional[int] drift is an explicit error now."""
+
+    def test_none_means_one_per_cpu(self):
+        assert resolve_workers(None) == (os.cpu_count() or 1)
+        assert resolve_workers(2) == 2
+
+    @pytest.mark.parametrize("bad", [0, -1, -100, 1.5, True, "3"])
+    def test_non_positive_or_non_int_raises(self, bad):
+        with pytest.raises(ReproError, match="positive integer"):
+            resolve_workers(bad)
+
+    def test_policy_validation_reaches_parallel_map(self):
+        with pytest.raises(ReproError, match="timeout_s"):
+            parallel_map(
+                _square, [1, 2], workers=1, policy=TaskPolicy(timeout_s=-5)
+            )
+
+
+class TestCompileManyResilience:
+    """Policy plumbing through the batch driver (ISSUE 7 tentpole)."""
+
+    def test_crashed_circuit_becomes_one_failure_slot(self):
+        specs = [("ctrl", "ci"), ("dec", "ci"), ("int2float", "ci")]
+        clean = compile_many(specs, workers=2)
+        plan = FaultPlan({1: Fault("exit")})
+        out = compile_many(
+            specs, workers=2,
+            policy=TaskPolicy(on_error="skip"), fault_plan=plan,
+        )
+        # one task per circuit: the dec slot fails, the others survive
+        # byte-identically (circuit-major order is preserved)
+        failures = [r for r in out if isinstance(r, TaskFailure)]
+        assert len(failures) == 1 and failures[0].kind == "crash"
+        assert failures[0].index == 1
+        survivors = [r for r in out if isinstance(r, BatchResult)]
+        expected = [r for r in clean if r.circuit != "dec"]
+        assert _result_key(survivors) == _result_key(expected)
+
+    def test_raise_mode_is_the_default_and_aborts(self):
+        from repro.core.resilience import TaskError
+
+        plan = FaultPlan({0: Fault("exit")})
+        with pytest.raises(TaskError):
+            compile_many([("ctrl", "ci"), ("dec", "ci")], workers=2,
+                         fault_plan=plan)
+
+    def test_retry_recovers_a_transient_crash(self):
+        specs = [("ctrl", "ci"), ("dec", "ci")]
+        plan = FaultPlan({0: Fault("exit", attempts=(1,))})
+        out = compile_many(
+            specs, workers=2,
+            policy=TaskPolicy(retries=1, backoff=0), fault_plan=plan,
+        )
+        assert _result_key(out) == _result_key(compile_many(specs, workers=2))
 
 
 def _square(x):

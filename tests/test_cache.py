@@ -31,6 +31,7 @@ from repro.core.cache import (
 from repro.core.pareto import ParetoFront, ParetoPoint, pareto_sweep
 from repro.core.pipeline import compile_mig
 from repro.core.rewriting import RewriteOptions, rewrite_for_plim
+from repro.errors import ReproError
 from repro.eval.table1 import run_table1
 from repro.mig.equivalence import equivalent
 from repro.mig.io_mig import write_mig
@@ -315,5 +316,181 @@ class TestWorkersConvention:
         import os
 
         assert resolve_workers(None) == (os.cpu_count() or 1)
-        assert resolve_workers(0) == 1
         assert resolve_workers(3) == 3
+
+    def test_resolve_workers_rejects_non_positive(self):
+        # 0 used to clamp to 1 silently; it is now an explicit error
+        for bad in (0, -1, 2.5, "4"):
+            with pytest.raises(ReproError):
+                resolve_workers(bad)
+
+
+def _writer_process(cache_dir, seeds, max_bytes):
+    """One concurrent writer: populate ``cache_dir`` with rewrites.
+
+    Module-level so ``multiprocessing.Process`` can run it (fork or
+    spawn); overlapping ``seeds`` across writers force same-key races.
+    """
+    cache = SynthesisCache(cache_dir, max_bytes=max_bytes)
+    for seed in seeds:
+        mig = random_mig(seed=seed, num_pis=4, num_gates=12)
+        rewrite_for_plim(mig, OPTS, cache=cache)
+
+
+class TestEviction:
+    """The ``max_bytes`` LRU cap (the carried-over roadmap item)."""
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True, "big"])
+    def test_invalid_cap_raises(self, bad):
+        with pytest.raises(ReproError, match="max_bytes"):
+            SynthesisCache(max_bytes=bad)
+
+    def test_disk_stays_under_the_cap(self, tmp_path):
+        import time
+
+        cache = SynthesisCache(tmp_path, max_bytes=400)
+        for seed in range(8):
+            rewrite_for_plim(
+                random_mig(seed=seed, num_pis=4, num_gates=12),
+                OPTS, cache=cache,
+            )
+            time.sleep(0.01)  # distinct mtimes -> deterministic LRU order
+        usage = cache.disk_usage()
+        total = sum(u["bytes"] for u in usage.values())
+        entries = sum(u["entries"] for u in usage.values())
+        assert total <= 400 or entries == 1  # newest always survives
+        assert cache.stats.evictions > 0
+
+    def test_memory_is_lru(self):
+        cache = SynthesisCache(max_bytes=1)  # evicts all but the newest
+        for seed in range(3):
+            rewrite_for_plim(
+                random_mig(seed=seed, num_pis=4, num_gates=10),
+                OPTS, cache=cache,
+            )
+        assert len(cache._mem) == 1  # only the most recent store survives
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = SynthesisCache(tmp_path)
+        for seed in range(6):
+            rewrite_for_plim(
+                random_mig(seed=seed, num_pis=4, num_gates=12),
+                OPTS, cache=cache,
+            )
+        assert cache.stats.evictions == 0
+        assert cache.max_bytes is None
+
+    def test_surviving_entries_still_hit(self, tmp_path):
+        import time
+
+        cache = SynthesisCache(tmp_path, max_bytes=100_000)  # roomy: no evictions
+        migs = [random_mig(seed=s, num_pis=4, num_gates=12) for s in range(3)]
+        for mig in migs:
+            rewrite_for_plim(mig, OPTS, cache=cache)
+            time.sleep(0.01)
+        fresh = SynthesisCache(tmp_path, max_bytes=100_000)
+        rewrite_for_plim(migs[-1], OPTS, cache=fresh)
+        assert fresh.stats.hits == 1 and fresh.stats.stores == 0
+
+    def test_trim_enforces_an_explicit_budget(self, tmp_path):
+        import time
+
+        cache = SynthesisCache(tmp_path)
+        for seed in range(5):
+            rewrite_for_plim(
+                random_mig(seed=seed, num_pis=4, num_gates=12),
+                OPTS, cache=cache,
+            )
+            time.sleep(0.01)
+        before = sum(u["bytes"] for u in cache.disk_usage().values())
+        assert before > 500
+        evicted = cache.trim(500)
+        assert evicted > 0
+        assert sum(u["bytes"] for u in cache.disk_usage().values()) <= 500
+        # trim(0) has no keep-the-latest exemption: the cache empties
+        cache.trim(0)
+        assert sum(u["entries"] for u in cache.disk_usage().values()) == 0
+        assert len(cache._mem) == 0
+
+    def test_trim_rejects_negative_budgets(self, tmp_path):
+        with pytest.raises(ReproError, match="trim"):
+            SynthesisCache(tmp_path).trim(-1)
+
+    def test_corrupt_entry_recovery_under_eviction(self, tmp_path):
+        """Satellite 3: corrupt-entry recovery still works while the LRU
+        cap is evicting around it."""
+        import time
+
+        cache = SynthesisCache(tmp_path, max_bytes=5_000)
+        mig = build("ctrl", "ci")
+        rewrite_for_plim(mig, OPTS, cache=cache)
+        (entry,) = list((tmp_path / REWRITE_KIND).iterdir())
+        entry.write_text("this is not a .mig file", encoding="utf-8")
+        fresh = SynthesisCache(tmp_path, max_bytes=5_000)
+        result = rewrite_for_plim(mig, OPTS, cache=fresh)
+        assert equivalent(result, mig)
+        assert fresh.stats.errors == 1  # recovered as a miss, not an error
+        # keep storing under the cap: the recomputed entry must stay valid
+        for seed in range(4):
+            rewrite_for_plim(
+                random_mig(seed=seed, num_pis=4, num_gates=12),
+                OPTS, cache=fresh,
+            )
+            time.sleep(0.01)
+        total = sum(u["bytes"] for u in fresh.disk_usage().values())
+        entries = sum(u["entries"] for u in fresh.disk_usage().values())
+        assert total <= 5_000 or entries == 1
+
+
+class TestConcurrentWriters:
+    """Satellite 3: two processes sharing one ``cache_dir`` never corrupt
+    entries or double-count ``disk_usage()`` — even while both evict."""
+
+    def _run_writers(self, cache_dir, max_bytes):
+        import multiprocessing
+
+        ctx = multiprocessing.get_context()
+        # overlapping seed ranges force same-key write races
+        procs = [
+            ctx.Process(
+                target=_writer_process,
+                args=(str(cache_dir), list(range(start, start + 6)), max_bytes),
+            )
+            for start in (0, 3)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+
+    def _assert_store_healthy(self, cache_dir):
+        from repro.core.cache import _TMP_PREFIX
+        from repro.mig.io_mig import read_mig
+        import io
+
+        files = [
+            p for p in (cache_dir / REWRITE_KIND).iterdir()
+            if not p.name.startswith(_TMP_PREFIX)
+        ]
+        # every surviving entry parses — atomic writes mean no torn files
+        for path in files:
+            read_mig(io.StringIO(path.read_text(encoding="utf-8")))
+        usage = SynthesisCache(cache_dir).disk_usage()
+        assert usage[REWRITE_KIND]["entries"] == len(files)
+        assert usage[REWRITE_KIND]["bytes"] == sum(
+            p.stat().st_size for p in files
+        )
+
+    def test_two_writers_unbounded(self, tmp_path):
+        self._run_writers(tmp_path / "shared", None)
+        self._assert_store_healthy(tmp_path / "shared")
+        # the shared keys deduplicated: at most one file per distinct seed
+        usage = SynthesisCache(tmp_path / "shared").disk_usage()
+        assert 1 <= usage[REWRITE_KIND]["entries"] <= 9
+
+    def test_two_writers_with_eviction_races(self, tmp_path):
+        """Both processes enforce a tight cap, so unlink races happen;
+        losing one must never corrupt the store or crash a writer."""
+        self._run_writers(tmp_path / "capped", 1_500)
+        self._assert_store_healthy(tmp_path / "capped")

@@ -288,3 +288,114 @@ class TestNewCompileFlags:
         captured = capsys.readouterr()
         assert "f = " in captured.out
         assert "fetch" in captured.err
+
+
+class TestResilienceFlags:
+    """ISSUE 7: --timeout/--retries/--on-error plumbing and exit codes."""
+
+    def test_policy_flags_parse(self):
+        args = build_parser().parse_args(
+            ["table1", "--timeout", "5", "--retries", "2", "--on-error", "skip"]
+        )
+        assert args.timeout == 5.0
+        assert args.retries == 2
+        assert args.on_error == "skip"
+
+    def test_negative_timeout_exits_2(self, capsys):
+        code = main(["table1", "--names", "ctrl", "--scale", "ci",
+                     "--timeout", "-1"])
+        assert code == 2
+        assert "timeout_s" in capsys.readouterr().err
+
+    def test_negative_retries_exits_2(self, capsys):
+        code = main(["batch", "ctrl", "--scale", "ci", "--retries", "-3"])
+        assert code == 2
+        assert "retries" in capsys.readouterr().err
+
+    def test_missing_circuit_file_exits_2_without_traceback(self, capsys):
+        code = main(["compile", "no-such-circuit.blif"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("plimc: error:")
+        assert "Traceback" not in err
+
+    def test_policy_flags_accepted_on_a_real_run(self, capsys):
+        code = main(["pareto", "ctrl", "--scale", "ci", "--workers", "1",
+                     "--timeout", "300", "--retries", "1", "--on-error", "skip"])
+        assert code == 0
+
+    def test_task_error_exits_3(self, monkeypatch, capsys):
+        from repro.core.resilience import TaskError, TaskFailure
+
+        def exploding(args):
+            raise TaskError(TaskFailure(0, "crash", "worker died"))
+
+        monkeypatch.setattr("repro.cli._cmd_table1", exploding)
+        parser = build_parser()
+        args = parser.parse_args(["table1"])
+        args.func = exploding
+        monkeypatch.setattr("repro.cli.build_parser", lambda: parser)
+        monkeypatch.setattr(parser, "parse_args", lambda argv: args)
+        assert main(["table1"]) == 3
+        assert "task failed" in capsys.readouterr().err
+
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, capsys):
+        parser = build_parser()
+        args = parser.parse_args(["fig3"])
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        args.func = interrupted
+        monkeypatch.setattr("repro.cli.build_parser", lambda: parser)
+        monkeypatch.setattr(parser, "parse_args", lambda argv: args)
+        assert main(["fig3"]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_skip_mode_reports_failed_rows(self, monkeypatch, capsys):
+        """A skip-mode table1 run prints one line per lost benchmark."""
+        from repro.core.resilience import Fault, FaultPlan
+        import repro.cli as cli
+        import repro.eval.table1 as table1_mod
+
+        real = table1_mod.run_table1
+
+        def faulty(*args_, **kwargs):
+            kwargs["fault_plan"] = FaultPlan({0: Fault("raise")})
+            return real(*args_, **kwargs)
+
+        monkeypatch.setattr(cli, "run_table1", faulty)
+        code = main(["table1", "--names", "ctrl", "dec", "--scale", "ci",
+                     "--workers", "2", "--on-error", "skip"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "ctrl failed" in err and "error" in err
+
+
+class TestCacheMaxBytes:
+    def test_trim_subcommand(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["pareto", "ctrl", "--scale", "ci", "--workers", "1",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "trim", cache_dir, "--max-bytes", "0"]) == 0
+        assert "evicted" in capsys.readouterr().out
+        assert main(["cache", "stats", cache_dir]) == 0
+        assert " 0 entries" in capsys.readouterr().out.splitlines()[-1]
+
+    def test_cache_max_bytes_needs_cache_dir(self, capsys):
+        code = main(["table1", "--names", "ctrl", "--scale", "ci",
+                     "--cache-max-bytes", "1000"])
+        assert code == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_cache_max_bytes_is_enforced(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["pareto", "i2c", "--scale", "ci", "--workers", "1",
+                     "--cache-dir", cache_dir, "--cache-max-bytes", "600"]) == 0
+        from repro.core.cache import SynthesisCache
+
+        usage = SynthesisCache(cache_dir).disk_usage()
+        total = sum(u["bytes"] for u in usage.values())
+        entries = sum(u["entries"] for u in usage.values())
+        assert total <= 600 or entries == 1

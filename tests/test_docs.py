@@ -31,6 +31,7 @@ DOCTEST_MODULES = [
     "repro.core.cache",
     "repro.core.pareto",
     "repro.core.pipeline",
+    "repro.core.resilience",
     "repro.core.rewriting",
     "repro.mig.graph",
     "repro.mig.signal",

@@ -138,3 +138,94 @@ class TestCli:
         manifest = self._manifest_file(source, tmp_path)
         assert fb.main(["--list", "--manifest", str(manifest)]) == 0
         assert "tiny" in capsys.readouterr().out
+
+
+class TestRetries:
+    """Satellite 2: transient failures retry with backoff + socket timeout."""
+
+    def test_retry_recovers_after_transient_failures(self, source, tmp_path, monkeypatch):
+        import urllib.error
+        import urllib.request
+
+        real_urlopen = urllib.request.urlopen
+        calls = {"n": 0}
+
+        def flaky(url, timeout=None):
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise urllib.error.URLError("connection reset")
+            return real_urlopen(url, timeout=timeout)
+
+        monkeypatch.setattr(urllib.request, "urlopen", flaky)
+        monkeypatch.setattr(fb.time, "sleep", lambda s: None)  # no real waits
+        dest = tmp_path / "circuits"
+        path, updated = fb.fetch(
+            "tiny", source["entry"], dest, {}, retries=3, timeout=5.0
+        )
+        assert updated and path.read_bytes() == source["payload"]
+        assert calls["n"] == 3  # two failures, then success
+
+    def test_exhausted_retries_raise_with_attempt_count(self, source, tmp_path, monkeypatch):
+        import urllib.error
+        import urllib.request
+
+        def dead(url, timeout=None):
+            raise urllib.error.URLError("no route to host")
+
+        monkeypatch.setattr(urllib.request, "urlopen", dead)
+        monkeypatch.setattr(fb.time, "sleep", lambda s: None)
+        with pytest.raises(fb.FetchError, match="3 attempt"):
+            fb.fetch("tiny", source["entry"], tmp_path / "c", {}, retries=2)
+
+    def test_backoff_is_exponential(self, source, tmp_path, monkeypatch):
+        import urllib.error
+        import urllib.request
+
+        def dead(url, timeout=None):
+            raise urllib.error.URLError("down")
+
+        sleeps = []
+        monkeypatch.setattr(urllib.request, "urlopen", dead)
+        monkeypatch.setattr(fb.time, "sleep", sleeps.append)
+        with pytest.raises(fb.FetchError):
+            fb.fetch("tiny", source["entry"], tmp_path / "c", {}, retries=3)
+        assert sleeps == [fb._BACKOFF_BASE * 2 ** n for n in range(3)]
+
+    def test_timeout_is_passed_to_urlopen(self, source, tmp_path, monkeypatch):
+        import urllib.request
+
+        seen = {}
+        real_urlopen = urllib.request.urlopen
+
+        def recording(url, timeout=None):
+            seen["timeout"] = timeout
+            return real_urlopen(url)
+
+        monkeypatch.setattr(urllib.request, "urlopen", recording)
+        fb.fetch("tiny", source["entry"], tmp_path / "c", {}, timeout=7.5)
+        assert seen["timeout"] == 7.5
+
+    def test_cli_flags_validate(self, capsys):
+        with pytest.raises(SystemExit):
+            fb.main(["--timeout", "0", "--list"])
+        with pytest.raises(SystemExit):
+            fb.main(["--retries", "-1", "--list"])
+
+    def test_cli_flags_reach_fetch(self, source, tmp_path, monkeypatch):
+        seen = {}
+        real_fetch = fb.fetch
+
+        def recording(name, entry, dest, pins, **kwargs):
+            seen.update(kwargs)
+            return real_fetch(name, entry, dest, pins, **kwargs)
+
+        monkeypatch.setattr(fb, "fetch", recording)
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(json.dumps({"tiny": source["entry"]}))
+        code = fb.main([
+            "--manifest", str(manifest), "--dest", str(tmp_path / "c"),
+            "--lockfile", str(tmp_path / "pins.json"),
+            "--timeout", "9", "--retries", "5",
+        ])
+        assert code == 0
+        assert seen["timeout"] == 9.0 and seen["retries"] == 5

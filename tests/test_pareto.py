@@ -24,12 +24,14 @@ from repro.circuits.registry import BENCHMARK_NAMES, build
 from repro.core.cache import SynthesisCache
 from repro.core.pareto import (
     CHAIN_LENGTH,
+    ParetoFront,
     ParetoPoint,
     _chunked,
     _non_dominated,
     _subsample,
     pareto_sweep,
 )
+from repro.core.resilience import Fault, FaultPlan, TaskPolicy
 from repro.core.rewriting import RewriteOptions, rewrite_for_plim
 from repro.errors import MigError, ReproError
 from repro.mig.analysis import depth
@@ -295,3 +297,95 @@ class TestParetoSweepMechanics:
                 for q in front.points:
                     assert not p.dominates(q)
                 assert p.equivalence == "exhaustive"
+
+
+class TestPartialFrontiers:
+    """ISSUE 7 acceptance: a failed budget point yields a *partial*
+    frontier flagged ``incomplete`` — still staircase-valid, every
+    surviving point verified — instead of aborting the sweep."""
+
+    @staticmethod
+    def _staircase_valid(front):
+        pts = sorted(front.points, key=lambda p: p.depth)
+        return all(
+            a.depth < b.depth and a.num_gates > b.num_gates
+            for a, b in zip(pts, pts[1:])
+        )
+
+    def test_chain_crash_yields_partial_staircase(self):
+        # router/ci has a 2-point front, so the budget chain has real work
+        clean = pareto_sweep(("router", "ci"), workers=1)
+        assert not clean.incomplete and clean.failed_budgets == ()
+        plan = FaultPlan(phases={"chain": {0: Fault("exit")}})
+        partial = pareto_sweep(
+            ("router", "ci"), workers=2,
+            policy=TaskPolicy(on_error="skip"), fault_plan=plan,
+        )
+        assert partial.incomplete
+        assert partial.failed_budgets and all(
+            label.startswith("budget=") for label in partial.failed_budgets
+        )
+        assert len(partial.failures) == 1
+        assert partial.failures[0].kind == "crash"
+        assert partial.points  # the surviving anchors still form a front
+        assert self._staircase_valid(partial)
+        for p in partial.points:
+            # every surviving point is still equivalence-checked
+            assert p.equivalence in ("exhaustive", "random")
+
+    def test_anchor_crash_flags_the_objective(self):
+        plan = FaultPlan(phases={"anchor": {1: Fault("exit")}})
+        partial = pareto_sweep(
+            ("ctrl", "ci"), workers=2,
+            policy=TaskPolicy(on_error="skip"), fault_plan=plan,
+        )
+        assert partial.incomplete and "depth" in partial.failed_budgets
+        assert partial.points and self._staircase_valid(partial)
+
+    def test_raise_mode_still_aborts(self):
+        from repro.core.resilience import TaskError
+
+        plan = FaultPlan(phases={"anchor": {0: Fault("exit")}})
+        with pytest.raises(TaskError):
+            pareto_sweep(("ctrl", "ci"), workers=2, fault_plan=plan)
+
+    def test_incomplete_fronts_are_never_cached(self, tmp_path):
+        plan = FaultPlan(phases={"anchor": {1: Fault("exit")}})
+        cache = SynthesisCache(tmp_path / "c")
+        partial = pareto_sweep(
+            ("ctrl", "ci"), workers=2, cache=cache,
+            policy=TaskPolicy(on_error="skip"), fault_plan=plan,
+        )
+        assert partial.incomplete
+        # a later healthy sweep through the same cache dir must recompute
+        # the front (no front entry was stored), then cache the full one
+        healthy_cache = SynthesisCache(tmp_path / "c")
+        healthy = pareto_sweep(("ctrl", "ci"), workers=1, cache=healthy_cache)
+        assert not healthy.incomplete
+        clean = pareto_sweep(("ctrl", "ci"), workers=1)
+        assert [(p.num_gates, p.depth) for p in healthy.points] == [
+            (p.num_gates, p.depth) for p in clean.points
+        ]
+
+    def test_failure_fields_roundtrip_to_dict(self):
+        plan = FaultPlan(phases={"anchor": {1: Fault("exit")}})
+        partial = pareto_sweep(
+            ("ctrl", "ci"), workers=2,
+            policy=TaskPolicy(on_error="skip"), fault_plan=plan,
+        )
+        clone = ParetoFront.from_dict(partial.to_dict())
+        assert clone.incomplete == partial.incomplete
+        assert clone.failed_budgets == partial.failed_budgets
+        assert [f.index for f in clone.failures] == [
+            f.index for f in partial.failures
+        ]
+
+    def test_old_cached_fronts_still_deserialize(self):
+        # pre-resilience cache entries have no incomplete/failed fields
+        healthy = pareto_sweep(("ctrl", "ci"), workers=1)
+        data = healthy.to_dict()
+        for key in ("incomplete", "failed_budgets", "failures"):
+            data.pop(key, None)
+        old = ParetoFront.from_dict(data)
+        assert old.incomplete is False
+        assert old.failed_budgets == () and old.failures == ()

@@ -32,6 +32,7 @@ import argparse
 import hashlib
 import json
 import sys
+import time
 import urllib.error
 import urllib.request
 from pathlib import Path
@@ -39,6 +40,12 @@ from pathlib import Path
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_DEST = _REPO_ROOT / "benchmarks" / "circuits"
 DEFAULT_LOCKFILE = _REPO_ROOT / "tools" / "benchmarks.sha256.json"
+
+#: socket timeout per download attempt and attempt count (a transient
+#: HTTP failure retries with exponential backoff before giving up)
+DEFAULT_TIMEOUT = 30.0
+DEFAULT_RETRIES = 3
+_BACKOFF_BASE = 0.5
 
 _EPFL_BASE = "https://raw.githubusercontent.com/lsils/benchmarks/master"
 _EPFL_ARITHMETIC = (
@@ -101,6 +108,28 @@ def sha256_of(path: Path) -> str:
     return digest.hexdigest()
 
 
+def _download(url: str, *, timeout: float, retries: int) -> bytes:
+    """GET ``url`` with a socket timeout, retrying transient failures.
+
+    ``retries`` extra attempts follow the first, sleeping
+    ``_BACKOFF_BASE * 2**(attempt-1)`` seconds between tries, so one
+    flaky connection doesn't abort a whole manifest fetch.
+    """
+    last_exc: Exception | None = None
+    for attempt in range(1 + max(0, retries)):
+        if attempt:
+            time.sleep(_BACKOFF_BASE * 2 ** (attempt - 1))
+        try:
+            with urllib.request.urlopen(url, timeout=timeout) as response:
+                return response.read()
+        except (urllib.error.URLError, OSError) as exc:
+            last_exc = exc
+    raise FetchError(
+        f"download failed from {url} after {1 + max(0, retries)} "
+        f"attempt(s): {last_exc}"
+    ) from last_exc
+
+
 def fetch(
     name: str,
     entry: dict[str, str],
@@ -108,12 +137,16 @@ def fetch(
     pins: dict[str, str],
     *,
     force: bool = False,
+    timeout: float = DEFAULT_TIMEOUT,
+    retries: int = DEFAULT_RETRIES,
 ) -> tuple[Path, bool]:
     """Download one circuit, verify/record its pin; returns (path, updated).
 
     ``updated`` reports whether the pin set changed (first fetch of an
     unpinned circuit).  A circuit already on disk with a matching digest
-    is not re-downloaded unless ``force``.
+    is not re-downloaded unless ``force``.  ``timeout`` caps each
+    attempt's socket wait; ``retries`` transient failures are retried
+    with exponential backoff before :class:`FetchError` is raised.
     """
     dest_dir.mkdir(parents=True, exist_ok=True)
     filename = entry.get("filename") or entry["url"].rsplit("/", 1)[-1]
@@ -134,10 +167,9 @@ def fetch(
         )
 
     try:
-        with urllib.request.urlopen(entry["url"]) as response:
-            payload = response.read()
-    except (urllib.error.URLError, OSError) as exc:
-        raise FetchError(f"{name}: download failed from {entry['url']}: {exc}") from exc
+        payload = _download(entry["url"], timeout=timeout, retries=retries)
+    except FetchError as exc:
+        raise FetchError(f"{name}: {exc}") from exc
 
     digest = hashlib.sha256(payload).hexdigest()
     if pinned is not None and digest != pinned:
@@ -165,7 +197,20 @@ def main(argv: list[str] | None = None) -> int:
         "--offline-ok", action="store_true",
         help="exit 0 (with a warning) when downloads fail — for air-gapped runs",
     )
+    parser.add_argument(
+        "--timeout", type=float, default=DEFAULT_TIMEOUT, metavar="SECONDS",
+        help=f"socket timeout per download attempt (default: {DEFAULT_TIMEOUT:g})",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=DEFAULT_RETRIES, metavar="N",
+        help="extra attempts per download, with exponential backoff "
+        f"(default: {DEFAULT_RETRIES})",
+    )
     args = parser.parse_args(argv)
+    if args.timeout <= 0:
+        parser.error(f"--timeout must be positive, got {args.timeout:g}")
+    if args.retries < 0:
+        parser.error(f"--retries must be >= 0, got {args.retries}")
 
     manifest = load_manifest(args.manifest)
     if args.list:
@@ -184,7 +229,8 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         try:
             target, updated = fetch(
-                name, manifest[name], args.dest, pins, force=args.force
+                name, manifest[name], args.dest, pins, force=args.force,
+                timeout=args.timeout, retries=args.retries,
             )
         except FetchError as exc:
             failures += 1
