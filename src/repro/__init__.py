@@ -45,11 +45,25 @@ from repro.mig.context import AnalysisContext
 from repro.mig.signal import Signal
 from repro.core.batch import BatchResult, compile_many
 from repro.core.cache import CacheStats, SynthesisCache
+from repro.core.cost import (
+    CompiledPlim,
+    CostModel,
+    Depth,
+    NodeCount,
+    StaticPlim,
+    resolve_cost_model,
+)
 from repro.core.pareto import ParetoFront, ParetoPoint, pareto_sweep
 from repro.core.pipeline import CompileResult, compile_mig
 from repro.core.compiler import CompilerOptions, PlimCompiler
 from repro.core.resilience import TaskError, TaskFailure, TaskPolicy
-from repro.core.rewriting import RewriteOptions, rewrite_depth, rewrite_for_plim
+from repro.core.rewriting import (
+    CostLoopResult,
+    RewriteOptions,
+    compile_cost_loop,
+    rewrite_depth,
+    rewrite_for_plim,
+)
 from repro.plim.program import Program
 from repro.plim.machine import PlimMachine
 
@@ -58,7 +72,13 @@ __all__ = [
     "AnalysisContext",
     "BatchResult",
     "CacheStats",
+    "CompiledPlim",
+    "CostLoopResult",
+    "CostModel",
+    "Depth",
     "Mig",
+    "NodeCount",
+    "StaticPlim",
     "ParetoFront",
     "ParetoPoint",
     "Signal",
@@ -72,9 +92,11 @@ __all__ = [
     "TaskError",
     "TaskFailure",
     "TaskPolicy",
+    "compile_cost_loop",
     "compile_mig",
     "compile_many",
     "pareto_sweep",
+    "resolve_cost_model",
     "rewrite_depth",
     "rewrite_for_plim",
 ]

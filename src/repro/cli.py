@@ -3,14 +3,14 @@
 Subcommands::
 
     plimc compile <circuit> [-o out.plim] [--naive] [--no-rewrite]
-                  [--objective size|depth|balanced] [--engine worklist|rebuild]
-                  [--cache-dir DIR] ...
+                  [--objective size|depth|balanced|static-plim|plim]
+                  [--engine worklist|rebuild] [--cache-dir DIR] ...
     plimc stats <circuit>
     plimc run <program.plim> --set a=1 --set b=0 ...
     plimc bench <name> [--scale ci|default|paper]
     plimc batch <circuit|name>... [--configs full,naive] [--workers N] [--json]
     plimc pareto <circuit|name> [--scale ...] [--workers N] [--max-points K]
-                 [--cache-dir DIR] [--cold] [--json]
+                 [--axes A,B] [--cache-dir DIR] [--cold] [--json]
     plimc table1 [--scale ...] [--shuffled] [--csv] [--workers N] [--cache-dir DIR]
     plimc fig3
     plimc ablate <name> [--scale ...] [--workers N]
@@ -47,6 +47,7 @@ from repro.circuits.registry import BENCHMARK_NAMES, SCALES, benchmark_info
 from repro.core.compiler import CompilerOptions
 from repro.core.pipeline import compile_mig
 from repro.core.rewriting import ENGINES as REWRITE_ENGINES
+from repro.core.rewriting import MODEL_OBJECTIVES
 from repro.core.rewriting import OBJECTIVES as REWRITE_OBJECTIVES
 from repro.core.resilience import ON_ERROR_MODES, TaskError, TaskFailure, TaskPolicy
 from repro.errors import ReproError
@@ -375,6 +376,9 @@ def _cmd_pareto(args) -> int:
     from repro.eval.ablations import format_pareto_front
 
     spec, name = _resolve_cli_circuit(args.circuit, args.scale)
+    axes_kwargs = {}
+    if args.axes:
+        axes_kwargs["axes"] = tuple(a.strip() for a in args.axes.split(","))
     front = pareto_sweep(
         spec,
         effort=args.effort,
@@ -385,6 +389,7 @@ def _cmd_pareto(args) -> int:
         warm_start=not args.cold,
         cache=_make_cache(args),
         policy=_make_policy(args),
+        **axes_kwargs,
     )
     if front.incomplete:
         _report_task_failures(
@@ -521,11 +526,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--objective",
-        choices=list(REWRITE_OBJECTIVES),
+        choices=list(REWRITE_OBJECTIVES) + list(MODEL_OBJECTIVES),
         default="size",
         help="rewriting objective: node count (size, the paper's Algorithm 1), "
-        "critical path (depth), or the interleaved multi-objective loop "
-        "(balanced)",
+        "critical path (depth), the interleaved multi-objective loop "
+        "(balanced), or a cost model — the §4.2.2 instruction estimate "
+        "(static-plim) or real measured Algorithm 2 cost (plim, the "
+        "synthesize/schedule/re-synthesize loop)",
     )
     p.add_argument(
         "--depth-rewrite",
@@ -599,11 +606,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "pareto",
-        help="sweep the (#N, #D) Pareto frontier of depth-budgeted rewriting",
+        help="sweep a Pareto frontier of depth-budgeted rewriting",
         epilog="sweeps depth budgets from the depth-optimal point up to the "
         "unconstrained size-optimal point, compiles every point through "
         "Algorithm 2, equivalence-checks it, and keeps the non-dominated "
-        "(#N, #D) set; example: plimc pareto i2c --scale ci --workers 4",
+        "set over the chosen axes ((#N, #D) by default); examples: "
+        "plimc pareto i2c --scale ci --workers 4; "
+        "plimc pareto ctrl --axes num_instructions,num_rrams",
     )
     p.add_argument(
         "circuit",
@@ -625,6 +634,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="cap on intermediate depth budgets (evenly subsampled; "
         "0 = the two extremes only)",
+    )
+    p.add_argument(
+        "--axes",
+        metavar="A,B",
+        default=None,
+        help="comma-separated frontier axes (default num_gates,depth); "
+        "choose among num_gates, depth, num_instructions, num_rrams, "
+        "cycles, wear — 'cycles' and 'wear' execute each point on the "
+        "machine model to measure them",
     )
     p.add_argument(
         "--no-verify",

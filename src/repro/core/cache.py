@@ -94,11 +94,15 @@ _FORMAT_VERSION = 1
 #: result as if the current algorithms had computed it (old entries then
 #: simply miss and are recomputed).  The package version is folded in as
 #: well, but it moves too rarely to be the only guard.
-ALGORITHM_REVISION = 5  # PR 5: warm chains + cache introduced.
-# Deliberately NOT bumped for the array-backed graph core: the storage
-# swap is differentially verified to leave rewriting output bit-identical
-# (tests/test_graph_core_differential.py), so dict-core-era entries stay
-# valid verbatim.
+ALGORITHM_REVISION = 6  # PR 8: pluggable cost models.  Rewrite keys now
+# embed the canonicalized cost-model identity (``RewriteOptions.objective``
+# may be a CostModel whose repr reaches the key) and Pareto front keys the
+# sweep's axes; pre-model entries must miss rather than answer for an
+# objective they never saw.
+# (Previously 5 — PR 5: warm chains + cache introduced.  Deliberately NOT
+# bumped for the array-backed graph core: the storage swap was
+# differentially verified bit-identical, so dict-core-era entries stayed
+# valid verbatim.)
 
 _KEY_SALT = f"{_FORMAT_VERSION}.{ALGORITHM_REVISION}.{__version__}"
 

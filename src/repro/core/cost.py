@@ -1,4 +1,4 @@
-"""Static cost model: expected translation cost of MIG nodes.
+"""Cost models: what rewriting optimizes, from node counts to real PLiM cost.
 
 The rewriting algorithm (paper §4.1) optimizes the MIG "w.r.t. the expected
 number of instructions and required RRAMs in the translated PLiM program"
@@ -12,15 +12,51 @@ translation will be.  The estimate follows the §4.2.2 case analysis:
 * a node with **no** complemented child needs one negation too — unless a
   constant child lets operand B be the constant's inverse for free.
 
-The model intentionally ignores dynamic effects (complement caching, cell
-reuse); those depend on the schedule and are handled by the compiler itself.
+The static model intentionally ignores dynamic effects (complement caching,
+cell reuse); those depend on the schedule and are handled by the compiler
+itself.
+
+On top of the per-node estimators this module defines the pluggable
+:class:`CostModel` abstraction the rewriting drivers and the Pareto sweep
+optimize against:
+
+* :class:`NodeCount` — the paper's Algorithm 1 objective (#N);
+* :class:`Depth` — critical-path length (#D) for parallel targets;
+* :class:`StaticPlim` — the §4.2.2 instruction/RRAM estimate above;
+* :class:`CompiledPlim` — the *real* cost: run Algorithm 2 on the
+  candidate and report measured #I/#R/cycles plus endurance wear from an
+  actual machine execution (:mod:`repro.plim.endurance`), memoized per
+  :meth:`~repro.mig.graph.Mig.fingerprint`.
+
+Models are frozen dataclasses: their ``repr`` is deterministic and feeds
+the :class:`~repro.core.cache.SynthesisCache` key (two rewrites under
+different models never share an entry), and they pickle cleanly across
+the process-pool seams.  Resolve string aliases with
+:func:`resolve_cost_model`:
+
+    >>> from repro.core.cost import resolve_cost_model
+    >>> resolve_cost_model("plim")
+    CompiledPlim(paper_accounting=True, allocator_policy='fifo', input_seed=7)
+    >>> resolve_cost_model("size").name
+    'size'
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
+from repro.errors import ReproError
+from repro.mig.algebra import complement_profile
+from repro.mig.analysis import depth as mig_depth
 from repro.mig.graph import Mig
+from repro.plim.endurance import EnduranceReport, work_cell_wear
+from repro.plim.machine import PlimMachine
+from repro.plim.program import Program
+
+if TYPE_CHECKING:  # import cycle: the compiler's translator uses this module
+    from repro.mig.context import AnalysisContext
 
 #: instructions needed to materialize one complement into a work cell
 NEGATION_INSTRUCTIONS = 2
@@ -30,17 +66,7 @@ NEGATION_RRAMS = 1
 
 def classify_children(mig: Mig, node: int) -> tuple[int, int, bool]:
     """Return ``(num_nonconst, num_complemented_nonconst, has_const_child)``."""
-    nonconst = 0
-    complemented = 0
-    has_const = False
-    for child in mig.children(node):
-        if child.is_const:
-            has_const = True
-        else:
-            nonconst += 1
-            if child.inverted:
-                complemented += 1
-    return nonconst, complemented, has_const
+    return complement_profile(mig.children(node))
 
 
 def negations_needed(num_complemented: int, has_const: bool) -> int:
@@ -103,3 +129,271 @@ def estimate(mig: Mig, po_negation_cost: int = 0) -> CostEstimate:
         instructions=estimate_instructions(mig, po_negation_cost),
         extra_rrams=estimate_extra_rrams(mig),
     )
+
+
+def estimate_from_histogram(
+    num_gates: int, hist: Sequence[int], zero_comp_no_const: int
+) -> int:
+    """:func:`estimate_instructions` from incrementally maintained counters.
+
+    ``hist[c]`` counts live gates with ``c`` complemented non-constant
+    children; ``zero_comp_no_const`` those of ``hist[0]`` without a
+    constant child.  The O(1) counterpart of the full traversal — the
+    worklist engine's fixed-point signature reads it off
+    :meth:`~repro.mig.graph.Mig.inplace_signature` every cycle.
+    """
+    return num_gates + NEGATION_INSTRUCTIONS * (
+        hist[2] + 2 * hist[3] + zero_comp_no_const
+    )
+
+
+def negation_cost(num_complemented: int, has_const: bool) -> int:
+    """Instructions spent on negations alone for one node's child profile.
+
+    The quantity every inverter-propagation cost balance compares before
+    and after a flip (``NEGATION_INSTRUCTIONS`` per materialization).
+    """
+    return NEGATION_INSTRUCTIONS * negations_needed(num_complemented, has_const)
+
+
+def measure_program(
+    program: Program, pi_names: Sequence[str], *, input_seed: int = 7
+) -> tuple[PlimMachine, EnduranceReport]:
+    """Execute ``program`` once (width 1) and return machine + work-cell wear.
+
+    Inputs are pseudo-random bits drawn from ``input_seed``, so repeated
+    measurements of the same program are deterministic.  Width 1 is the
+    physical machine: flip counts are exact per-cell switching events (at
+    wider words a "flip" means *any* universe flipped — see
+    :mod:`repro.plim.endurance`); pulse counts are exact at any width.
+    """
+    machine = PlimMachine.for_program(program)
+    rng = random.Random(input_seed)
+    inputs = {name: rng.randint(0, 1) for name in pi_names}
+    machine.run_program(program, inputs)
+    return machine, work_cell_wear(machine, program)
+
+
+# ----------------------------------------------------------------------
+# pluggable cost models
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """One model's measurement of one MIG.
+
+    ``metrics`` maps metric names to numbers (every model reports at
+    least ``num_gates`` and ``depth``); ``objective`` is the orderable
+    tuple the rewriting drivers minimize (lexicographic — the model's
+    primary metric first, tie-breakers after).  ``wear`` is attached by
+    :class:`CompiledPlim` only.
+    """
+
+    model: str
+    metrics: dict
+    objective: tuple
+    wear: Optional[EnduranceReport] = None
+
+    def __getitem__(self, name: str):
+        return self.metrics[name]
+
+    def get(self, name: str, default=None):
+        return self.metrics.get(name, default)
+
+
+class CostModel:
+    """Protocol of a rewriting objective (subclass the frozen dataclasses).
+
+    A model measures a whole MIG (:meth:`measure`) and exposes the
+    orderable :meth:`objective_key` the guided drivers minimize.
+    ``strategy`` routes dispatch in
+    :func:`~repro.core.rewriting.rewrite_for_plim`: ``"size"``/``"depth"``
+    models run the dedicated (bit-identical) engines; ``"guided"`` models
+    run the measure-and-select loop.  Implementations must be frozen
+    dataclasses: a deterministic ``repr`` is the model's cache identity,
+    and instances cross process-pool boundaries by pickle.
+    """
+
+    #: alias under which :func:`resolve_cost_model` finds the model
+    name: str = "abstract"
+    #: "size" | "depth" | "guided" — see class docstring
+    strategy: str = "guided"
+
+    def measure(self, mig: Mig, *, context: "Optional[AnalysisContext]" = None) -> CostReport:
+        raise NotImplementedError
+
+    def objective_key(self, mig: Mig, *, context: "Optional[AnalysisContext]" = None) -> tuple:
+        """The orderable scalarization of :meth:`measure` (lower is better)."""
+        return self.measure(mig, context=context).objective
+
+
+@dataclass(frozen=True)
+class NodeCount(CostModel):
+    """#N — the paper's Algorithm 1 objective (serial PLiM programs pay
+    one translation per gate, so node count is the first-order cost)."""
+
+    name = "size"
+    strategy = "size"
+
+    def measure(self, mig: Mig, *, context=None) -> CostReport:
+        num_gates = mig.num_gates
+        d = mig_depth(mig)
+        return CostReport(
+            model=self.name,
+            metrics={"num_gates": num_gates, "depth": d},
+            objective=(num_gates, d),
+        )
+
+
+@dataclass(frozen=True)
+class Depth(CostModel):
+    """#D — critical-path length, the cost parallel in-memory targets pay."""
+
+    name = "depth"
+    strategy = "depth"
+
+    def measure(self, mig: Mig, *, context=None) -> CostReport:
+        num_gates = mig.num_gates
+        d = mig_depth(mig)
+        return CostReport(
+            model=self.name,
+            metrics={"num_gates": num_gates, "depth": d},
+            objective=(d, num_gates),
+        )
+
+
+@dataclass(frozen=True)
+class StaticPlim(CostModel):
+    """The §4.2.2 estimator: expected #I (and extra RRAMs) before scheduling.
+
+    Exactly the quantity Algorithm 1's inverter cost balance reasons
+    about, lifted to a whole-graph objective.  ``po_negation_cost``
+    charges complemented primary outputs (0 = the paper's accounting).
+    """
+
+    name = "static-plim"
+    strategy = "guided"
+
+    po_negation_cost: int = 0
+
+    def measure(self, mig: Mig, *, context=None) -> CostReport:
+        instructions = estimate_instructions(mig, self.po_negation_cost)
+        extra_rrams = estimate_extra_rrams(mig)
+        num_gates = mig.num_gates
+        d = mig_depth(mig)
+        return CostReport(
+            model=self.name,
+            metrics={
+                "instructions": instructions,
+                "extra_rrams": extra_rrams,
+                "num_gates": num_gates,
+                "depth": d,
+            },
+            objective=(instructions, extra_rrams, num_gates, d),
+        )
+
+
+@dataclass(frozen=True)
+class CompiledPlim(CostModel):
+    """The real cost: Algorithm 2's measured #I/#R/cycles plus write wear.
+
+    Every measurement compiles the candidate MIG with
+    :class:`~repro.core.compiler.PlimCompiler` and executes the program
+    once on the machine model (width 1, inputs seeded by ``input_seed``),
+    so #I/#R are the scheduler's actual outputs, ``cycles`` the machine's
+    counted read/read/write cycles, and ``wear`` a genuine
+    :class:`~repro.plim.endurance.EnduranceReport` over the work cells.
+    ``paper_accounting=False`` charges output-polarity fix-ups like
+    ``plimc --honest``; ``allocator_policy`` selects the work-cell
+    recycling policy whose wear is being measured.
+
+    Compilation is the expensive part, so measurements are memoized per
+    :meth:`~repro.mig.graph.Mig.fingerprint` on the model instance —
+    the guided drivers re-measure unchanged candidates for free.  The
+    memo is excluded from ``repr``/equality (cache identity) and dropped
+    on pickle (workers re-measure rather than ship reports).
+    """
+
+    name = "plim"
+    strategy = "guided"
+
+    paper_accounting: bool = True
+    allocator_policy: str = "fifo"
+    input_seed: int = 7
+    _memo: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_memo"] = {}
+        return state
+
+    def measure(self, mig: Mig, *, context=None) -> CostReport:
+        fingerprint = mig.fingerprint()
+        hit = self._memo.get(fingerprint)
+        if hit is not None:
+            return hit
+        from repro.core.compiler import PlimCompiler
+
+        program = PlimCompiler(self.compiler_options()).compile(mig, context=context)
+        machine, wear = measure_program(
+            program, mig.pi_names(), input_seed=self.input_seed
+        )
+        num_gates = mig.num_gates
+        d = mig_depth(mig)
+        report = CostReport(
+            model=self.name,
+            metrics={
+                "num_instructions": program.num_instructions,
+                "num_rrams": program.num_rrams,
+                "cycles": machine.cycle_count,
+                "num_gates": num_gates,
+                "depth": d,
+                "cells_written": wear.cells_written,
+                "max_writes": wear.max_writes,
+                "total_writes": wear.total_writes,
+            },
+            objective=(program.num_instructions, program.num_rrams, num_gates, d),
+            wear=wear,
+        )
+        self._memo[fingerprint] = report
+        return report
+
+    def compiler_options(self):
+        """The :class:`~repro.core.compiler.CompilerOptions` this model
+        measures under (shared with the final ``compile_cost_loop``
+        compile so the loop optimizes exactly what it ships)."""
+        from repro.core.compiler import CompilerOptions
+
+        return CompilerOptions(
+            fix_output_polarity=not self.paper_accounting,
+            allocator_policy=self.allocator_policy,
+        )
+
+
+#: string aliases accepted wherever a :class:`CostModel` is (``RewriteOptions
+#: .objective``, ``plimc compile --objective``, ``compile_cost_loop``)
+COST_MODELS = {
+    "size": NodeCount,
+    "depth": Depth,
+    "static-plim": StaticPlim,
+    "plim": CompiledPlim,
+}
+
+
+def resolve_cost_model(objective: Union[str, CostModel]) -> CostModel:
+    """Map a string alias (or pass a model through) to a :class:`CostModel`.
+
+    Raises :class:`~repro.errors.ReproError` for unknown aliases and for
+    objects that are not cost models (``"balanced"`` is a rewriting
+    *strategy*, not a measurable model, and is rejected here).
+    """
+    if isinstance(objective, CostModel):
+        return objective
+    factory = COST_MODELS.get(objective)
+    if factory is None:
+        raise ReproError(
+            f"unknown cost model {objective!r}; expected one of "
+            f"{tuple(COST_MODELS)} or a CostModel instance"
+        )
+    return factory()

@@ -28,7 +28,11 @@ deliverable.  :func:`pareto_sweep` explores the whole trade-off instead:
 3. compile every candidate through Algorithm 2 so each point is also
    reported in PLiM terms (#I instructions, #R work RRAMs), and
    equivalence-check it against the input;
-4. deduplicate to the non-dominated (#N, #D) set.
+4. deduplicate to the non-dominated set on the sweep's ``axes`` — the
+   classic (#N, #D) pair by default, or any combination from
+   :data:`PARETO_AXES` ((#I, #R), (#D, wear), …); executed axes
+   additionally run each candidate on the machine model for cycle and
+   endurance-wear metrics.
 
 Chains are independent, so they fan out over the same process-pool seam
 as :func:`repro.core.batch.compile_many` (``workers``); chain boundaries
@@ -60,6 +64,7 @@ from typing import Optional, Union
 
 from repro.core.batch import CircuitSpec, _resolve_spec, parallel_map, resolve_workers
 from repro.core.cache import SynthesisCache, payload_cache_ref, worker_cache
+from repro.core.cost import measure_program
 from repro.core.resilience import FaultPlan, TaskFailure, TaskPolicy
 from repro.core.compiler import CompilerOptions, PlimCompiler
 from repro.core.rewriting import RewriteOptions, rewrite_for_plim
@@ -67,6 +72,18 @@ from repro.errors import MigError
 from repro.mig.analysis import depth as mig_depth
 from repro.mig.equivalence import equivalent
 from repro.mig.graph import Mig
+
+#: metric names ``pareto_sweep(axes=...)`` accepts.  The first four are
+#: free (every point carries them); ``cycles``/``wear`` additionally
+#: execute each candidate's program on the machine model (width 1,
+#: deterministic seeded inputs) — ``wear`` compares max per-cell writes
+#: from the :mod:`repro.plim.endurance` report.
+PARETO_AXES = (
+    "num_gates", "depth", "num_instructions", "num_rrams", "cycles", "wear"
+)
+_DEFAULT_AXES = ("num_gates", "depth")
+#: axes that need a machine execution per candidate
+_EXECUTED_AXES = frozenset({"cycles", "wear"})
 
 #: budgets per warm-started chain.  Chain boundaries are part of the
 #: result definition — every chain head is a cold start, every later
@@ -108,20 +125,38 @@ class ParetoPoint:
     #: "cold-fallback" (the anti-drift guard recomputed and kept the cold
     #: start)
     source: str = "cold"
+    #: machine cycles of one execution (3 per RM3), measured only when an
+    #: executed axis ("cycles"/"wear") is swept; ``None`` otherwise
+    cycles: Optional[int] = None
+    #: max per-cell write count over the work cells (the endurance
+    #: hotspot), measured only when an executed axis is swept
+    max_writes: Optional[int] = None
 
     @property
     def counts(self) -> tuple[int, int]:
-        """The (#N, #D) coordinate the dominance filter compares."""
+        """The (#N, #D) coordinate (kept for the default-axes consumers)."""
         return (self.num_gates, self.depth)
 
-    def dominates(self, other: "ParetoPoint") -> bool:
-        """Strict Pareto dominance on (#N, #D): no worse in both, better
-        in at least one."""
-        return (
-            self.num_gates <= other.num_gates
-            and self.depth <= other.depth
-            and self.counts != other.counts
-        )
+    def metric(self, axis: str) -> int:
+        """The point's value on one sweep axis (see :data:`PARETO_AXES`)."""
+        value = self.max_writes if axis == "wear" else getattr(self, axis, None)
+        if value is None:
+            raise MigError(
+                f"pareto point {self.label!r} carries no {axis!r} metric "
+                f"(executed axes need a sweep with that axis requested)"
+            )
+        return value
+
+    def coordinate(self, axes: tuple = _DEFAULT_AXES) -> tuple:
+        """The point's coordinate on the sweep's axes."""
+        return tuple(self.metric(a) for a in axes)
+
+    def dominates(self, other: "ParetoPoint", axes: tuple = _DEFAULT_AXES) -> bool:
+        """Strict Pareto dominance on ``axes``: no worse anywhere, better
+        somewhere (all metrics are minimized)."""
+        mine = self.coordinate(axes)
+        theirs = other.coordinate(axes)
+        return mine != theirs and all(m <= t for m, t in zip(mine, theirs))
 
     def to_dict(self) -> dict:
         """JSON-ready row (shared by ``plimc pareto --json``, the bench
@@ -136,6 +171,8 @@ class ParetoPoint:
             "equivalence": self.equivalence,
             "seconds": round(self.seconds, 6),
             "source": self.source,
+            "cycles": self.cycles,
+            "max_writes": self.max_writes,
         }
 
     @staticmethod
@@ -151,6 +188,8 @@ class ParetoPoint:
             equivalence=data["equivalence"],
             seconds=data["seconds"],
             source=data.get("source", "cold"),
+            cycles=data.get("cycles"),
+            max_writes=data.get("max_writes"),
         )
 
     def __repr__(self) -> str:
@@ -183,6 +222,9 @@ class ParetoFront:
     failed_budgets: tuple = ()
     #: the structured failure records behind ``failed_budgets``
     failures: tuple = ()
+    #: the metric pair (or tuple) the dominance filter ran on; the classic
+    #: (#N, #D) sweep by default
+    axes: tuple = _DEFAULT_AXES
 
     def __iter__(self):
         return iter(self.points)
@@ -210,6 +252,7 @@ class ParetoFront:
             "incomplete": self.incomplete,
             "failed_budgets": list(self.failed_budgets),
             "failures": [f.to_dict() for f in self.failures],
+            "axes": list(self.axes),
         }
 
     @staticmethod
@@ -226,6 +269,7 @@ class ParetoFront:
             failures=tuple(
                 TaskFailure.from_dict(f) for f in data.get("failures", ())
             ),
+            axes=tuple(data.get("axes", _DEFAULT_AXES)),
         )
 
     def __repr__(self) -> str:
@@ -251,11 +295,22 @@ def _compile_point(
     fix_polarity: bool,
     start: float,
     source: str,
+    execute: bool = False,
 ) -> ParetoPoint:
-    """Algorithm 2 + equivalence check for one rewritten sweep point."""
+    """Algorithm 2 + equivalence check for one rewritten sweep point.
+
+    ``execute=True`` additionally runs the compiled program once on the
+    machine model (width 1, deterministic seeded inputs) to measure
+    cycles and endurance wear — required when an executed axis
+    ("cycles"/"wear") is swept.
+    """
     program = PlimCompiler(
         CompilerOptions(fix_output_polarity=fix_polarity)
     ).compile(rewritten)
+    cycles = max_writes = None
+    if execute:
+        machine, wear = measure_program(program, rewritten.pi_names())
+        cycles, max_writes = machine.cycle_count, wear.max_writes
     equivalence = None
     if verify:
         check = equivalent(mig, rewritten)
@@ -277,6 +332,8 @@ def _compile_point(
         equivalence=equivalence,
         seconds=time.perf_counter() - start,
         source=source,
+        cycles=cycles,
+        max_writes=max_writes,
     )
 
 
@@ -289,7 +346,7 @@ def _anchor_task(payload):
     always runs against the raw input.  Returns
     ``([point], shipped_rewritten_or_None, fresh_cache_entries)``.
     """
-    spec, mode, effort, verify, fix_polarity, ship_rewritten, cache_ref = payload
+    spec, mode, effort, verify, fix_polarity, ship_rewritten, execute, cache_ref = payload
     cache = worker_cache(cache_ref)
     _, mig = _resolve_spec(spec)
     start = time.perf_counter()
@@ -298,7 +355,7 @@ def _anchor_task(payload):
         options = RewriteOptions(effort=effort, objective="depth")
     rewritten = rewrite_for_plim(mig, options, cache=cache)
     point = _compile_point(
-        mig, rewritten, mode, None, verify, fix_polarity, start, "cold"
+        mig, rewritten, mode, None, verify, fix_polarity, start, "cold", execute
     )
     entries = cache.export_fresh() if cache is not None else []
     return [point], rewritten if ship_rewritten else None, entries
@@ -345,6 +402,7 @@ def _chain_task(payload):
         input_depth,
         size_floor,
         warm_start,
+        execute,
         cache_ref,
     ) = payload
     cache = worker_cache(cache_ref)
@@ -383,6 +441,7 @@ def _chain_task(payload):
                 fix_polarity,
                 start,
                 source,
+                execute,
             )
         )
     entries = cache.export_fresh() if cache is not None else []
@@ -414,27 +473,38 @@ def _chunked(budgets: list[int], length: int = CHAIN_LENGTH) -> list[list[int]]:
 
 def _non_dominated(
     candidates: list[ParetoPoint],
+    axes: tuple = _DEFAULT_AXES,
 ) -> tuple[list[ParetoPoint], list[ParetoPoint]]:
-    """Split candidates into (frontier, dominated-or-duplicate).
+    """Split candidates into (frontier, dominated-or-duplicate) on ``axes``.
 
-    Candidates are ranked by (depth, #N, #I, #R, label) and swept with the
-    classic staircase filter: a point joins the frontier iff its #N is
-    strictly below every point already on it (those all have depth no
-    greater).  Duplicate (#N, #D) coordinates keep the best-ranked point.
+    Candidates are ranked by (reversed axes, #I, #R, label) — for the
+    default (#N, #D) axes exactly the classic (depth, #N, #I, #R, label)
+    staircase order, so default sweeps are bit-identical to the
+    historical 2-axis filter — and filtered by strict Pareto dominance
+    over the full candidate set (N-dimensional: no candidate may be ≤
+    everywhere and < somewhere).  Duplicate coordinates keep the
+    best-ranked point; the ranking is total (label last), so the split is
+    deterministic for any candidate arrival order.
     """
-    front: list[ParetoPoint] = []
-    dominated: list[ParetoPoint] = []
-    best_gates: Optional[int] = None
     ranked = sorted(
         candidates,
-        key=lambda p: (p.depth, p.num_gates, p.num_instructions, p.num_rrams, p.label),
+        key=lambda p: (
+            p.coordinate(tuple(reversed(axes))),
+            p.num_instructions,
+            p.num_rrams,
+            p.label,
+        ),
     )
+    front: list[ParetoPoint] = []
+    dominated: list[ParetoPoint] = []
+    seen: set = set()
     for point in ranked:
-        if best_gates is not None and point.num_gates >= best_gates:
+        coord = point.coordinate(axes)
+        if coord in seen or any(q.dominates(point, axes) for q in ranked):
             dominated.append(point)
             continue
         front.append(point)
-        best_gates = point.num_gates
+        seen.add(coord)
     return front, dominated
 
 
@@ -451,8 +521,23 @@ def pareto_sweep(
     cache_dir=None,
     policy: Optional[TaskPolicy] = None,
     fault_plan: Optional[FaultPlan] = None,
+    axes: tuple = _DEFAULT_AXES,
 ) -> ParetoFront:
-    """Sweep the (#N, #D) trade-off of ``circuit`` and return the frontier.
+    """Sweep the cost trade-off of ``circuit`` and return the frontier.
+
+    ``axes`` selects the metric pair (or tuple) the dominance filter
+    minimizes — the classic MIG-level ``("num_gates", "depth")`` by
+    default, or any combination from :data:`PARETO_AXES`, e.g.
+    ``("num_instructions", "num_rrams")`` for the compiled-program
+    trade-off or ``("depth", "wear")`` for latency vs. endurance.  The
+    candidate generator is unchanged (depth-budgeted rewriting between
+    the size and depth extremes — the diversity knob); only the
+    measurement and the dominance filter follow the axes, and executed
+    axes ("cycles"/"wear") additionally run every candidate's program on
+    the machine model with deterministic seeded inputs.  Results remain
+    deterministic for any worker count, and a cache hit never changes the
+    output (fronts are keyed per-axes, on top of the cache's
+    ``ALGORITHM_REVISION``).
 
     ``circuit`` is anything :func:`repro.core.batch.compile_many` accepts:
     an :class:`~repro.mig.graph.Mig`, a registry name, or a
@@ -510,6 +595,18 @@ def pareto_sweep(
         >>> any(p.dominates(q) for p in front for q in front)
         False
     """
+    axes = tuple(axes)
+    if len(axes) < 2:
+        raise MigError(f"pareto axes need at least two metrics, got {axes!r}")
+    if len(set(axes)) != len(axes):
+        raise MigError(f"pareto axes must be distinct, got {axes!r}")
+    unknown = [a for a in axes if a not in PARETO_AXES]
+    if unknown:
+        raise MigError(
+            f"unknown pareto axes {unknown!r}; expected a subset of "
+            f"{PARETO_AXES}"
+        )
+    execute = bool(_EXECUTED_AXES.intersection(axes))
     name, mig = _resolve_spec(circuit)
     # Ship the resolved MIG to the workers when the caller passed one;
     # name/(name, scale) specs are rebuilt worker-side instead.
@@ -530,6 +627,7 @@ def pareto_sweep(
             "verify": verify,
             "paper_accounting": paper_accounting,
             "warm_start": warm_start,
+            "axes": list(axes),
         }
         hit = cache.get_front(fingerprint, front_params)
         if hit is not None:
@@ -546,8 +644,8 @@ def pareto_sweep(
     anchor_results = parallel_map(
         _anchor_task,
         [
-            (spec, "size", effort, verify, fix_polarity, False, cache_ref),
-            (spec, "depth", effort, verify, fix_polarity, True, cache_ref),
+            (spec, "size", effort, verify, fix_polarity, False, execute, cache_ref),
+            (spec, "depth", effort, verify, fix_polarity, True, execute, cache_ref),
         ],
         workers=workers,
         policy=policy,
@@ -593,6 +691,7 @@ def pareto_sweep(
                     input_depth,
                     size_pt.num_gates,
                     warm_start,
+                    execute,
                     cache_ref,
                 )
                 for chain in chains
@@ -611,7 +710,7 @@ def pareto_sweep(
                 cache.absorb(entries)
             budget_pts.extend(points)
     anchors = [p for p in (size_pt, depth_pt) if p is not None]
-    front, dominated = _non_dominated([*anchors, *budget_pts])
+    front, dominated = _non_dominated([*anchors, *budget_pts], axes)
     result = ParetoFront(
         circuit=name,
         effort=effort,
@@ -621,6 +720,7 @@ def pareto_sweep(
         incomplete=bool(failures),
         failed_budgets=tuple(failed_labels),
         failures=tuple(failures),
+        axes=axes,
     )
     if cache is not None and not result.incomplete:
         # partial fronts are never cached: a later healthy sweep must

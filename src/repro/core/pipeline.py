@@ -19,6 +19,7 @@ from typing import Optional
 
 from repro.core.cache import SynthesisCache
 from repro.core.compiler import CompilerOptions, PlimCompiler
+from repro.core.cost import CostModel
 from repro.core.rewriting import RewriteOptions, rewrite_for_plim
 from repro.mig.context import AnalysisContext
 from repro.mig.graph import Mig
@@ -63,7 +64,7 @@ def compile_mig(
     rewrite: bool = True,
     effort: int = 4,
     engine: str = "worklist",
-    objective: str = "size",
+    objective: "str | CostModel" = "size",
     compiler_options: Optional[CompilerOptions] = None,
     rewrite_options: Optional[RewriteOptions] = None,
     context: Optional[AnalysisContext] = None,
@@ -74,9 +75,13 @@ def compile_mig(
     ``effort`` is the rewriter's cycle count, ``engine`` its
     implementation ("worklist" in-place or "rebuild" pass pipeline) and
     ``objective`` its target ("size" — Algorithm 1, the default — "depth"
-    for critical-path rewriting, or "balanced" for the interleaved
-    multi-objective loop; all three ignored when an explicit
-    ``rewrite_options`` is given).  When the compiler is configured to fix
+    for critical-path rewriting, "balanced" for the interleaved
+    multi-objective loop, or a :class:`~repro.core.cost.CostModel`
+    instance/alias such as "plim" for guided measure-and-select rewriting
+    against real compiled cost — see :func:`repro.core.rewriting
+    .compile_cost_loop` for the loop with full reporting; all ignored
+    when an explicit ``rewrite_options`` is given).  When the compiler is
+    configured to fix
     output polarity (the default), the rewriter is told to charge
     complemented outputs accordingly.
 

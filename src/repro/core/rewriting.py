@@ -37,16 +37,29 @@ with ``fix_output_polarity`` they cost 2 instructions each, which
 
 from __future__ import annotations
 
+import time
 from collections import deque
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Optional, Union
 
 if TYPE_CHECKING:  # import cycle: cache deserialization reaches back here
     from repro.core.cache import SynthesisCache
+    from repro.plim.program import Program
 
-from repro.core.cost import NEGATION_INSTRUCTIONS, estimate_instructions, negations_needed
+from repro.core.cost import (
+    COST_MODELS,
+    CompiledPlim,
+    CostModel,
+    Depth,
+    NodeCount,
+    estimate_from_histogram,
+    estimate_instructions,
+    negation_cost,
+    resolve_cost_model,
+)
 from repro.errors import MigError, ReproError
 from repro.mig.algebra import (
+    complement_profile,
     flip_complement,
     pass_associativity,
     pass_associativity_depth,
@@ -99,9 +112,12 @@ class RewriteOptions:
     engine: str = "worklist"
     #: optimization target: "size" (the paper's Algorithm 1 — serial PLiM
     #: programs only care about node count), "depth" (critical-path Ω.A
-    #: swaps only — parallel in-memory targets), or "balanced" (interleave
-    #: size and depth effort cycles until a joint fixed point)
-    objective: str = "size"
+    #: swaps only — parallel in-memory targets), "balanced" (interleave
+    #: size and depth effort cycles until a joint fixed point), or a
+    #: :class:`~repro.core.cost.CostModel` — by instance, or by alias
+    #: ("static-plim"/"plim") — which runs the guided measure-and-select
+    #: driver against that model's objective
+    objective: Union[str, CostModel] = "size"
     #: hard depth ceiling for size rewriting (worklist engine only): size
     #: rules reject any candidate that could push a primary-output level
     #: past the budget, so ``objective="size"``/``"balanced"`` can shrink
@@ -113,7 +129,43 @@ class RewriteOptions:
 
 
 ENGINES = ("worklist", "rebuild")
+#: the built-in rewriting strategies (legacy string objectives)
 OBJECTIVES = ("size", "depth", "balanced")
+#: cost-model aliases additionally accepted by ``objective`` (the
+#: "size"/"depth" aliases of :data:`repro.core.cost.COST_MODELS` map onto
+#: the strategies above; these two run the guided driver)
+MODEL_OBJECTIVES = ("static-plim", "plim")
+
+
+def _normalize_objective(
+    opts: RewriteOptions,
+) -> tuple[RewriteOptions, Optional[CostModel]]:
+    """Resolve ``opts.objective`` to (canonical options, guided model).
+
+    Strings in :data:`OBJECTIVES` are the legacy strategies (returned
+    unchanged, no model).  Cost-model aliases and instances resolve
+    through :func:`~repro.core.cost.resolve_cost_model`; models whose
+    ``strategy`` is ``"size"``/``"depth"`` collapse onto the dedicated
+    engines (``objective=NodeCount()`` is bit-identical to
+    ``objective="size"`` — and shares its cache entries, because the
+    canonicalized options are the cache key).  Guided models are stored
+    back into the options as instances, so ``"plim"`` and
+    ``CompiledPlim()`` share one cache identity too.
+    """
+    objective = opts.objective
+    if isinstance(objective, str) and objective in OBJECTIVES:
+        return opts, None
+    if not isinstance(objective, CostModel) and (
+        not isinstance(objective, str) or objective not in COST_MODELS
+    ):
+        raise ReproError(
+            f"unknown rewrite objective {objective!r}; expected one of "
+            f"{OBJECTIVES + MODEL_OBJECTIVES} or a CostModel instance"
+        )
+    model = resolve_cost_model(objective)
+    if type(model) in (NodeCount, Depth):
+        return replace(opts, objective=model.strategy), None
+    return replace(opts, objective=model), model
 
 
 def rewrite_for_plim(
@@ -154,11 +206,7 @@ def rewrite_for_plim(
         raise ReproError(
             f"unknown rewrite engine {opts.engine!r}; expected one of {ENGINES}"
         )
-    if opts.objective not in OBJECTIVES:
-        raise ReproError(
-            f"unknown rewrite objective {opts.objective!r}; "
-            f"expected one of {OBJECTIVES}"
-        )
+    opts, model = _normalize_objective(opts)
     if opts.depth_budget is not None:
         if opts.depth_budget < 0:
             raise ReproError(
@@ -180,7 +228,9 @@ def rewrite_for_plim(
         hit = cache.get_rewrite(fingerprint, opts)
         if hit is not None:
             return hit
-    if opts.objective == "size":
+    if model is not None:
+        result = _rewrite_guided(mig, opts, model, cache=cache)
+    elif opts.objective == "size":
         if opts.engine == "worklist":
             result = _rewrite_worklist(mig, opts)
         else:
@@ -291,9 +341,7 @@ def _inplace_signature(mig: Mig) -> tuple:
     traversal.
     """
     num_gates, hist, zero_comp_no_const = mig.inplace_signature()
-    estimate = num_gates + NEGATION_INSTRUCTIONS * (
-        hist[2] + 2 * hist[3] + zero_comp_no_const
-    )
+    estimate = estimate_from_histogram(num_gates, hist, zero_comp_no_const)
     return (num_gates, hist, estimate)
 
 
@@ -430,12 +478,12 @@ def _sweep_inverters_cost_aware(work: Mig, po_negation_cost: int = 0) -> None:
     The same greedy decision as :func:`pass_inverter_cost_aware`: flips
     already applied to earlier (topologically lower) nodes are exact, later
     siblings are estimated at their current polarity — which is simply the
-    current in-place state.
+    current in-place state.  The flip balance consults the static model's
+    :func:`~repro.core.cost.negation_cost` (it *is* the per-node
+    :class:`~repro.core.cost.StaticPlim` objective, restricted to the
+    touched nodes).
     """
-
-    def extra_cost(num_complemented: int, has_const: bool) -> int:
-        return NEGATION_INSTRUCTIONS * negations_needed(num_complemented, has_const)
-
+    extra_cost = negation_cost
     order = list(work.topo_gates())
     position = {v: i for i, v in enumerate(order)}
     evicted: set[int] = set()
@@ -621,6 +669,234 @@ def _private_clean_copy(mig: Mig) -> Mig:
     return mig.clone()
 
 
+# ----------------------------------------------------------------------
+# guided rewriting and the synthesize→schedule→re-synthesize loop
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CostLoopStep:
+    """One candidate evaluation of the guided loop (for reporting)."""
+
+    #: guided round (0 = the un-rewritten input's baseline measurement)
+    iteration: int
+    #: which strategy produced the candidate ("input", "size", "size+psi",
+    #: "balanced", "depth")
+    variant: str
+    #: whether the candidate improved the model objective and was kept
+    accepted: bool
+    #: the model's metrics for the candidate
+    metrics: dict
+
+
+@dataclass(frozen=True)
+class CostLoopResult:
+    """Result of :func:`compile_cost_loop`.
+
+    ``mig`` is the cost-selected rewritten graph, ``program`` its
+    Algorithm 2 compilation under the model's own compiler options (so
+    the reported #I/#R are exactly what the loop optimized).
+    ``baseline``/``final`` are the model's metrics before/after, and
+    ``steps`` the full audit trail of candidate evaluations.
+    """
+
+    mig: Mig
+    program: "Program"
+    model: str
+    steps: tuple
+    iterations: int
+    converged: bool
+    baseline: dict
+    final: dict
+    seconds: float
+
+    @property
+    def num_instructions(self) -> int:
+        return self.program.num_instructions
+
+    @property
+    def num_rrams(self) -> int:
+        return self.program.num_rrams
+
+    @property
+    def num_gates(self) -> int:
+        return self.mig.num_gates
+
+    def __repr__(self) -> str:
+        return (
+            f"<CostLoopResult[{self.model}]: N={self.num_gates} "
+            f"I={self.num_instructions} R={self.num_rrams} "
+            f"iterations={self.iterations}"
+            f"{' converged' if self.converged else ''}>"
+        )
+
+
+def _guided_variants(opts: RewriteOptions) -> tuple:
+    """The candidate rewriting strategies one guided round explores.
+
+    Algorithm 1 variants that land in *different* local optima: plain
+    size rewriting, size with the derived Ψ.A rule (which frequently
+    trades a node of sharing for a cheaper complement structure — the
+    single biggest #I winner on the registry), the balanced loop, and —
+    when no depth budget constrains the search — pure depth rewriting
+    (occasionally cheaper to translate at equal #N).  The model, not the
+    strategy, decides what is kept.
+    """
+    base = dict(
+        effort=opts.effort,
+        po_negation_cost=opts.po_negation_cost,
+        size_rules=opts.size_rules,
+        inverter_rules=opts.inverter_rules,
+        early_exit=opts.early_exit,
+        engine=opts.engine,
+    )
+    variants = [
+        ("size", RewriteOptions(objective="size", depth_budget=opts.depth_budget, **base)),
+        (
+            "size+psi",
+            RewriteOptions(
+                objective="size", use_psi=True, depth_budget=opts.depth_budget, **base
+            ),
+        ),
+        (
+            "balanced",
+            RewriteOptions(objective="balanced", depth_budget=opts.depth_budget, **base),
+        ),
+    ]
+    if opts.depth_budget is None:
+        variants.append(("depth", RewriteOptions(objective="depth", **base)))
+    return tuple(variants)
+
+
+def _guided_search(
+    mig: Mig,
+    opts: RewriteOptions,
+    model: CostModel,
+    *,
+    cache: "Optional[SynthesisCache]" = None,
+    max_rounds: Optional[int] = None,
+) -> tuple[Mig, list, int, bool]:
+    """Measure-and-select driver: iterate rewriting to a model fixed point.
+
+    Each round rewrites the incumbent under every :func:`_guided_variants`
+    strategy, measures each candidate with ``model``, and keeps the best
+    (strictly improving) one; the loop stops when a round improves
+    nothing (``converged``) or after ``max_rounds`` rounds (the bounded
+    iteration budget — defaults to ``opts.effort``).  The un-rewritten
+    input is the baseline candidate, so the result is never worse than
+    the input under the model.  Returns
+    ``(best, steps, rounds_run, converged)``.
+    """
+    current = mig if mig.is_append_clean() else mig.rebuild()[0]
+    best = current
+    report = model.measure(best)
+    best_key = report.objective
+    steps: list[CostLoopStep] = [
+        CostLoopStep(0, "input", True, dict(report.metrics))
+    ]
+    budget = max(1, opts.effort if max_rounds is None else max_rounds)
+    converged = False
+    rounds = 0
+    for rounds in range(1, budget + 1):
+        improved = False
+        for variant, vopts in _guided_variants(opts):
+            candidate = rewrite_for_plim(best, vopts, cache=cache)
+            report = model.measure(candidate)
+            accepted = report.objective < best_key
+            steps.append(
+                CostLoopStep(rounds, variant, accepted, dict(report.metrics))
+            )
+            if accepted:
+                best, best_key = candidate, report.objective
+                improved = True
+        if not improved:
+            converged = True
+            break
+    return best, steps, rounds, converged
+
+
+def _rewrite_guided(
+    mig: Mig,
+    opts: RewriteOptions,
+    model: CostModel,
+    *,
+    cache: "Optional[SynthesisCache]" = None,
+) -> Mig:
+    """``rewrite_for_plim`` body for guided (cost-model) objectives."""
+    best, _, _, _ = _guided_search(mig, opts, model, cache=cache)
+    return best
+
+
+def compile_cost_loop(
+    mig: Mig,
+    *,
+    objective: Union[str, CostModel] = "plim",
+    effort: int = 4,
+    max_iterations: int = 4,
+    compiler_options=None,
+    cache: "Optional[SynthesisCache]" = None,
+) -> CostLoopResult:
+    """Iterate synthesize→schedule→re-synthesize to a cost fixed point.
+
+    The closed loop ROADMAP item 3 asks for: rewrite the MIG, measure the
+    candidate with ``objective`` (default ``"plim"`` — a real Algorithm 2
+    compile + machine execution via
+    :class:`~repro.core.cost.CompiledPlim`), feed the measurement back as
+    the selection criterion, and repeat until no rewriting strategy
+    improves the measured cost (or ``max_iterations`` rounds elapse — the
+    bounded iteration budget).  ``effort`` is each inner rewrite's
+    Algorithm 1 cycle count; ``cache`` memoizes the inner rewrites and the
+    model memoizes measurements per fingerprint, so converged loops are
+    cheap to re-run.
+
+    The final program is compiled under ``compiler_options`` when given,
+    else under the model's own accounting
+    (:meth:`~repro.core.cost.CompiledPlim.compiler_options`, falling back
+    to paper accounting), so the reported #I/#R are exactly the quantity
+    the loop minimized.
+
+    Example — the loop never does worse than one-shot size rewriting:
+
+        >>> from repro import Mig, compile_cost_loop, compile_mig
+        >>> from repro.core.compiler import CompilerOptions
+        >>> m = Mig()
+        >>> a, b, c = (m.add_pi(n) for n in "abc")
+        >>> _ = m.add_po(~m.add_maj(~a, ~b, c), "f")
+        >>> loop = compile_cost_loop(m)
+        >>> one_shot = compile_mig(
+        ...     m, compiler_options=CompilerOptions(fix_output_polarity=False))
+        >>> loop.num_instructions <= one_shot.num_instructions
+        True
+    """
+    from repro.core.compiler import CompilerOptions, PlimCompiler
+
+    start = time.perf_counter()
+    model = resolve_cost_model(objective)
+    opts = RewriteOptions(effort=effort, objective=model)
+    best, steps, rounds, converged = _guided_search(
+        mig, opts, model, cache=cache, max_rounds=max_iterations
+    )
+    copts = compiler_options
+    if copts is None:
+        if isinstance(model, CompiledPlim):
+            copts = model.compiler_options()
+        else:
+            copts = CompilerOptions(fix_output_polarity=False)
+    program = PlimCompiler(copts).compile(best)
+    final = model.measure(best)
+    return CostLoopResult(
+        mig=best,
+        program=program,
+        model=model.name,
+        steps=tuple(steps),
+        iterations=rounds,
+        converged=converged,
+        baseline=dict(steps[0].metrics),
+        final=dict(final.metrics),
+        seconds=time.perf_counter() - start,
+    )
+
+
 def rewrite_depth(mig: Mig, effort: int = 4, engine: str = "worklist") -> Mig:
     """Depth-oriented MIG rewriting (Ω.A critical-path swaps + Ω.M).
 
@@ -670,9 +946,7 @@ def pass_inverter_cost_aware(mig: Mig, po_negation_cost: int = 0) -> Mig:
             po_polarity.setdefault(po.node, []).append(po.inverted)
 
     flipped: dict[int, bool] = {}
-
-    def extra_cost(num_complemented: int, has_const: bool) -> int:
-        return NEGATION_INSTRUCTIONS * negations_needed(num_complemented, has_const)
+    extra_cost = negation_cost
 
     def parent_profile(p: int) -> tuple[int, bool]:
         """Parent's complemented-child count under current flip decisions."""
@@ -687,13 +961,11 @@ def pass_inverter_cost_aware(mig: Mig, po_negation_cost: int = 0) -> Mig:
         return complemented, has_const
 
     def gate_fn(new: Mig, old: int, mapped):
-        nonconst = [s for s in mapped if not s.is_const]
-        complemented = sum(1 for s in nonconst if s.inverted)
-        has_const = len(nonconst) < 3
+        num_nonconst, complemented, has_const = complement_profile(mapped)
         if complemented < 2:
             return new.add_maj(*mapped)
         # Cost at this node if we flip: complements become k - c.
-        delta = extra_cost(len(nonconst) - complemented, has_const) - extra_cost(
+        delta = extra_cost(num_nonconst - complemented, has_const) - extra_cost(
             complemented, has_const
         )
         # Cost at each fanout target: its edge to us toggles polarity.

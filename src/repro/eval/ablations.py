@@ -11,26 +11,35 @@
 * :func:`allocator_ablation` — FIFO vs. LIFO vs. FRESH allocation and the
   endurance (write-wear) consequences, executed on the machine model.
 * :func:`polarity_ablation` — paper vs. honest output-polarity accounting.
+* :func:`cost_loop_ablation` — #N-guided vs. cost-model-guided rewriting:
+  does closing the synthesis↔scheduling loop
+  (:func:`repro.core.rewriting.compile_cost_loop`) beat the size-optimal
+  MIG in real #I?
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.circuits.registry import benchmark_info
 from repro.core.batch import parallel_map
 from repro.core.compiler import CompilerOptions, PlimCompiler
+from repro.core.cost import CompiledPlim
 from repro.core.pareto import ParetoFront, pareto_sweep
-from repro.core.rewriting import OBJECTIVES, RewriteOptions, rewrite_for_plim
+from repro.core.rewriting import (
+    OBJECTIVES,
+    CostLoopResult,
+    RewriteOptions,
+    compile_cost_loop,
+    rewrite_for_plim,
+)
 from repro.eval.reporting import format_table
 from repro.mig.analysis import depth as analysis_depth
 from repro.mig.context import AnalysisContext
 from repro.mig.graph import Mig
 from repro.mig.reorder import shuffle_topological
-from repro.plim.endurance import EnduranceReport, work_cell_wear
-from repro.plim.machine import PlimMachine
+from repro.plim.endurance import EnduranceReport
 
 
 # ----------------------------------------------------------------------
@@ -154,12 +163,27 @@ def pareto_ablation(
     )
 
 
+#: axis name → table-header shorthand for :func:`format_pareto_front`
+_AXIS_LABELS = {
+    "num_gates": "#N",
+    "depth": "#D",
+    "num_instructions": "#I",
+    "num_rrams": "#R",
+    "cycles": "cycles",
+    "wear": "wear",
+}
+
+
 def format_pareto_front(name: str, front: ParetoFront) -> str:
     """Render a :class:`ParetoFront` in the ablation table layout.
 
     Frontier points first (ascending #D), then the dominated candidates
-    the sweep explored, marked in the ``front`` column.
+    the sweep explored, marked in the ``front`` column.  The header names
+    the sweep's axes; when an executed axis (``cycles``/``wear``) is
+    swept, its measured column is appended after #R.
     """
+    axes = getattr(front, "axes", ("num_gates", "depth"))
+    executed = [a for a in ("cycles", "wear") if a in axes]
     rows = [
         [
             p.label,
@@ -168,14 +192,18 @@ def format_pareto_front(name: str, front: ParetoFront) -> str:
             p.depth,
             p.num_instructions,
             p.num_rrams,
-            p.source,
-            p.equivalence or "-",
         ]
+        + [p.metric(a) for a in executed]
+        + [p.source, p.equivalence or "-"]
         for on_front, points in ((True, front.points), (False, front.dominated))
         for p in points
     ]
-    return f"Pareto (#N, #D) frontier — {name}\n" + format_table(
-        ["point", "front", "#N", "#D", "#I", "#R", "start", "equivalence"], rows
+    axis_names = ", ".join(_AXIS_LABELS.get(a, a) for a in axes)
+    return f"Pareto ({axis_names}) frontier — {name}\n" + format_table(
+        ["point", "front", "#N", "#D", "#I", "#R"]
+        + [_AXIS_LABELS[a] for a in executed]
+        + ["start", "equivalence"],
+        rows,
     )
 
 
@@ -260,26 +288,26 @@ def allocator_ablation(
 ) -> list[AllocatorPoint]:
     """Compile with each allocator policy and measure real write wear.
 
-    The compiled program is executed once on the machine model (width 1,
-    random inputs) so the wear numbers are actual per-cell programming
-    pulses, not estimates.
+    Each policy is measured through the :class:`~repro.core.cost
+    .CompiledPlim` cost model — the same endurance-aware path guided
+    rewriting optimizes against — so the wear numbers here are exactly
+    the ones a ``plim``-objective rewrite would see: the program is
+    executed once on the machine model (width 1, seeded random inputs)
+    and the per-cell programming pulses counted, not estimated.
     """
     rewritten = rewrite_for_plim(mig, RewriteOptions(effort=rewrite_effort))
+    # One AnalysisContext shared across the per-policy compiles.
     context = AnalysisContext(rewritten)
-    rng = random.Random(input_seed)
-    inputs = {name: rng.randint(0, 1) for name in rewritten.pi_names()}
     points = []
     for policy in policies:
-        options = CompilerOptions(allocator_policy=policy, fix_output_polarity=False)
-        program = PlimCompiler(options).compile(rewritten, context=context)
-        machine = PlimMachine.for_program(program)
-        machine.run_program(program, inputs)
+        model = CompiledPlim(allocator_policy=policy, input_seed=input_seed)
+        report = model.measure(rewritten, context=context)
         points.append(
             AllocatorPoint(
                 policy=policy,
-                instructions=program.num_instructions,
-                rrams=program.num_rrams,
-                wear=work_cell_wear(machine, program),
+                instructions=report["num_instructions"],
+                rrams=report["num_rrams"],
+                wear=report.wear,
             )
         )
     return points
@@ -347,6 +375,53 @@ def format_polarity_ablation(name: str, points: Sequence[PolarityPoint]) -> str:
     )
 
 
+# ----------------------------------------------------------------------
+# X8: cost-model-guided rewriting (the closed synthesis↔scheduling loop)
+# ----------------------------------------------------------------------
+
+
+def cost_loop_ablation(
+    mig: Mig, rewrite_effort: int = 4, objective: str = "plim"
+) -> CostLoopResult:
+    """Run the compiled-cost loop and keep its full candidate audit trail.
+
+    A thin wrapper over :func:`repro.core.rewriting.compile_cost_loop`:
+    every Algorithm 1 variant the guided search tried is in
+    ``result.steps`` with its measured metrics, so the formatted section
+    shows exactly where #N-optimal and #I-optimal diverge.
+    """
+    return compile_cost_loop(mig, objective=objective, effort=rewrite_effort)
+
+
+def format_cost_loop_ablation(name: str, result: CostLoopResult) -> str:
+    def row(step):
+        m = step.metrics
+        return [
+            step.iteration,
+            step.variant,
+            "kept" if step.accepted else "-",
+            m.get("num_gates", "-"),
+            m.get("depth", "-"),
+            m.get("num_instructions", "-"),
+            m.get("num_rrams", "-"),
+        ]
+
+    rows = [row(step) for step in result.steps]
+    base = result.baseline.get("num_instructions", "-")
+    status = "converged" if result.converged else "budget exhausted"
+    summary = (
+        f"# {result.model} objective: #I {base} -> {result.num_instructions}, "
+        f"{result.iterations} round(s), {status}"
+    )
+    return (
+        f"Cost-loop ablation — {name}\n"
+        + format_table(
+            ["round", "variant", "kept", "#N", "#D", "#I", "#R"], rows
+        )
+        + f"\n{summary}"
+    )
+
+
 def _ablation_section(payload) -> str:
     """One formatted ablation section (module-level for pool dispatch)."""
     section, name, scale = payload
@@ -363,11 +438,14 @@ def _ablation_section(payload) -> str:
         return format_allocator_ablation(name, allocator_ablation(mig))
     if section == "polarity":
         return format_polarity_ablation(name, polarity_ablation(mig))
+    if section == "cost_loop":
+        return format_cost_loop_ablation(name, cost_loop_ablation(mig))
     raise ValueError(f"unknown ablation section {section!r}")
 
 
 ABLATION_SECTIONS = (
-    "effort", "objective", "pareto", "selection", "allocator", "polarity"
+    "effort", "objective", "pareto", "selection", "allocator", "polarity",
+    "cost_loop",
 )
 
 

@@ -127,12 +127,16 @@ def measure_mig(
     paper_accounting: bool = True,
     compiler_options: Optional[CompilerOptions] = None,
     engine: str = "worklist",
+    objective="size",
     cache: Optional[SynthesisCache] = None,
 ) -> Table1Row:
     """Run the three Table 1 configurations on one MIG.
 
     ``engine`` selects the Algorithm 1 implementation ("worklist" or
-    "rebuild", see :class:`~repro.core.rewriting.RewriteOptions`).
+    "rebuild", see :class:`~repro.core.rewriting.RewriteOptions`) and
+    ``objective`` its target — "size" is the paper's Algorithm 1; any
+    other :class:`~repro.core.rewriting.RewriteOptions.objective` (e.g.
+    a "plim" cost model) yields a what-if table of the same layout.
     ``cache`` memoizes the rewriting step (the row's dominant cost) under
     the MIG's fingerprint, so repeated table runs of one circuit family
     reuse it.
@@ -151,7 +155,8 @@ def measure_mig(
     rewritten = rewrite_for_plim(
         mig,
         RewriteOptions(
-            effort=effort, po_negation_cost=2 if fix else 0, engine=engine
+            effort=effort, po_negation_cost=2 if fix else 0, engine=engine,
+            objective=objective,
         ),
         cache=cache,
     )
@@ -186,6 +191,7 @@ def run_benchmark(
     shuffle_seed: int = 42,
     paper_accounting: bool = True,
     engine: str = "worklist",
+    objective="size",
     cache: Optional[SynthesisCache] = None,
 ) -> Table1Row:
     """Build one EPFL benchmark and measure its Table 1 row.
@@ -206,6 +212,7 @@ def run_benchmark(
         effort=effort,
         paper_accounting=paper_accounting,
         engine=engine,
+        objective=objective,
         cache=cache,
     )
 
@@ -217,7 +224,7 @@ def _benchmark_task(payload):
     protocol, like :func:`repro.core.batch._compile_task`.
     """
     (name, scale, effort, shuffled, shuffle_seed, paper_accounting, engine,
-     cache_ref) = payload
+     objective, cache_ref) = payload
     cache = worker_cache(cache_ref)
     row = run_benchmark(
         name,
@@ -227,6 +234,7 @@ def _benchmark_task(payload):
         shuffle_seed=shuffle_seed,
         paper_accounting=paper_accounting,
         engine=engine,
+        objective=objective,
         cache=cache,
     )
     return row, cache.export_fresh() if cache is not None else []
@@ -243,6 +251,7 @@ def run_table1(
     progress=None,
     workers: Optional[int] = None,
     engine: str = "worklist",
+    objective="size",
     cache: Optional[SynthesisCache] = None,
     cache_dir=None,
     policy: Optional[TaskPolicy] = None,
@@ -256,7 +265,10 @@ def run_table1(
     :func:`~repro.core.batch.parallel_imap`).  ``workers`` fans the
     benchmarks out over a process pool (``None``, the default, means one
     per CPU — the package-wide convention); row order is deterministic
-    regardless.  ``engine`` selects the Algorithm 1 implementation.
+    regardless.  ``engine`` selects the Algorithm 1 implementation and
+    ``objective`` its target ("size", the paper's; cost-model objectives
+    like "plim" produce a what-if table with the same layout — models are
+    picklable, so pooled runs work).
     ``cache``/``cache_dir`` attach a
     :class:`~repro.core.cache.SynthesisCache` memoizing each row's
     rewriting step (pool workers read-only, merged here; ignored for
@@ -276,7 +288,7 @@ def run_table1(
     cache_ref = payload_cache_ref(cache, inline)
     payloads = [
         (name, scale, effort, shuffled, shuffle_seed, paper_accounting, engine,
-         cache_ref)
+         objective, cache_ref)
         for name in selected
     ]
     rows = []

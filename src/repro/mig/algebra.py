@@ -34,6 +34,28 @@ from repro.mig.graph import Mig
 from repro.mig.signal import Signal
 
 
+def complement_profile(signals) -> tuple[int, int, bool]:
+    """``(num_nonconst, num_complemented_nonconst, has_const)`` of a child triple.
+
+    The polarity profile every inverter-cost decision is made on: RM3's
+    operand-B slot absorbs one complemented (non-constant) child for free,
+    constants ride along as built-in operands.  Shared by the Ω.I passes
+    here, the cost-aware sweeps in :mod:`repro.core.rewriting`, and the
+    §4.2.2 estimators in :mod:`repro.core.cost`.
+    """
+    nonconst = 0
+    complemented = 0
+    has_const = False
+    for s in signals:
+        if s.is_const:
+            has_const = True
+        else:
+            nonconst += 1
+            if s.inverted:
+                complemented += 1
+    return nonconst, complemented, has_const
+
+
 def effective_children(mig: Mig, edge: Signal) -> Optional[tuple[Signal, Signal, Signal]]:
     """Children of the gate behind ``edge`` with Ω.I applied.
 
@@ -438,7 +460,7 @@ def pass_push_inverters(mig: Mig, threshold: int = 2) -> Mig:
     """
 
     def gate_fn(new: Mig, _old: int, mapped):
-        inverted_nonconst = sum(1 for s in mapped if s.inverted and not s.is_const)
+        _, inverted_nonconst, _ = complement_profile(mapped)
         if inverted_nonconst >= threshold:
             flipped = tuple(~s for s in mapped)
             return ~new.add_maj(*flipped)

@@ -81,8 +81,10 @@ _PI = 1
 _GATE = 2
 _DEAD = 3
 
-#: highest admissible node index: child encodings must fit the 24-bit
-#: fields of the packed strash key
+#: highest admissible node index: a child edge is encoded as
+#: ``index << 1 | inverted`` and three such encodings are packed into
+#: 24-bit fields of the 72-bit strash key, so indices stop at 2^23 - 1
+#: (about 8.4M nodes — PIs, gates, and tombstoned slots all count)
 _MAX_NODE = (1 << 23) - 1
 
 
@@ -171,8 +173,11 @@ class Mig:
         index = len(self._kind)
         if index > _MAX_NODE:
             raise MigError(
-                f"MIG node limit exceeded: {index} slots would not fit the "
-                f"packed strash key (max {_MAX_NODE})"
+                f"MIG node limit exceeded: node index {index} does not fit "
+                f"the packed strash key's 24-bit child fields (limit 2^23 - 1 "
+                f"= {_MAX_NODE} nodes, counting PIs and dead slots). "
+                "Compact dead slots with rebuild(), or split the netlist — "
+                "see docs/architecture.md."
             )
         self._ca.append(ea)
         self._cb.append(eb)

@@ -91,6 +91,15 @@ class TestManifestAndPins:
         with pytest.raises(fb.FetchError, match="no 'url'"):
             fb.load_manifest(bad)
 
+    def test_path_entry_resolves_relative_to_manifest(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "local.aig").write_bytes(b"aig 0 0 0 0 0\n")
+        manifest_file = tmp_path / "manifest.json"
+        manifest_file.write_text(json.dumps({"local": {"path": "sub/local.aig"}}))
+        manifest = fb.load_manifest(manifest_file)
+        assert manifest["local"]["url"] == (tmp_path / "sub" / "local.aig").as_uri()
+        assert manifest["local"]["filename"] == "local.aig"
+
     def test_pins_roundtrip_sorted(self, tmp_path):
         lockfile = tmp_path / "locks" / "pins.json"
         fb.save_pins(lockfile, {"b": "2" * 64, "a": "1" * 64})
@@ -138,6 +147,66 @@ class TestCli:
         manifest = self._manifest_file(source, tmp_path)
         assert fb.main(["--list", "--manifest", str(manifest)]) == 0
         assert "tiny" in capsys.readouterr().out
+
+
+class TestCommittedIscasManifest:
+    """The committed ISCAS manifest + lockfile round-trip over ``file://``.
+
+    The ``c17`` entry points at a repo-local AIGER file with an inline
+    SHA-256 pin, so the whole download → verify → pin path runs against
+    committed bytes without any network.
+    """
+
+    MANIFEST = TOOLS_DIR / "benchmarks.iscas.json"
+    LOCKFILE = TOOLS_DIR / "benchmarks.sha256.json"
+
+    def test_manifest_loads_and_c17_is_local(self):
+        manifest = fb.load_manifest(self.MANIFEST)
+        assert manifest["c17"]["url"].startswith("file://")
+        assert all(e["suite"] == "iscas85" for e in manifest.values())
+        # remote entries stay trust-on-first-use: no fabricated pins
+        remote = [n for n, e in manifest.items() if e["url"].startswith("https://")]
+        pins = fb.load_pins(self.LOCKFILE)
+        assert remote and not any(n in pins for n in remote)
+
+    def test_c17_round_trip_matches_committed_lockfile(self, tmp_path):
+        manifest = fb.load_manifest(self.MANIFEST)
+        pins = {}
+        path, updated = fb.fetch("c17", manifest["c17"], tmp_path / "c", pins)
+        assert updated  # inline manifest pin seeds a fresh lockfile
+        assert pins["c17"] == fb.load_pins(self.LOCKFILE)["c17"]
+        # and the committed bytes really are the classic six-NAND c17
+        from repro.mig.io_aiger import read_aiger
+
+        mig = read_aiger(path)
+        assert (mig.num_pis, mig.num_pos) == (5, 2)
+
+    def test_against_committed_lockfile_verifies_silently(self, tmp_path):
+        manifest = fb.load_manifest(self.MANIFEST)
+        pins = dict(fb.load_pins(self.LOCKFILE))
+        path, updated = fb.fetch("c17", manifest["c17"], tmp_path / "c", pins)
+        assert not updated  # pin already frozen, nothing to re-record
+
+    def test_inline_pin_mismatch_refuses(self, tmp_path):
+        manifest = fb.load_manifest(self.MANIFEST)
+        entry = dict(manifest["c17"], sha256="0" * 64)
+        with pytest.raises(fb.FetchError, match="does not match the"):
+            fb.fetch("c17", entry, tmp_path / "c", {})
+
+    def test_inline_pin_conflicting_lockfile_refuses(self, tmp_path):
+        manifest = fb.load_manifest(self.MANIFEST)
+        with pytest.raises(fb.FetchError, match="resolve the conflict"):
+            fb.fetch("c17", manifest["c17"], tmp_path / "c", {"c17": "1" * 64})
+
+    def test_cli_round_trip_with_committed_manifest(self, tmp_path, capsys):
+        lockfile = tmp_path / "pins.json"
+        argv = ["c17", "--manifest", str(self.MANIFEST),
+                "--lockfile", str(lockfile), "--dest", str(tmp_path / "c")]
+        assert fb.main(argv) == 0
+        assert fb.load_pins(lockfile)["c17"] == fb.load_pins(self.LOCKFILE)["c17"]
+        capsys.readouterr()
+        assert fb.main(argv) == 0  # second run verifies against the pin
+        assert "verified" in capsys.readouterr().out
 
 
 class TestRetries:

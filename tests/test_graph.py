@@ -217,6 +217,41 @@ class TestMisc:
         assert "1 POs" in repr(mig)
 
 
+class TestNodeCap:
+    """The 2^23-node strash-key cap fails cleanly, not mid-append."""
+
+    def test_cap_raises_clear_error_naming_the_limit(self, monkeypatch):
+        import repro.mig.graph as graph_mod
+
+        monkeypatch.setattr(graph_mod, "_MAX_NODE", 4)
+        mig = Mig()
+        a, b, c = (mig.add_pi(x) for x in "abc")
+        mig.add_maj(a, b, c)  # index 4: the last admissible slot
+        with pytest.raises(MigError) as excinfo:
+            mig.add_maj(a, b, ~c)
+        message = str(excinfo.value)
+        assert "node limit exceeded" in message
+        assert "2^23" in message  # names the real limit, not just a number
+        assert "rebuild()" in message  # and a recovery
+
+    def test_failed_append_leaves_graph_consistent(self, monkeypatch):
+        import repro.mig.graph as graph_mod
+
+        monkeypatch.setattr(graph_mod, "_MAX_NODE", 4)
+        mig = Mig()
+        a, b, c = (mig.add_pi(x) for x in "abc")
+        g = mig.add_maj(a, b, c)
+        before = (mig.num_pis, mig.num_gates, len(mig._kind))
+        with pytest.raises(MigError):
+            mig.add_maj(a, b, ~c)
+        with pytest.raises(MigError):
+            mig.add_pi("d")
+        assert (mig.num_pis, mig.num_gates, len(mig._kind)) == before
+        assert len(mig._ca) == len(mig._cb) == len(mig._cc) == len(mig._kind)
+        # the graph still works: strash hits don't allocate, so they're fine
+        assert mig.add_maj(a, b, c) == g
+
+
 class TestInplace:
     """The mutable core: replace_node, refcounts, tombstones, topo order."""
 

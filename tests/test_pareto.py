@@ -389,3 +389,142 @@ class TestPartialFrontiers:
         old = ParetoFront.from_dict(data)
         assert old.incomplete is False
         assert old.failed_budgets == () and old.failures == ()
+
+
+class TestAxes:
+    """ISSUE 8: user-selectable frontier axes — the same depth-budgeted
+    candidate generator, deduplicated on any metric pair from
+    ``PARETO_AXES``, with executed axes ("cycles"/"wear") running every
+    candidate on the machine model."""
+
+    def test_too_few_axes_rejected(self):
+        with pytest.raises(MigError, match="at least two"):
+            pareto_sweep(("ctrl", "ci"), workers=1, axes=("depth",))
+
+    def test_duplicate_axes_rejected(self):
+        with pytest.raises(MigError, match="distinct"):
+            pareto_sweep(("ctrl", "ci"), workers=1, axes=("depth", "depth"))
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(MigError, match="unknown pareto axes"):
+            pareto_sweep(("ctrl", "ci"), workers=1, axes=("depth", "area"))
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_instruction_rram_frontier_on_registry(self, name):
+        """The ISSUE 8 acceptance bar: ``axes=("num_instructions",
+        "num_rrams")`` returns a verified non-dominated frontier over the
+        compiled-program coordinates, on every registry circuit."""
+        axes = ("num_instructions", "num_rrams")
+        front = pareto_sweep((name, "ci"), workers=1, axes=axes)
+        assert front.axes == axes
+        assert front.points
+        coords = [p.coordinate(axes) for p in front.points]
+        assert len(set(coords)) == len(coords)  # no duplicate coordinates
+        for p in front.points:
+            for q in front.points:
+                assert not p.dominates(q, axes), (name, p, q)
+            assert p.equivalence in ("exhaustive", "random")
+            # free axes: no machine execution happened
+            assert p.cycles is None and p.max_writes is None
+        # nothing dominated sneaks onto the front
+        for d in front.dominated:
+            coord = d.coordinate(axes)
+            assert coord in set(coords) or any(
+                p.dominates(d, axes) for p in front.points
+            ), (name, d)
+
+    def test_deterministic_across_worker_counts(self):
+        axes = ("num_instructions", "num_rrams")
+        serial = pareto_sweep(("router", "ci"), workers=1, axes=axes)
+        pooled = pareto_sweep(("router", "ci"), workers=2, axes=axes)
+        assert [_strip(p) for p in serial.points] == [_strip(p) for p in pooled.points]
+        assert [_strip(p) for p in serial.dominated] == [
+            _strip(p) for p in pooled.dominated
+        ]
+
+    def test_cache_hit_never_changes_axed_output(self, tmp_path):
+        axes = ("num_instructions", "num_rrams")
+        plain = pareto_sweep(("ctrl", "ci"), workers=1, axes=axes)
+        populating = pareto_sweep(
+            ("ctrl", "ci"), workers=1, axes=axes, cache_dir=tmp_path
+        )
+        hit = pareto_sweep(("ctrl", "ci"), workers=1, axes=axes, cache_dir=tmp_path)
+        reference = [_strip(p) for p in plain.points]
+        assert [_strip(p) for p in populating.points] == reference
+        assert [_strip(p) for p in hit.points] == reference
+        assert hit.axes == axes
+        probe = SynthesisCache(tmp_path)
+        pareto_sweep(("ctrl", "ci"), workers=1, axes=axes, cache=probe)
+        assert probe.stats.hits == 1 and probe.stats.stores == 0
+
+    def test_axes_are_part_of_the_cache_key(self, tmp_path):
+        """Differently-axed fronts of the same circuit never collide in
+        the cache: the second sweep is a miss-and-store, not a hit."""
+        default = pareto_sweep(("ctrl", "ci"), workers=1, cache_dir=tmp_path)
+        probe = SynthesisCache(tmp_path)
+        axed = pareto_sweep(
+            ("ctrl", "ci"), workers=1, cache=probe,
+            axes=("num_instructions", "num_rrams"),
+        )
+        assert probe.stats.stores >= 1  # the axed front was newly cached
+        assert axed.axes != default.axes
+
+    def test_executed_axes_measure_the_machine(self):
+        front = pareto_sweep(("ctrl", "ci"), workers=1, axes=("depth", "wear"))
+        assert front.axes == ("depth", "wear")
+        assert front.points
+        for p in (*front.points, *front.dominated):
+            assert p.cycles is not None and p.cycles > 0
+            assert p.max_writes is not None and p.max_writes >= 1
+            assert p.metric("wear") == p.max_writes
+            assert p.metric("cycles") == p.cycles
+        for p in front.points:
+            for q in front.points:
+                assert not p.dominates(q, ("depth", "wear"))
+
+    def test_default_axes_skip_execution(self):
+        front = pareto_sweep(("ctrl", "ci"), workers=1)
+        for p in (*front.points, *front.dominated):
+            assert p.cycles is None and p.max_writes is None
+            with pytest.raises(MigError, match="carries no 'wear' metric"):
+                p.metric("wear")
+
+    def test_point_round_trips_executed_metrics(self):
+        point = ParetoPoint(
+            label="budget=3", budget=3, num_gates=7, depth=3,
+            num_instructions=19, num_rrams=4, equivalence="exhaustive",
+            seconds=0.5, source="warm", cycles=57, max_writes=6,
+        )
+        again = ParetoPoint.from_dict(point.to_dict())
+        assert again == point
+        assert again.metric("wear") == 6 and again.metric("cycles") == 57
+
+    def test_front_round_trips_axes(self):
+        axes = ("num_instructions", "num_rrams")
+        front = pareto_sweep(("ctrl", "ci"), workers=1, axes=axes)
+        again = ParetoFront.from_dict(front.to_dict())
+        assert again.axes == axes
+        assert [_strip(p) for p in again.points] == [_strip(p) for p in front.points]
+        # pre-axes cached fronts (no "axes" key) default to (#N, #D)
+        data = front.to_dict()
+        del data["axes"]
+        assert ParetoFront.from_dict(data).axes == ("num_gates", "depth")
+
+    def test_non_dominated_generalizes_beyond_default_axes(self):
+        def pt(label, i, r):
+            return ParetoPoint(
+                label=label, budget=None, num_gates=0, depth=0,
+                num_instructions=i, num_rrams=r, equivalence=None, seconds=0.0,
+            )
+
+        axes = ("num_instructions", "num_rrams")
+        front, dominated = _non_dominated(
+            [pt("a", 100, 10), pt("b", 90, 12), pt("c", 110, 9), pt("d", 95, 13)],
+            axes,
+        )
+        # ranked like the default staircase: ascending second axis (#R),
+        # so descending first axis (#I) along the frontier
+        assert [(p.num_instructions, p.num_rrams) for p in front] == [
+            (110, 9), (100, 10), (90, 12),
+        ]
+        assert {p.label for p in dominated} == {"d"}

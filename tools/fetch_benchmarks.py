@@ -5,13 +5,24 @@ The EPFL combinational suite (the circuits of the paper's Table 1, in
 binary AIGER) is listed in the built-in manifest; ISCAS/IWLS sets have no
 single canonical URL, so they come in through the same mechanism via
 ``--manifest`` pointing at a JSON file of ``{name: {url, suite}}`` entries
-(see ``_BUILTIN_MANIFEST`` for the shape).
+(see ``_BUILTIN_MANIFEST`` for the shape).  ``tools/benchmarks.iscas.json``
+is a committed ISCAS-85 manifest: mirror URLs for the c432–c7552 netlists
+plus a repo-local ``c17`` (``tools/testdata/c17_smoke.aig``, our own
+AIGER encoding of the classic six-NAND netlist) that fetches over
+``file://`` and therefore round-trips without network.
+
+A manifest entry names its source either by ``url`` or by ``path`` (a
+file relative to the manifest, resolved to a ``file://`` URL), and may
+carry an inline ``"sha256"`` pin that is enforced on every fetch and
+seeded into the lockfile.
 
 Integrity is pinned in ``tools/benchmarks.sha256.json``: the first
 successful download of a circuit records its SHA-256 (trust on first use)
 and every later fetch — on any machine — verifies against the recorded
 digest and refuses mismatches.  Commit the lockfile after first fetch to
-freeze the pins for everyone else.
+freeze the pins for everyone else.  Only digests of actually-fetched
+bytes are ever pinned; remote entries without an inline pin stay
+trust-on-first-use until someone fetches and commits them.
 
 The destination directory is gitignored; nothing in the test suite
 requires network access.  Tests (and air-gapped mirrors) exercise the
@@ -75,14 +86,29 @@ class FetchError(Exception):
 
 
 def load_manifest(path: Path | None = None) -> dict[str, dict[str, str]]:
-    """The circuit manifest: built-in EPFL suite or a user-supplied JSON."""
+    """The circuit manifest: built-in EPFL suite or a user-supplied JSON.
+
+    User entries name their source by ``url`` or by ``path`` — a file
+    relative to the manifest's own directory, resolved here to a
+    ``file://`` URL so every downstream step (download, pin, verify) is
+    identical for local and remote circuits.
+    """
     if path is None:
         return dict(_BUILTIN_MANIFEST)
+    base = Path(path).resolve().parent
     with open(path, "r", encoding="utf-8") as handle:
         manifest = json.load(handle)
     for name, entry in manifest.items():
-        if "url" not in entry:
-            raise FetchError(f"manifest entry {name!r} has no 'url'")
+        if "url" in entry:
+            continue
+        if "path" in entry:
+            local = Path(entry["path"])
+            if not local.is_absolute():
+                local = base / local
+            entry["url"] = local.resolve().as_uri()
+            entry.setdefault("filename", local.name)
+        else:
+            raise FetchError(f"manifest entry {name!r} has no 'url' or 'path'")
     return manifest
 
 
@@ -147,11 +173,23 @@ def fetch(
     is not re-downloaded unless ``force``.  ``timeout`` caps each
     attempt's socket wait; ``retries`` transient failures are retried
     with exponential backoff before :class:`FetchError` is raised.
+
+    An inline ``entry["sha256"]`` is an authoritative manifest pin: it is
+    enforced like a lockfile pin, must agree with any existing lockfile
+    entry, and is seeded into ``pins`` on first verification.
     """
     dest_dir.mkdir(parents=True, exist_ok=True)
     filename = entry.get("filename") or entry["url"].rsplit("/", 1)[-1]
     target = dest_dir / filename
     pinned = pins.get(name)
+    inline = entry.get("sha256")
+    if inline is not None:
+        if pinned is not None and pinned != inline:
+            raise FetchError(
+                f"{name}: manifest pins {inline[:16]}… but the lockfile "
+                f"pins {pinned[:16]}… — resolve the conflict before fetching"
+            )
+        pinned = inline
 
     if target.exists() and not force:
         digest = sha256_of(target)
@@ -159,7 +197,10 @@ def fetch(
             pins[name] = digest
             return target, True
         if digest == pinned:
-            return target, False
+            updated = pins.get(name) != digest
+            if updated:
+                pins[name] = digest
+            return target, updated
         raise FetchError(
             f"{name}: on-disk file {target} has digest {digest[:16]}… "
             f"but the lockfile pins {pinned[:16]}… — delete it (or re-pin) "
@@ -178,10 +219,10 @@ def fetch(
             f"pinned {pinned[:16]}… — refusing to write {target}"
         )
     target.write_bytes(payload)
-    if pinned is None:
+    updated = pins.get(name) != digest
+    if updated:
         pins[name] = digest
-        return target, True
-    return target, False
+    return target, updated
 
 
 def main(argv: list[str] | None = None) -> int:
