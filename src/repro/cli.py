@@ -414,20 +414,52 @@ def _cmd_pareto(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the synthesis server (``plimc serve``) until SIGTERM/SIGINT."""
+    import asyncio
+
+    from repro.serve.app import PlimServer, ServerConfig
+    from repro.serve.http import run_server
+
+    config = ServerConfig(
+        workers=args.workers,
+        pooled=args.pooled,
+        queue_limit=args.queue_limit,
+        request_timeout_s=args.timeout,
+        job_timeout_s=args.job_timeout,
+        cache_dir=args.cache_dir,
+        cache_max_bytes=args.cache_max_bytes,
+    )
+    asyncio.run(run_server(PlimServer(config), args.host, args.port))
+    return 0
+
+
 def _cmd_cache(args) -> int:
     """Inspect (``stats``), empty (``clear``), or shrink (``trim``) a
     synthesis cache dir."""
     from repro.core.cache import SynthesisCache
 
     cache = SynthesisCache(args.dir)
+    if args.cache_command == "stats" and getattr(args, "json", False):
+        # the same snapshot GET /cache/stats serves, so the CLI and the
+        # server can never disagree about what the numbers mean
+        print(json.dumps(cache.stats_snapshot(), indent=2, sort_keys=True))
+        return 0
     if args.cache_command == "stats":
         usage = cache.disk_usage()
         total_entries = sum(u["entries"] for u in usage.values())
         total_bytes = sum(u["bytes"] for u in usage.values())
+        width = max(len(kind) for kind in (*usage, "total"))
         print(f"synthesis cache at {args.dir}")
         for kind, u in usage.items():
-            print(f"  {kind:9s} {u['entries']:6d} entries, {u['bytes']:10d} bytes")
-        print(f"  {'total':9s} {total_entries:6d} entries, {total_bytes:10d} bytes")
+            print(
+                f"  {kind:{width}s} {u['entries']:6d} entries,"
+                f" {u['bytes']:10d} bytes"
+            )
+        print(
+            f"  {'total':{width}s} {total_entries:6d} entries,"
+            f" {total_bytes:10d} bytes"
+        )
         return 0
     if args.cache_command == "trim":
         evicted = cache.trim(args.max_bytes)
@@ -723,6 +755,13 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         pc = cache_sub.add_parser(command, help=blurb)
         pc.add_argument("dir", help="the synthesis cache directory")
+        if command == "stats":
+            pc.add_argument(
+                "--json",
+                action="store_true",
+                help="machine-readable snapshot (same shape as the serve "
+                "endpoint GET /cache/stats)",
+            )
         if command == "trim":
             pc.add_argument(
                 "--max-bytes",
@@ -732,6 +771,62 @@ def build_parser() -> argparse.ArgumentParser:
                 help="the byte budget to trim down to (0 empties the cache)",
             )
         pc.set_defaults(func=_cmd_cache)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the HTTP synthesis server over a shared cache",
+        epilog="example: plimc serve --port 8080 --cache-dir .plim-cache; "
+        "then POST /compile with "
+        '{"circuit": "<.mig text>", "format": "mig"} '
+        "(see docs/serving.md for the endpoint reference)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8080, help="bind port")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent compile slots (default: 2)",
+    )
+    p.add_argument(
+        "--queue-limit",
+        type=int,
+        default=8,
+        metavar="N",
+        help="max requests in the system before shedding with 429 "
+        "(default: 8)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request compile deadline (enforced only with --pooled; "
+        "default: none)",
+    )
+    p.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="deadline for background jobs (pareto/cost-loop; default: none)",
+    )
+    p.add_argument(
+        "--pooled",
+        action="store_true",
+        help="run every compile on a supervised worker process "
+        "(crash isolation + enforceable --timeout, at process-hop cost)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent synthesis cache shared by all requests "
+        "(default: in-memory only)",
+    )
+    _add_cache_max_bytes_flag(p)
+    p.set_defaults(func=_cmd_serve)
 
     return parser
 

@@ -50,7 +50,13 @@ from typing import (
 from repro.circuits.registry import build as build_benchmark
 from repro.core.cache import SynthesisCache, payload_cache_ref, worker_cache
 from repro.core.compiler import CompilerOptions, PlimCompiler
-from repro.core.resilience import FaultPlan, TaskFailure, TaskPolicy, iter_tasks
+from repro.core.resilience import (
+    FaultPlan,
+    TaskFailure,
+    TaskPolicy,
+    iter_tasks,
+    run_tasks,
+)
 from repro.core.rewriting import RewriteOptions, rewrite_for_plim
 from repro.errors import ReproError
 from repro.mig.context import AnalysisContext
@@ -112,6 +118,44 @@ def parallel_imap(
         workers=min(resolve_workers(workers), max(1, len(items))),
         policy=policy,
         fault_plan=fault_plan,
+    )
+
+
+async def parallel_map_async(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    workers: Optional[int] = None,
+    *,
+    policy: Optional[TaskPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    force_pool: bool = False,
+) -> "list[_R]":
+    """:func:`parallel_map` awaitable from asyncio code — the async bridge.
+
+    The supervised map is blocking (it multiplexes worker pipes with
+    ``multiprocessing.connection.wait``), so an asyncio caller — the
+    ``plimc serve`` front door — must not run it on the event loop.  This
+    wrapper runs the whole map on a thread-pool thread via
+    :func:`asyncio.to_thread` and awaits the result; everything else
+    (ordering, policies, fault plans) is exactly :func:`parallel_map`.
+
+    ``force_pool=True`` forwards to :func:`repro.core.resilience.iter_tasks`:
+    even a single item then runs on a supervised worker process, which is
+    what gives one HTTP request an enforceable deadline and crash
+    isolation.
+    """
+    import asyncio
+
+    items = list(items)
+    resolved = min(resolve_workers(workers), max(1, len(items)))
+    return await asyncio.to_thread(
+        run_tasks,
+        fn,
+        items,
+        workers=resolved,
+        policy=policy,
+        fault_plan=fault_plan,
+        force_pool=force_pool,
     )
 
 

@@ -14,7 +14,11 @@ recomputation:
   ``(fingerprint, RewriteOptions)``, serialized in the native ``.mig``
   text format;
 * **fronts** — whole :class:`~repro.core.pareto.ParetoFront` results,
-  keyed on ``(fingerprint, sweep parameters)``, serialized as JSON.
+  keyed on ``(fingerprint, sweep parameters)``, serialized as JSON;
+* **compilations** — whole request-shaped answers (rewritten ``.mig``
+  text + compiled ``.plim`` program + the (#N, #I, #R) counts), keyed on
+  ``(fingerprint, RewriteOptions, CompilerOptions)`` — what a
+  ``plimc serve`` warm hit returns without recomputing Algorithm 2.
 
 The cache is in-memory by default; give it a ``cache_dir`` and every
 entry is also persisted to disk (atomic ``os.replace`` writes), so
@@ -65,8 +69,9 @@ import io
 import json
 import os
 import tempfile
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
 
@@ -78,8 +83,13 @@ from repro.mig.io_mig import read_mig, write_mig
 #: entry kinds (also the on-disk subdirectory names)
 REWRITE_KIND = "rewrites"
 FRONT_KIND = "fronts"
+COMPILATION_KIND = "compilations"
 
-_EXTENSIONS = {REWRITE_KIND: ".mig", FRONT_KIND: ".json"}
+_EXTENSIONS = {
+    REWRITE_KIND: ".mig",
+    FRONT_KIND: ".json",
+    COMPILATION_KIND: ".json",
+}
 
 #: prefix of in-flight atomic-write temp files (never valid entries)
 _TMP_PREFIX = ".tmp-"
@@ -109,7 +119,16 @@ _KEY_SALT = f"{_FORMAT_VERSION}.{ALGORITHM_REVISION}.{__version__}"
 
 @dataclass
 class CacheStats:
-    """Hit/miss/store counters of one :class:`SynthesisCache` instance."""
+    """Hit/miss/store counters of one :class:`SynthesisCache` instance.
+
+    Counters are mutated through :meth:`bump` and read through
+    :meth:`snapshot`, both of which hold the same lock — so a reader
+    (``plimc cache stats``, the ``plimc serve`` ``/cache/stats``
+    endpoint) always observes a *consistent* set of counters even while
+    another thread is trimming or querying the cache.  Reading the
+    fields one by one without the lock can interleave with concurrent
+    bumps and report impossibilities such as more hits than lookups.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -118,15 +137,46 @@ class CacheStats:
     errors: int = 0
     #: entries dropped to enforce ``max_bytes`` (memory and disk summed)
     evictions: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Atomically add ``amount`` to one counter."""
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    def snapshot(self) -> dict:
+        """One consistent reading of every counter, plus the derived
+        ``lookups`` (hits + misses) and ``hit_rate`` (hits / lookups, 0.0
+        when nothing was looked up).  Because all values come from a
+        single locked read, ``hits <= lookups`` always holds in the
+        returned dict — the invariant the reported JSON promises."""
+        with self._lock:
+            hits, misses = self.hits, self.misses
+            counters = {
+                "hits": hits,
+                "misses": misses,
+                "stores": self.stores,
+                "errors": self.errors,
+                "evictions": self.evictions,
+            }
+        lookups = hits + misses
+        counters["lookups"] = lookups
+        counters["hit_rate"] = round(hits / lookups, 6) if lookups else 0.0
+        return counters
 
     def to_dict(self) -> dict:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "stores": self.stores,
-            "errors": self.errors,
-            "evictions": self.evictions,
-        }
+        snap = self.snapshot()
+        return {k: snap[k] for k in ("hits", "misses", "stores", "errors", "evictions")}
+
+    def __getstate__(self):
+        snap = self.snapshot()
+        return {k: snap[k] for k in ("hits", "misses", "stores", "errors", "evictions")}
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
 
 class SynthesisCache:
@@ -232,6 +282,20 @@ class SynthesisCache:
         )
         return hashlib.sha256(token.encode("utf-8")).hexdigest()
 
+    @staticmethod
+    def compilation_key(fingerprint: str, rewrite_options, compiler_options) -> str:
+        """Content address of one whole compilation (Algorithm 1 + 2).
+
+        Both option sets are frozen dataclasses of primitives, so their
+        ``repr``\\ s are canonical tokens (exactly like
+        :meth:`rewrite_key`); ``None`` stands for the respective default.
+        """
+        token = (
+            f"compilation{_KEY_SALT}|{fingerprint}|"
+            f"{rewrite_options!r}|{compiler_options!r}"
+        )
+        return hashlib.sha256(token.encode("utf-8")).hexdigest()
+
     # ------------------------------------------------------------------
     # rewrites
     # ------------------------------------------------------------------
@@ -269,6 +333,42 @@ class SynthesisCache:
         self._put(FRONT_KIND, key, front, json.dumps(front.to_dict(), indent=2))
 
     # ------------------------------------------------------------------
+    # whole compilations (Algorithm 1 + Algorithm 2 + serializations)
+    # ------------------------------------------------------------------
+
+    def get_compilation(
+        self, fingerprint: str, rewrite_options, compiler_options
+    ) -> Optional[dict]:
+        """The cached compilation record for ``fingerprint`` under both
+        option sets, or ``None``.  Hits return a private copy.
+
+        A *compilation record* is the JSON-ready dict a request-serving
+        caller needs to answer without recomputing anything: the
+        rewritten graph (``"mig"``, native text), the PLiM program
+        (``"program"``, ``.plim`` text) and the (#N, #I, #R) counts.
+        Rewrites alone are already memoized per
+        :meth:`~repro.mig.graph.Mig.fingerprint`; at interactive circuit
+        sizes Algorithm 2 costs as much again, so ``plimc serve`` caches
+        the whole answer.
+        """
+        hit = self._get(
+            COMPILATION_KIND,
+            self.compilation_key(fingerprint, rewrite_options, compiler_options),
+        )
+        return dict(hit) if hit is not None else None
+
+    def put_compilation(
+        self, fingerprint: str, rewrite_options, compiler_options, record: dict
+    ) -> None:
+        """Store a compilation record (no-op when the entry exists)."""
+        key = self.compilation_key(fingerprint, rewrite_options, compiler_options)
+        if (COMPILATION_KIND, key) in self._mem:
+            return
+        self._put(
+            COMPILATION_KIND, key, dict(record), json.dumps(record, sort_keys=True)
+        )
+
+    # ------------------------------------------------------------------
     # the read-only + merge protocol (process pools)
     # ------------------------------------------------------------------
 
@@ -297,7 +397,7 @@ class SynthesisCache:
             try:
                 value = _deserialize(kind, text)
             except Exception:
-                self.stats.errors += 1
+                self.stats.bump("errors")
                 continue
             self._put(kind, key, value, text)
             added += 1
@@ -381,6 +481,26 @@ class SynthesisCache:
             usage[kind] = {"entries": files, "bytes": size}
         return usage
 
+    def stats_snapshot(self) -> dict:
+        """One consistent, JSON-ready view of the cache's health.
+
+        The single source of truth behind ``plimc cache stats --json``
+        and the ``plimc serve`` ``GET /cache/stats`` endpoint, so the two
+        can never drift.  Counters come from one atomic
+        :meth:`CacheStats.snapshot` reading (a concurrent :meth:`trim`
+        or lookup can never make the report claim more hits than
+        lookups), the memory figures from this instance's live map, and
+        the disk figures from :meth:`disk_usage`.
+        """
+        return {
+            "cache_dir": str(self._dir) if self._dir is not None else None,
+            "max_bytes": self._max_bytes,
+            "read_only": self._read_only,
+            "counters": self.stats.snapshot(),
+            "memory": {"entries": len(self._mem), "bytes": self._mem_bytes},
+            "disk": self.disk_usage(),
+        }
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
@@ -388,8 +508,13 @@ class SynthesisCache:
     def _get(self, kind: str, key: str):
         value = self._mem.get((kind, key))
         if value is not None:
-            self._mem.move_to_end((kind, key))
-            self.stats.hits += 1
+            try:
+                self._mem.move_to_end((kind, key))
+            except KeyError:
+                # a concurrent trim() evicted the entry between the read
+                # and the recency bump; the value in hand is still good
+                pass
+            self.stats.bump("hits")
             return value
         found = self._disk_get(kind, key)
         if found is not None:
@@ -403,9 +528,9 @@ class SynthesisCache:
                     os.utime(self._entry_path(kind, key))
                 except OSError:
                     pass
-            self.stats.hits += 1
+            self.stats.bump("hits")
             return value
-        self.stats.misses += 1
+        self.stats.bump("misses")
         return None
 
     def _mem_insert(self, kind: str, key: str, value, size: int) -> None:
@@ -425,7 +550,7 @@ class SynthesisCache:
         while self._mem_bytes > cap and len(self._mem) > floor:
             entry, _ = self._mem.popitem(last=False)
             self._mem_bytes -= self._sizes.pop(entry, 0)
-            self.stats.evictions += 1
+            self.stats.bump("evictions")
             evicted += 1
         return evicted
 
@@ -464,7 +589,7 @@ class SynthesisCache:
             except OSError:
                 continue  # a concurrent evictor won the race — fine
             total -= size
-            self.stats.evictions += 1
+            self.stats.bump("evictions")
             evicted += 1
         return evicted
 
@@ -473,7 +598,7 @@ class SynthesisCache:
         self._enforce_mem_cap(self._max_bytes)
         if self._collect_fresh:
             self._fresh.append((kind, key, text))
-        self.stats.stores += 1
+        self.stats.bump("stores")
         if self._dir is None or self._read_only:
             return
         path = self._entry_path(kind, key)
@@ -493,7 +618,7 @@ class SynthesisCache:
                     pass
                 raise
         except OSError:
-            self.stats.errors += 1  # disk store failed; memory entry stands
+            self.stats.bump("errors")  # disk store failed; memory entry stands
             return
         self._enforce_disk_cap(self._max_bytes)
 
@@ -511,7 +636,7 @@ class SynthesisCache:
         except Exception:
             # Corrupt entry: recover by treating it as a miss and removing
             # the file (best-effort) so the recomputed result replaces it.
-            self.stats.errors += 1
+            self.stats.bump("errors")
             if not self._read_only:
                 try:
                     path.unlink()
@@ -544,6 +669,11 @@ def _deserialize(kind: str, text: str):
         from repro.core.pareto import ParetoFront
 
         return ParetoFront.from_dict(json.loads(text))
+    if kind == COMPILATION_KIND:
+        record = json.loads(text)
+        if not isinstance(record, dict):
+            raise ValueError("compilation entry is not a JSON object")
+        return record
     raise ValueError(f"unknown cache entry kind {kind!r}")
 
 

@@ -60,9 +60,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
-from repro.core.batch import CircuitSpec, _resolve_spec, parallel_map, resolve_workers
+from repro.core.batch import (
+    CircuitSpec,
+    _resolve_spec,
+    parallel_imap,
+    resolve_workers,
+)
 from repro.core.cache import SynthesisCache, payload_cache_ref, worker_cache
 from repro.core.cost import measure_program
 from repro.core.resilience import FaultPlan, TaskFailure, TaskPolicy
@@ -522,6 +527,7 @@ def pareto_sweep(
     policy: Optional[TaskPolicy] = None,
     fault_plan: Optional[FaultPlan] = None,
     axes: tuple = _DEFAULT_AXES,
+    progress: Optional[Callable[[ParetoPoint], None]] = None,
 ) -> ParetoFront:
     """Sweep the cost trade-off of ``circuit`` and return the frontier.
 
@@ -584,7 +590,10 @@ def pareto_sweep(
     cached, so a later healthy sweep recomputes the full frontier.
     ``fault_plan`` injects deterministic faults; the sweep consumes the
     ``"anchor"`` and ``"chain"`` phases of the plan (task indices within
-    each phase).
+    each phase).  ``progress`` is an optional callback invoked with each
+    :class:`ParetoPoint` as it completes (anchors first, then budget
+    chains, in input order; a cached front replays its points) — the
+    serve layer streams these through ``GET /jobs/<id>``.
 
     Example::
 
@@ -631,6 +640,12 @@ def pareto_sweep(
         }
         hit = cache.get_front(fingerprint, front_params)
         if hit is not None:
+            if progress is not None:
+                # A cache hit replays the front's points through the
+                # progress hook so streaming consumers (the serve layer's
+                # job progress feed) observe the same shape either way.
+                for point in hit.points:
+                    progress(point)
             return hit
     inline = resolve_workers(workers) <= 1
     cache_ref = payload_cache_ref(cache, inline)
@@ -641,7 +656,7 @@ def pareto_sweep(
     # deterministic), so no worker has to re-derive it.
     plan = fault_plan or FaultPlan()
     input_depth = mig_depth(mig.cleanup()[0])
-    anchor_results = parallel_map(
+    anchor_results = parallel_imap(
         _anchor_task,
         [
             (spec, "size", effort, verify, fix_polarity, False, execute, cache_ref),
@@ -664,6 +679,8 @@ def pareto_sweep(
             # read-only + merge protocol: pool workers never write; the
             # fresh entries they computed are merged (persisted) here.
             cache.absorb(entries)
+        if progress is not None:
+            progress(point)
         if label == "size":
             size_pt = point
         else:
@@ -678,7 +695,7 @@ def pareto_sweep(
             list(range(depth_pt.depth, size_pt.depth)), max_points
         )
         chains = _chunked(budgets, 1 if not warm_start else CHAIN_LENGTH)
-        chain_results = parallel_map(
+        chain_results = parallel_imap(
             _chain_task,
             [
                 (
@@ -708,6 +725,9 @@ def pareto_sweep(
             points, _, entries = outcome
             if cache is not None and not inline:
                 cache.absorb(entries)
+            if progress is not None:
+                for point in points:
+                    progress(point)
             budget_pts.extend(points)
     anchors = [p for p in (size_pt, depth_pt) if p is not None]
     front, dominated = _non_dominated([*anchors, *budget_pts], axes)

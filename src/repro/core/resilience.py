@@ -647,6 +647,7 @@ def iter_tasks(
     workers: int,
     policy: Optional[TaskPolicy] = None,
     fault_plan: Optional[FaultPlan] = None,
+    force_pool: bool = False,
 ) -> Iterator[Any]:
     """Stream ``fn(item)`` outcomes in input order under ``policy``.
 
@@ -657,14 +658,19 @@ def iter_tasks(
     ``workers`` is the *resolved* pool size; ``workers <= 1`` (or a
     single item) runs inline with the same retry/disposition semantics
     but no deadlines or crash isolation.
+
+    ``force_pool=True`` supervises even a single item on a real worker
+    process — the seam request-at-a-time callers (``plimc serve``) use to
+    get enforceable deadlines and crash isolation for one task, which the
+    inline fast path cannot provide.
     """
     items = list(items)
     policy = policy or TaskPolicy()
     if not items:
         return iter(())
-    if workers <= 1 or len(items) <= 1:
+    if not force_pool and (workers <= 1 or len(items) <= 1):
         return _iter_inline(fn, items, policy, fault_plan)
-    return _Supervisor(fn, items, workers, policy, fault_plan).run()
+    return _Supervisor(fn, items, max(1, workers), policy, fault_plan).run()
 
 
 def run_tasks(
@@ -674,13 +680,21 @@ def run_tasks(
     workers: int,
     policy: Optional[TaskPolicy] = None,
     fault_plan: Optional[FaultPlan] = None,
+    force_pool: bool = False,
 ) -> list:
     """``[fn(x) for x in items]`` under ``policy``; failed slots become
     :class:`TaskFailure` records (``on_error="skip"``/``"degrade"``) or
     raise (``on_error="raise"``, the default).  See :func:`iter_tasks`.
     """
     return list(
-        iter_tasks(fn, items, workers=workers, policy=policy, fault_plan=fault_plan)
+        iter_tasks(
+            fn,
+            items,
+            workers=workers,
+            policy=policy,
+            fault_plan=fault_plan,
+            force_pool=force_pool,
+        )
     )
 
 

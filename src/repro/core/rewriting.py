@@ -40,7 +40,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, Callable, Optional, Union
 
 if TYPE_CHECKING:  # import cycle: cache deserialization reaches back here
     from repro.core.cache import SynthesisCache
@@ -775,6 +775,7 @@ def _guided_search(
     *,
     cache: "Optional[SynthesisCache]" = None,
     max_rounds: Optional[int] = None,
+    progress: Optional[Callable[["CostLoopStep"], None]] = None,
 ) -> tuple[Mig, list, int, bool]:
     """Measure-and-select driver: iterate rewriting to a model fixed point.
 
@@ -794,6 +795,8 @@ def _guided_search(
     steps: list[CostLoopStep] = [
         CostLoopStep(0, "input", True, dict(report.metrics))
     ]
+    if progress is not None:
+        progress(steps[0])
     budget = max(1, opts.effort if max_rounds is None else max_rounds)
     converged = False
     rounds = 0
@@ -806,6 +809,8 @@ def _guided_search(
             steps.append(
                 CostLoopStep(rounds, variant, accepted, dict(report.metrics))
             )
+            if progress is not None:
+                progress(steps[-1])
             if accepted:
                 best, best_key = candidate, report.objective
                 improved = True
@@ -835,6 +840,7 @@ def compile_cost_loop(
     max_iterations: int = 4,
     compiler_options=None,
     cache: "Optional[SynthesisCache]" = None,
+    progress: Optional[Callable[["CostLoopStep"], None]] = None,
 ) -> CostLoopResult:
     """Iterate synthesize→schedule→re-synthesize to a cost fixed point.
 
@@ -874,7 +880,8 @@ def compile_cost_loop(
     model = resolve_cost_model(objective)
     opts = RewriteOptions(effort=effort, objective=model)
     best, steps, rounds, converged = _guided_search(
-        mig, opts, model, cache=cache, max_rounds=max_iterations
+        mig, opts, model, cache=cache, max_rounds=max_iterations,
+        progress=progress,
     )
     copts = compiler_options
     if copts is None:

@@ -1,0 +1,103 @@
+"""The compile task ``plimc serve`` ships to its supervised workers.
+
+One request = one task on the :mod:`repro.core.resilience` engine.  The
+task is a module-level function over a plain-dict payload, so it pickles
+into a real pool worker (``ServerConfig.pooled=True`` — per-request
+deadlines and crash isolation) and runs unchanged inline (the default —
+no process round-trip at interactive latencies).
+
+The payload carries the parsed :class:`~repro.mig.graph.Mig`, its
+content fingerprint, the normalized options dict and a *cache ref*
+(:func:`~repro.core.cache.payload_cache_ref` pool-style, never the live
+instance: the task may run on a worker process or an executor thread,
+and the server's cache is only ever touched from the event loop).  The
+task checks the shared cache's compilation kind first, compiles on a
+miss, stores the full answer, and ships the fresh entries back for the
+event loop to :meth:`~repro.core.cache.SynthesisCache.absorb` — the same
+read-only + merge protocol every pooled driver in this codebase uses.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Optional
+
+from repro.core.cache import worker_cache
+from repro.core.compiler import CompilerOptions
+from repro.core.pipeline import compile_mig
+from repro.core.rewriting import RewriteOptions
+from repro.mig.graph import Mig
+from repro.mig.io_mig import write_mig
+
+
+def request_option_sets(options: dict):
+    """The exact ``(rewrite_options, compiler_options)`` pair of a request.
+
+    Mirrors :func:`repro.core.pipeline.compile_mig`'s internal option
+    construction so the *cache key* computed on the event loop (fast
+    path) and in the worker (slow path) is identical to the options the
+    compile actually runs under.  ``rewrite_options`` is ``None`` when
+    the request disabled rewriting — exactly what ``compile_mig`` would
+    record.
+    """
+    copts = CompilerOptions()
+    if not options["rewrite"]:
+        return None, copts
+    ropts = RewriteOptions(
+        effort=options["effort"],
+        po_negation_cost=2 if copts.fix_output_polarity else 0,
+        engine=options["engine"],
+        objective=options["objective"],
+    )
+    return ropts, copts
+
+
+def build_record(name: Optional[str], result) -> dict:
+    """The JSON-ready compilation record stored in the cache and served.
+
+    Carries everything a client needs (counts, the rewritten graph as
+    ``.mig`` text, the program as ``.plim`` text), so a cache hit
+    answers a request without touching the compiler at all.
+    """
+    buf = io.StringIO()
+    write_mig(result.compiled_mig, buf)
+    return {
+        "name": name or result.compiled_mig.name or "",
+        "num_gates": result.num_gates,
+        "num_instructions": result.num_instructions,
+        "num_rrams": result.num_rrams,
+        "mig": buf.getvalue(),
+        "program": result.program.to_text(),
+    }
+
+
+def serve_compile_task(payload: dict):
+    """Answer one compile request; returns ``(record, cached, fresh)``.
+
+    ``cached`` reports whether the answer came out of the shared cache
+    (the response's ``"cached"`` field); ``fresh`` is the worker cache's
+    :meth:`~repro.core.cache.SynthesisCache.export_fresh` batch for the
+    event loop to merge.
+    """
+    mig: Mig = payload["mig"]
+    fingerprint: str = payload["fingerprint"]
+    options: dict = payload["options"]
+    cache = worker_cache(payload.get("cache_ref"))
+    ropts, copts = request_option_sets(options)
+    if cache is not None:
+        hit = cache.get_compilation(fingerprint, ropts, copts)
+        if hit is not None:
+            return hit, True, cache.export_fresh()
+    result = compile_mig(
+        mig,
+        rewrite=options["rewrite"],
+        rewrite_options=ropts,
+        compiler_options=copts,
+        cache=cache,
+    )
+    record = build_record(payload.get("name"), result)
+    fresh: list = []
+    if cache is not None:
+        cache.put_compilation(fingerprint, ropts, copts, record)
+        fresh = cache.export_fresh()
+    return record, False, fresh

@@ -1,0 +1,144 @@
+"""The protocol-level serve harness: an in-process client, no sockets.
+
+Tier-1 serve tests drive ``PlimServer.handle(Request)`` directly — the
+exact object the socket transport drives — so every endpoint, fault,
+shed and drain behavior is exercised deterministically with zero network
+(the byte-level HTTP framing has its own ``socket``-marked smoke tests).
+
+Two calling styles:
+
+* ``post(app, path, obj)`` / ``get(app, path)`` — synchronous one-shots,
+  each wrapping one ``asyncio.run``.  Fine for sequential protocol tests
+  (the app survives repeated event loops by design).
+* ``async`` tests needing concurrency (dedup, shed, jobs) write a
+  coroutine against ``apost``/``aget`` and run it with one
+  ``asyncio.run`` — jobs especially *must* stay on one loop, since a
+  submitted job is a task of the loop that accepted it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import io
+
+import pytest
+
+from repro.circuits.registry import build
+from repro.mig.io_aiger import write_aiger
+from repro.mig.io_blif import write_blif
+from repro.mig.io_mig import write_mig
+from repro.serve.app import PlimServer, ServerConfig
+from repro.serve.protocol import Request, Response, canonical_json
+
+
+def make_app(**config_kwargs) -> PlimServer:
+    """A fresh in-memory server; kwargs override ServerConfig fields."""
+    return PlimServer(ServerConfig(**config_kwargs))
+
+
+async def aget(app: PlimServer, path: str) -> Response:
+    return await app.handle(Request("GET", path))
+
+
+async def apost(app: PlimServer, path: str, obj=None, body: bytes = b"") -> Response:
+    if obj is not None:
+        body = canonical_json(obj)
+    return await app.handle(Request("POST", path, body))
+
+
+def get(app: PlimServer, path: str) -> Response:
+    return asyncio.run(aget(app, path))
+
+
+def post(app: PlimServer, path: str, obj=None, body: bytes = b"") -> Response:
+    return asyncio.run(apost(app, path, obj, body))
+
+
+def run_concurrent(coro):
+    """``asyncio.run`` with a wide thread executor.
+
+    Concurrency tests fire many requests at once; each request does its
+    parse/fingerprint/compile legs on the loop's default executor.  With
+    the default (cpu-bound) worker count, a long compile can starve the
+    *parse* legs of later identical requests past the leader's
+    completion, turning intended dedup followers into fresh leaders —
+    a timing artifact, not a protocol behavior.  A wide executor keeps
+    the cheap legs instant so the dedup assertions are deterministic.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    async def wrapper():
+        asyncio.get_running_loop().set_default_executor(
+            ThreadPoolExecutor(max_workers=32)
+        )
+        return await coro
+
+    return asyncio.run(wrapper())
+
+
+async def poll_job(app: PlimServer, job_id: str, timeout_s: float = 60.0) -> dict:
+    """Await a job's terminal snapshot (tight poll; test-only)."""
+    for _ in range(int(timeout_s / 0.01)):
+        snapshot = (await aget(app, f"/jobs/{job_id}")).json()
+        if snapshot["state"] in ("done", "failed"):
+            return snapshot
+        await asyncio.sleep(0.01)
+    raise AssertionError(f"job {job_id} did not finish within {timeout_s}s")
+
+
+# ----------------------------------------------------------------------
+# circuit payloads (one registry circuit in every accepted format)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def ctrl_mig():
+    return build("ctrl", "ci")
+
+
+@pytest.fixture(scope="session")
+def mig_text(ctrl_mig) -> str:
+    buf = io.StringIO()
+    write_mig(ctrl_mig, buf)
+    return buf.getvalue()
+
+
+@pytest.fixture(scope="session")
+def blif_text(ctrl_mig) -> str:
+    buf = io.StringIO()
+    write_blif(ctrl_mig, buf)
+    return buf.getvalue()
+
+
+@pytest.fixture(scope="session")
+def aag_text(ctrl_mig) -> str:
+    buf = io.StringIO()
+    write_aiger(ctrl_mig, buf, binary=False)
+    return buf.getvalue()
+
+
+@pytest.fixture(scope="session")
+def aig_b64(ctrl_mig) -> str:
+    buf = io.BytesIO()
+    write_aiger(ctrl_mig, buf, binary=True)
+    return base64.b64encode(buf.getvalue()).decode("ascii")
+
+
+@pytest.fixture(scope="session")
+def circuit_payloads(mig_text, blif_text, aag_text, aig_b64) -> dict:
+    """format name → the minimal compile-request payload for it."""
+    return {
+        "mig": {"circuit": mig_text, "format": "mig"},
+        "blif": {"circuit": blif_text, "format": "blif"},
+        "aag": {"circuit": aag_text, "format": "aag"},
+        "aig": {"circuit_b64": aig_b64, "format": "aig"},
+    }
+
+
+@pytest.fixture(scope="session")
+def other_mig_text() -> str:
+    """A second, distinct circuit (dedup cross-talk tests)."""
+    buf = io.StringIO()
+    write_mig(build("int2float", "ci"), buf)
+    return buf.getvalue()

@@ -1,0 +1,170 @@
+"""Deterministic fault injection through the serve stack.
+
+Reuses :class:`~repro.core.resilience.FaultPlan` — the same lever every
+pooled driver in this codebase is tested with — scoped to the server's
+``"compile"`` phase.  Worker crashes, deadlines, queue shedding and the
+drain contract all come back as *structured protocol errors*, never as
+wedged requests or raw exceptions.
+
+The pooled tests spawn real worker processes (that is the point: a
+genuine ``os._exit`` in a genuine worker); they are the slowest tests in
+the serve suite but stay well under CI budgets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.resilience import Fault, FaultPlan
+
+from .conftest import aget, apost, make_app
+
+
+def crash_plan(attempts=(1,)) -> FaultPlan:
+    return FaultPlan(phases={"compile": {0: Fault("exit", attempts=attempts)}})
+
+
+def sleep_plan(seconds: float) -> FaultPlan:
+    return FaultPlan(
+        phases={"compile": {0: Fault("sleep", seconds=seconds, attempts=())}}
+    )
+
+
+class TestCrashPaths:
+    def test_inline_crash_is_structured_502(self, circuit_payloads):
+        app = make_app(fault_plan=crash_plan())
+        response = asyncio.run(apost(app, "/compile", circuit_payloads["mig"]))
+        assert response.status == 502
+        error = response.json()["error"]
+        assert error["code"] == "worker-crash"
+        assert error["attempts"] == 1
+        assert app.counters["failures"] == 1
+
+    def test_pooled_worker_exit_is_structured_502(self, circuit_payloads):
+        # a genuine os._exit in a genuine supervised worker process
+        app = make_app(pooled=True, fault_plan=crash_plan())
+        response = asyncio.run(apost(app, "/compile", circuit_payloads["mig"]))
+        assert response.status == 502
+        assert response.json()["error"]["code"] == "worker-crash"
+
+    def test_batch_class_retries_past_the_crash(self, circuit_payloads):
+        # the fault fires on attempt 1 only; class=batch grants a retry,
+        # so the same request that 502s interactively succeeds as batch
+        app = make_app(pooled=True, fault_plan=crash_plan(attempts=(1,)))
+        payload = dict(circuit_payloads["mig"])
+        payload["class"] = "batch"
+        response = asyncio.run(apost(app, "/compile", payload))
+        assert response.status == 200, response.body
+        assert response.json()["cached"] is False
+
+    def test_error_fans_out_to_dedup_followers(self, circuit_payloads):
+        # an error response is published to the whole dedup group —
+        # followers of a failed leader see the identical error bytes
+        app = make_app(fault_plan=crash_plan())
+        payload = circuit_payloads["mig"]
+
+        async def main():
+            return await asyncio.gather(
+                *[apost(app, "/compile", payload) for _ in range(5)]
+            )
+
+        responses = asyncio.run(main())
+        assert [r.status for r in responses] == [502] * 5
+        assert len({r.body for r in responses}) == 1
+        assert app.counters["failures"] == 1  # one leader failed, once
+
+
+class TestInjectedException:
+    def test_unexpected_task_exception_is_500(self, circuit_payloads):
+        plan = FaultPlan(phases={"compile": {0: Fault("raise")}})
+        app = make_app(fault_plan=plan)
+        response = asyncio.run(apost(app, "/compile", circuit_payloads["mig"]))
+        assert response.status == 500
+        error = response.json()["error"]
+        assert error["code"] == "internal-error"
+        assert error["error_type"] == "InjectedFault"
+
+
+class TestDeadline:
+    def test_pooled_timeout_is_504(self, circuit_payloads):
+        # the injected sleep (fires on every attempt) blows the 0.5s
+        # per-attempt deadline; the supervisor kills the worker and the
+        # client sees a structured 504 long before the sleep would end
+        app = make_app(
+            pooled=True, request_timeout_s=0.5, fault_plan=sleep_plan(30.0)
+        )
+        response = asyncio.run(apost(app, "/compile", circuit_payloads["mig"]))
+        assert response.status == 504
+        assert response.json()["error"]["code"] == "timeout"
+
+
+class TestQueueFull:
+    def test_shed_with_retry_after(self, circuit_payloads, other_mig_text):
+        app = make_app(queue_limit=1, fault_plan=sleep_plan(2.0))
+
+        async def main():
+            slow = asyncio.ensure_future(
+                apost(app, "/compile", circuit_payloads["mig"])
+            )
+            # deterministic hand-off: wait until the slow leader holds
+            # its admission slot before submitting the second circuit
+            while app._admitted < 1:
+                await asyncio.sleep(0.01)
+            shed = await apost(
+                app, "/compile", {"circuit": other_mig_text, "format": "mig"}
+            )
+            return shed, await slow
+
+        shed, slow = asyncio.run(main())
+        assert shed.status == 429
+        error = shed.json()["error"]
+        assert error["code"] == "queue-full"
+        assert error["retry_after"] == app.config.retry_after_s
+        assert ("Retry-After", f"{app.config.retry_after_s:g}") in shed.headers
+        assert app.counters["shed"] == 1
+        # the slow request itself still finished fine
+        assert slow.status == 200
+
+
+class TestDrain:
+    def test_draining_rejects_new_work_finishes_inflight(
+        self, circuit_payloads, other_mig_text
+    ):
+        app = make_app(queue_limit=8, fault_plan=sleep_plan(0.5))
+
+        async def main():
+            inflight = asyncio.ensure_future(
+                apost(app, "/compile", circuit_payloads["mig"])
+            )
+            while app._admitted < 1:
+                await asyncio.sleep(0.01)
+            app.begin_drain()
+            rejected_compile = await apost(
+                app, "/compile", {"circuit": other_mig_text, "format": "mig"}
+            )
+            rejected_job = await apost(
+                app,
+                "/jobs",
+                {
+                    "kind": "cost-loop",
+                    "circuit": other_mig_text,
+                    "format": "mig",
+                },
+            )
+            health = await aget(app, "/healthz")
+            finished = await inflight
+            await asyncio.wait_for(app.drained(), timeout=10)
+            return rejected_compile, rejected_job, health, finished
+
+        rejected_compile, rejected_job, health, finished = asyncio.run(main())
+        assert rejected_compile.status == 503
+        assert rejected_compile.json()["error"]["code"] == "draining"
+        assert rejected_job.status == 503
+        # reads stay up during the drain; the health answer says draining
+        assert health.status == 200
+        assert health.json()["draining"] is True
+        # the in-flight request ran to completion despite the drain
+        assert finished.status == 200
+        assert app._admitted == 0

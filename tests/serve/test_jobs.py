@@ -1,0 +1,187 @@
+"""The job model: 202 + id now, streamed progress until the result.
+
+Long work (``pareto``, ``cost-loop``) never holds a request open: the
+server answers with a job id immediately, runs the sweep off-loop
+against a read-only cache view, and feeds every completed point/step
+into the job's progress list via the drivers' ``progress=`` callbacks —
+``GET /jobs/<id>`` polls a consistent snapshot at any moment.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from .conftest import aget, apost, make_app, poll_job
+
+
+def job_payload(mig_text: str, kind: str, **params) -> dict:
+    return {
+        "kind": kind,
+        "circuit": mig_text,
+        "format": "mig",
+        "params": params,
+    }
+
+
+class TestCostLoopJobs:
+    def test_lifecycle_and_progress(self, mig_text):
+        app = make_app()
+
+        async def main():
+            submitted = await apost(
+                app,
+                "/jobs",
+                job_payload(mig_text, "cost-loop", effort=1, max_iterations=1),
+            )
+            assert submitted.status == 202
+            body = submitted.json()
+            assert body["job_id"] == "job-1"
+            assert body["deduplicated"] is False
+            return await poll_job(app, body["job_id"])
+
+        snapshot = asyncio.run(main())
+        assert snapshot["state"] == "done"
+        assert snapshot["error"] is None
+        result = snapshot["result"]
+        assert result["iterations"] >= 1
+        assert result["num_instructions"] > 0
+        assert set(result["baseline"]) == set(result["final"])
+        # the audit trail streamed: baseline step + one per candidate
+        assert len(snapshot["progress"]) >= 2
+        assert snapshot["progress"][0]["variant"] == "input"
+        assert all(
+            set(row) == {"iteration", "variant", "accepted", "metrics"}
+            for row in snapshot["progress"]
+        )
+
+
+class TestParetoJobs:
+    def test_lifecycle_and_progress(self, mig_text):
+        app = make_app()
+
+        async def main():
+            submitted = await apost(
+                app,
+                "/jobs",
+                job_payload(mig_text, "pareto", effort=2, max_points=1),
+            )
+            assert submitted.status == 202
+            return await poll_job(app, submitted.json()["job_id"])
+
+        snapshot = asyncio.run(main())
+        assert snapshot["state"] == "done"
+        front = snapshot["result"]
+        assert front["circuit"] == "ctrl"
+        assert len(front["points"]) >= 1
+        assert front["incomplete"] is False
+        # one progress row per computed point (both anchors at minimum)
+        assert len(snapshot["progress"]) >= 2
+        labels = {row["label"] for row in snapshot["progress"]}
+        assert {"size", "depth"} <= labels
+
+
+class TestJobDedup:
+    def test_identical_inflight_submissions_share_a_job(self, mig_text):
+        app = make_app()
+        payload = job_payload(mig_text, "cost-loop", effort=1, max_iterations=1)
+
+        async def main():
+            first = await apost(app, "/jobs", payload)
+            second = await apost(app, "/jobs", payload)
+            done = await poll_job(app, first.json()["job_id"])
+            # finished jobs leave the in-flight table: resubmitting now
+            # creates a fresh job (whose compiles hit the shared cache)
+            third = await apost(app, "/jobs", payload)
+            return first.json(), second.json(), done, third.json()
+
+        first, second, done, third = asyncio.run(main())
+        assert second["job_id"] == first["job_id"]
+        assert second["deduplicated"] is True
+        assert done["state"] == "done"
+        assert third["job_id"] != first["job_id"]
+        assert third["deduplicated"] is False
+        assert app.counters["jobs"] == 2  # two real jobs, one dedup join
+
+    def test_distinct_params_get_distinct_jobs(self, mig_text):
+        app = make_app()
+
+        async def main():
+            a = await apost(
+                app,
+                "/jobs",
+                job_payload(mig_text, "cost-loop", effort=1, max_iterations=1),
+            )
+            b = await apost(
+                app,
+                "/jobs",
+                job_payload(mig_text, "cost-loop", effort=1, max_iterations=2),
+            )
+            ids = (a.json()["job_id"], b.json()["job_id"])
+            for job_id in ids:
+                await poll_job(app, job_id)
+            return ids
+
+        a_id, b_id = asyncio.run(main())
+        assert a_id != b_id
+
+
+class TestJobValidationAndListing:
+    def test_unknown_kind(self, mig_text):
+        response = asyncio.run(
+            apost(make_app(), "/jobs", job_payload(mig_text, "fuzz"))
+        )
+        assert response.status == 400
+        assert response.json()["error"]["code"] == "bad-request"
+
+    def test_unknown_params(self, mig_text):
+        response = asyncio.run(
+            apost(
+                make_app(),
+                "/jobs",
+                job_payload(mig_text, "pareto", bogus=1),
+            )
+        )
+        assert response.status == 400
+
+    def test_missing_job_is_404(self):
+        response = asyncio.run(aget(make_app(), "/jobs/job-99"))
+        assert response.status == 404
+
+    def test_listing(self, mig_text):
+        app = make_app()
+
+        async def main():
+            submitted = await apost(
+                app,
+                "/jobs",
+                job_payload(mig_text, "cost-loop", effort=1, max_iterations=1),
+            )
+            await poll_job(app, submitted.json()["job_id"])
+            return (await aget(app, "/jobs")).json()
+
+        listing = asyncio.run(main())
+        assert listing["jobs"][0]["id"] == "job-1"
+        assert listing["jobs"][0]["state"] == "done"
+        assert listing["jobs"][0]["progress_rows"] >= 1
+
+
+class TestJobTimeout:
+    def test_deadline_fails_the_job_with_structured_error(self, mig_text):
+        app = make_app(job_timeout_s=0.001)
+
+        async def main():
+            submitted = await apost(
+                app,
+                "/jobs",
+                job_payload(mig_text, "cost-loop", effort=1, max_iterations=1),
+            )
+            return await poll_job(app, submitted.json()["job_id"])
+
+        snapshot = asyncio.run(main())
+        assert snapshot["state"] == "failed"
+        assert snapshot["error"]["code"] == "timeout"
+        # a timed-out job's report is frozen: the zombie thread's late
+        # progress appends are dropped by the registry guard
+        assert snapshot["result"] is None

@@ -1,0 +1,177 @@
+"""Protocol vocabulary tests: shapes, validation, golden error bytes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    FORMATS,
+    ProtocolError,
+    Request,
+    canonical_json,
+    compile_options,
+    error_response,
+    options_token,
+    parse_circuit,
+    request_class,
+)
+
+
+class TestCanonicalJson:
+    def test_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": [2, 3]}) == b'{"a":[2,3],"b":1}'
+
+    def test_key_order_invariant(self):
+        # two dicts with different insertion orders → identical bytes —
+        # the property the dedup fan-out and golden tests stand on
+        assert canonical_json({"x": 1, "y": 2}) == canonical_json({"y": 2, "x": 1})
+
+
+class TestRequestJson:
+    def test_parses_object(self):
+        assert Request("POST", "/compile", b'{"a": 1}').json() == {"a": 1}
+
+    @pytest.mark.parametrize(
+        "body", [b"", b"not json", b"[1,2]", b'"string"', b"\xff\xfe"]
+    )
+    def test_rejects_non_object_bodies(self, body):
+        with pytest.raises(ProtocolError) as excinfo:
+            Request("POST", "/compile", body).json()
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "bad-request"
+
+
+class TestErrorGoldenBytes:
+    """Error bodies are part of the wire contract — pinned exactly."""
+
+    def test_plain_error(self):
+        response = error_response(404, "not-found", "no such endpoint: /x")
+        assert response.status == 404
+        assert response.body == (
+            b'{"error":{"code":"not-found","message":"no such endpoint: /x"}}'
+        )
+
+    def test_queue_full_with_retry_after(self):
+        response = error_response(
+            429,
+            "queue-full",
+            "admission queue is full (8 in flight)",
+            headers=(("Retry-After", "1"),),
+            retry_after=1.0,
+        )
+        assert response.headers == (("Retry-After", "1"),)
+        assert response.body == (
+            b'{"error":{"code":"queue-full",'
+            b'"message":"admission queue is full (8 in flight)",'
+            b'"retry_after":1.0}}'
+        )
+
+    def test_protocol_error_round_trip(self):
+        error = ProtocolError(504, "timeout", "deadline exceeded", attempts=2)
+        response = error.response()
+        assert response.status == 504
+        assert response.json() == {
+            "error": {
+                "code": "timeout",
+                "message": "deadline exceeded",
+                "attempts": 2,
+            }
+        }
+
+
+class TestParseCircuit:
+    def test_every_format_parses(self, circuit_payloads, ctrl_mig):
+        fingerprints = {}
+        for fmt, payload in circuit_payloads.items():
+            mig = parse_circuit(payload)
+            assert mig.num_pos == ctrl_mig.num_pos
+            fingerprints[fmt] = mig.fingerprint()
+        # same-format determinism (the dedup identity): parsing twice
+        # gives the same fingerprint
+        again = parse_circuit(circuit_payloads["mig"])
+        assert again.fingerprint() == fingerprints["mig"]
+
+    def test_unknown_format(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_circuit({"circuit": "x", "format": "verilog"})
+        assert excinfo.value.code == "unsupported-format"
+
+    def test_circuit_and_b64_are_exclusive(self, mig_text):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_circuit(
+                {"circuit": mig_text, "circuit_b64": "aGk=", "format": "mig"}
+            )
+        assert excinfo.value.code == "bad-request"
+        with pytest.raises(ProtocolError):
+            parse_circuit({"format": "mig"})
+
+    def test_binary_format_requires_b64(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_circuit({"circuit": "aig 1 1 0 1 0", "format": "aig"})
+        assert excinfo.value.code == "bad-request"
+
+    def test_invalid_base64(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_circuit({"circuit_b64": "!!!", "format": "aig"})
+        assert excinfo.value.code == "bad-request"
+
+    def test_reader_parse_error_is_422(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_circuit({"circuit": "garbage\n", "format": "mig"})
+        assert excinfo.value.status == 422
+        assert excinfo.value.code == "parse-error"
+
+    def test_text_via_b64_allowed_for_ascii_formats(self, mig_text):
+        import base64
+
+        payload = {
+            "circuit_b64": base64.b64encode(mig_text.encode()).decode(),
+            "format": "mig",
+        }
+        assert parse_circuit(payload).fingerprint() == parse_circuit(
+            {"circuit": mig_text, "format": "mig"}
+        ).fingerprint()
+
+    def test_formats_table_matches_cli_readers(self):
+        from repro.cli import READERS
+
+        assert set(FORMATS.values()) == set(READERS)
+
+
+class TestOptionValidation:
+    def test_defaults_fill_in(self):
+        assert compile_options({}) == {
+            "rewrite": True,
+            "effort": 4,
+            "engine": "worklist",
+            "objective": "size",
+        }
+
+    def test_token_is_canonical(self):
+        a = compile_options({"options": {"effort": 2, "objective": "depth"}})
+        b = compile_options({"options": {"objective": "depth", "effort": 2}})
+        assert options_token(a) == options_token(b)
+
+    @pytest.mark.parametrize(
+        "options",
+        [
+            {"effort": 0},
+            {"effort": "high"},
+            {"rewrite": "yes"},
+            {"engine": "magic"},
+            {"objective": "speed"},
+            {"bogus": 1},
+        ],
+    )
+    def test_bad_options_rejected(self, options):
+        with pytest.raises(ProtocolError) as excinfo:
+            compile_options({"options": options})
+        assert excinfo.value.status == 400
+
+    def test_request_class(self):
+        assert request_class({}) == "interactive"
+        assert request_class({"class": "batch"}) == "batch"
+        with pytest.raises(ProtocolError):
+            request_class({"class": "realtime"})

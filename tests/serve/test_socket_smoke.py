@@ -1,0 +1,190 @@
+"""Real-socket smoke tests (marked ``socket``; everything else in this
+suite is in-process by design).
+
+Two layers: the asyncio transport driven through a raw stream client
+(byte-level HTTP framing), and the actual ``plimc serve`` process
+surviving a compile and draining cleanly on SIGTERM.  Environments that
+cannot bind a loopback socket skip rather than fail.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve.protocol import canonical_json
+
+from .conftest import make_app
+
+pytestmark = pytest.mark.socket
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _can_bind() -> bool:
+    try:
+        _free_port()
+        return True
+    except OSError:
+        return False
+
+
+needs_loopback = pytest.mark.skipif(
+    not _can_bind(), reason="cannot bind a loopback socket here"
+)
+
+
+async def _raw_http(port: int, method: str, path: str, body: bytes = b"") -> tuple:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: 127.0.0.1\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Content-Type: application/json\r\n\r\n"
+    )
+    writer.write(head.encode() + body)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    header_blob, _, payload = raw.partition(b"\r\n\r\n")
+    lines = header_blob.split(b"\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, payload
+
+
+class TestInProcessSocket:
+    @needs_loopback
+    def test_framing_round_trip(self, circuit_payloads):
+        from repro.serve.http import serve
+
+        app = make_app()
+        body = canonical_json(circuit_payloads["mig"])
+
+        async def main():
+            server = await serve(app, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                health = await _raw_http(port, "GET", "/healthz")
+                compiled = await _raw_http(port, "POST", "/compile", body)
+                missing = await _raw_http(port, "GET", "/nope")
+            finally:
+                server.close()
+                await server.wait_closed()
+            return health, compiled, missing
+
+        health, compiled, missing = asyncio.run(main())
+        status, headers, payload = health
+        assert status == 200
+        assert headers["content-type"] == "application/json"
+        assert int(headers["content-length"]) == len(payload)
+        assert json.loads(payload) == {"draining": False, "status": "ok"}
+        status, headers, payload = compiled
+        assert status == 200
+        record = json.loads(payload)
+        assert record["num_instructions"] > 0
+        assert missing[0] == 404
+
+    @needs_loopback
+    def test_malformed_request_line_is_400(self):
+        from repro.serve.http import serve
+
+        app = make_app()
+
+        async def main():
+            server = await serve(app, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                writer.write(b"BOGUS\r\n\r\n")
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                server.close()
+                await server.wait_closed()
+            return raw
+
+        raw = asyncio.run(main())
+        assert raw.startswith(b"HTTP/1.1 400 ")
+
+
+class TestServeProcess:
+    @needs_loopback
+    def test_compile_then_sigterm_drains_clean(self, circuit_payloads, tmp_path):
+        port = _free_port()
+        env = dict(os.environ)
+        repo_src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--port",
+                str(port),
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ],
+            env=env,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                try:
+                    probe = socket.create_connection(
+                        ("127.0.0.1", port), timeout=0.2
+                    )
+                    probe.close()
+                    break
+                except OSError:
+                    if proc.poll() is not None:
+                        pytest.fail(
+                            f"server died early: {proc.stderr.read()}"
+                        )
+                    time.sleep(0.1)
+            else:
+                pytest.fail("server never started listening")
+
+            import urllib.request
+
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/compile",
+                data=canonical_json(circuit_payloads["mig"]),
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=60) as response:
+                record = json.loads(response.read())
+            assert response.status == 200
+            assert record["num_instructions"] > 0
+
+            proc.send_signal(signal.SIGTERM)
+            returncode = proc.wait(timeout=30)
+            assert returncode == 0  # the graceful-drain contract
+            stderr = proc.stderr.read()
+            assert "draining" in stderr and "drained" in stderr
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)

@@ -494,3 +494,96 @@ class TestConcurrentWriters:
         losing one must never corrupt the store or crash a writer."""
         self._run_writers(tmp_path / "capped", 1_500)
         self._assert_store_healthy(tmp_path / "capped")
+
+
+class TestStatsSnapshotConsistency:
+    """The atomic counter snapshot behind ``plimc cache stats --json``
+    and ``GET /cache/stats``: derived numbers must stay internally
+    consistent no matter how many threads are bumping counters or
+    trimming concurrently (hits can never exceed lookups)."""
+
+    def test_snapshot_is_internally_consistent_under_load(self, tmp_path):
+        import threading
+        import time
+
+        cache = SynthesisCache(tmp_path / "c")
+        mig = random_mig(17, num_gates=4)
+        stop = threading.Event()
+        failures = []
+
+        def hammer(seed):
+            # lookups racing trim() must degrade to misses or stale hits,
+            # never raise (the LRU recency bump can lose to an eviction)
+            i = 0
+            while not stop.is_set():
+                fp = f"fp-{seed}-{i % 7}"
+                try:
+                    if cache.get_rewrite(fp, f"opts{seed}") is None:
+                        cache.put_rewrite(fp, f"opts{seed}", mig)
+                except Exception as exc:  # noqa: BLE001
+                    failures.append(("hammer", repr(exc)))
+                    return
+                i += 1
+
+        def trimmer():
+            while not stop.is_set():
+                cache.trim(512)
+
+        def snapshotter():
+            while not stop.is_set():
+                snap = cache.stats.snapshot()
+                if snap["hits"] > snap["lookups"]:
+                    failures.append(snap)
+                if snap["lookups"] != snap["hits"] + snap["misses"]:
+                    failures.append(snap)
+                if not (0.0 <= snap["hit_rate"] <= 1.0):
+                    failures.append(snap)
+
+        threads = [
+            threading.Thread(target=hammer, args=(0,)),
+            threading.Thread(target=hammer, args=(1,)),
+            threading.Thread(target=trimmer),
+            threading.Thread(target=snapshotter),
+            threading.Thread(target=snapshotter),
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.5)
+        stop.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert not failures, failures[:3]
+        final = cache.stats.snapshot()
+        assert final["lookups"] == final["hits"] + final["misses"]
+        assert final["hits"] <= final["lookups"]
+
+    def test_snapshot_matches_to_dict(self, tmp_path):
+        cache = SynthesisCache(tmp_path / "c")
+        mig = random_mig(18, num_gates=4)
+        cache.put_rewrite("fp", "opts", mig)
+        cache.get_rewrite("fp", "opts")
+        cache.get_rewrite("missing", "opts")
+        snap = cache.stats.snapshot()
+        assert snap["hits"] == 1 and snap["misses"] == 1
+        assert snap["lookups"] == 2
+        assert snap["hit_rate"] == 0.5
+        # to_dict keeps the legacy raw-counter schema: the exact
+        # snapshot values minus the derived fields (one code path)
+        assert cache.stats.to_dict() == {
+            k: snap[k]
+            for k in ("hits", "misses", "stores", "errors", "evictions")
+        }
+
+    def test_server_snapshot_reuses_cache_snapshot(self, tmp_path):
+        # the full stats_snapshot shape served by CLI --json and the
+        # serve endpoint
+        cache = SynthesisCache(tmp_path / "c", max_bytes=10_000)
+        snapshot = cache.stats_snapshot()
+        assert snapshot["cache_dir"] == str(tmp_path / "c")
+        assert snapshot["max_bytes"] == 10_000
+        assert snapshot["read_only"] is False
+        assert set(snapshot["counters"]) == {
+            "hits", "misses", "stores", "errors", "evictions",
+            "lookups", "hit_rate",
+        }
+        assert set(snapshot["memory"]) == {"entries", "bytes"}

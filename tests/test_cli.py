@@ -210,7 +210,7 @@ class TestCacheCommands:
         assert "cleared" in capsys.readouterr().out
         assert main(["cache", "stats", cache_dir]) == 0
         out = capsys.readouterr().out
-        assert "rewrites       0 entries" in out
+        assert "rewrites          0 entries" in out
 
 
 class TestNewCompileFlags:
