@@ -83,9 +83,13 @@ class ServerConfig:
     ``queue_limit`` are shed with 429.  ``pooled`` routes every compile
     through a supervised worker process (the only way ``timeout_s``
     deadlines can actually kill a runaway compile — inline threads are
-    uncancellable in CPython).  ``fault_plan`` injects deterministic
-    faults into the ``"compile"`` phase (task index 0 of each request) —
-    the test harness's crash/timeout lever.
+    uncancellable in CPython).  ``read_timeout_s`` is the socket
+    transport's deadline for receiving one full request (stalled
+    clients get 408 instead of holding a connection task forever);
+    ``max_finished_jobs`` caps how many done/failed job records the
+    registry retains.  ``fault_plan`` injects deterministic faults into
+    the ``"compile"`` phase (task index 0 of each request) — the test
+    harness's crash/timeout lever.
     """
 
     workers: int = 2
@@ -93,10 +97,12 @@ class ServerConfig:
     queue_limit: int = 8
     request_timeout_s: Optional[float] = None
     job_timeout_s: Optional[float] = None
+    read_timeout_s: Optional[float] = 10.0
     retry_after_s: float = 1.0
     retry_backoff_s: float = 0.05
     batch_retries: int = 1
     max_body_bytes: int = 4 * 1024 * 1024
+    max_finished_jobs: int = 256
     cache_dir: Optional[str] = None
     cache_max_bytes: Optional[int] = None
     fault_plan: Optional[FaultPlan] = None
@@ -107,6 +113,10 @@ class ServerConfig:
         if self.queue_limit < 1:
             raise ReproError(
                 f"queue_limit must be >= 1, got {self.queue_limit!r}"
+            )
+        if self.max_finished_jobs < 0:
+            raise ReproError(
+                f"max_finished_jobs must be >= 0, got {self.max_finished_jobs!r}"
             )
 
 
@@ -126,7 +136,7 @@ class PlimServer:
             self.cache = SynthesisCache(
                 self.config.cache_dir, max_bytes=self.config.cache_max_bytes
             )
-        self.jobs = JobRegistry()
+        self.jobs = JobRegistry(max_finished=self.config.max_finished_jobs)
         self.dedup = DedupTable()
         self.counters = {
             "requests": 0,
@@ -227,9 +237,12 @@ class PlimServer:
         payload = request.json()
         klass = protocol.request_class(payload)
         options = protocol.compile_options(payload)
-        mig = await asyncio.to_thread(protocol.parse_circuit, payload)
-        fingerprint = await asyncio.to_thread(mig.fingerprint)
-        key = f"{fingerprint}|{protocol.options_token(options)}"
+        # the join MUST happen synchronously (no await between reading
+        # the payload and joining): an executor hop here lets a fast
+        # leader resolve and vacate the key before later identical
+        # requests join, splitting one burst into several compiles —
+        # hence the raw-payload key; only the leader parses/fingerprints
+        key = protocol.dedup_key(payload, options)
         leader, future = self.dedup.join(key)
         if not leader:
             self.counters["collapsed"] += 1
@@ -237,9 +250,12 @@ class PlimServer:
             return Response(status, body, headers)
         # resolve unconditionally — a leader that leaves followers hanging
         # is worse than any error, so even a cancelled/crashed leader
-        # publishes *something* to its dedup group
+        # publishes *something* to its dedup group (parse errors fan out
+        # to followers exactly like compile errors)
         triple = None
         try:
+            mig = await asyncio.to_thread(protocol.parse_circuit, payload)
+            fingerprint = await asyncio.to_thread(mig.fingerprint)
             triple = await self._compile_leader(mig, fingerprint, options, klass)
         except ProtocolError as error:
             response = error.response()

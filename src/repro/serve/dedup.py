@@ -3,10 +3,16 @@
 When N identical compile requests arrive concurrently, exactly one
 (the *leader*) runs the compile; the other N-1 (*followers*) await the
 leader's finished ``(status, headers, body)`` triple and return it
-verbatim — byte-identical responses, one compile.  Identity is the
-circuit's content fingerprint plus the normalized options token, so two
-*different* circuits (or the same circuit under different options) can
-never cross-talk.
+verbatim — byte-identical responses, one compile.  Identity is a hash
+of the raw circuit payload plus the normalized options token
+(:func:`~repro.serve.protocol.dedup_key`) — computable *synchronously*
+on the event loop, which is what makes burst collapse deterministic:
+every request of a gathered burst joins the table before the leader's
+first suspension point, so a fast leader can never resolve and vacate
+the key ahead of its own followers.  Two *different* circuits (or the
+same circuit under different options) can never cross-talk; the same
+circuit in two different encodings forms two groups, and the
+fingerprint-keyed cache unifies those across requests instead.
 
 This is distinct from the cache: the cache answers *repeat* requests
 after the first finishes; dedup collapses *concurrent* ones while the

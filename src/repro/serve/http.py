@@ -4,7 +4,9 @@ Deliberately minimal — no external HTTP framework exists in this
 environment, and the protocol surface is small enough that a hand-rolled
 request reader is the *simpler* dependency.  Scope: one JSON request per
 connection (``Connection: close`` on every response), request line +
-headers + ``Content-Length`` body, hard caps on line/body sizes.  All
+headers + ``Content-Length`` body, hard caps on line/body sizes, and a
+read deadline (``ServerConfig.read_timeout_s`` → 408) so a stalled or
+silent client can't pin a connection task open indefinitely.  All
 actual behavior lives in :class:`~repro.serve.app.PlimServer`; this
 module only moves bytes, which is why the tier-1 harness skips it
 entirely and the real-socket smoke test (marked ``socket``) covers the
@@ -43,7 +45,22 @@ async def handle_connection(
 ) -> None:
     """Read one HTTP request, run it through the app, write the response."""
     try:
-        request, framing_error = await _read_request(app, reader)
+        # the read deadline is the slow-loris guard: admission control
+        # only applies after a full request is parsed, so without it a
+        # client that connects and trickles (or sends nothing) would
+        # pin this task open forever
+        try:
+            request, framing_error = await asyncio.wait_for(
+                _read_request(app, reader),
+                timeout=app.config.read_timeout_s,
+            )
+        except asyncio.TimeoutError:
+            request, framing_error = None, error_response(
+                408,
+                "request-timeout",
+                f"request not received within "
+                f"{app.config.read_timeout_s:g}s",
+            )
         if framing_error is not None:
             response = framing_error
         else:
@@ -75,7 +92,10 @@ async def _read_request(app, reader):
     method, path = parts[0], parts[1]
     headers: dict = {}
     for _ in range(_MAX_HEADERS + 1):
-        line = await reader.readuntil(b"\r\n")
+        try:
+            line = await reader.readuntil(b"\r\n")
+        except asyncio.LimitOverrunError:
+            return None, error_response(400, "bad-request", "headers too large")
         if line in (b"\r\n", b"\n"):
             break
         if len(line) > _MAX_LINE or len(headers) >= _MAX_HEADERS:

@@ -15,6 +15,12 @@ that readers never see a row mid-append.
 In-flight dedup mirrors the compile path: a second submission of the
 same ``(kind, fingerprint, params)`` while the first is still running
 returns the *same* job id instead of spawning a duplicate sweep.
+
+Finished records don't accumulate forever: the registry retains the
+most recent ``max_finished`` done/failed jobs and evicts older ones
+(their ids answer 404 afterwards) — a server that runs until SIGTERM
+must not grow memory per job served.  Queued/running jobs are never
+evicted regardless of the cap.
 """
 
 from __future__ import annotations
@@ -46,11 +52,12 @@ class Job:
 class JobRegistry:
     """Thread-safe job table with in-flight dedup by job key."""
 
-    def __init__(self):
+    def __init__(self, max_finished: int = 256):
         self._lock = threading.Lock()
         self._jobs: dict[str, Job] = {}
         self._inflight: dict[str, str] = {}
         self._next = 0
+        self._max_finished = max_finished
 
     def submit(self, kind: str, key: str) -> tuple[Job, bool]:
         """Create a job, or join the in-flight one with the same key.
@@ -104,6 +111,7 @@ class JobRegistry:
             job.result = dict(result)
             job.seconds = time.time() - job.created
             self._inflight.pop(job.key, None)
+            self._evict_finished_locked()
 
     def fail(self, job_id: str, error: dict) -> None:
         with self._lock:
@@ -114,6 +122,22 @@ class JobRegistry:
             job.error = dict(error)
             job.seconds = time.time() - job.created
             self._inflight.pop(job.key, None)
+            self._evict_finished_locked()
+
+    def _evict_finished_locked(self) -> None:
+        """Drop the oldest done/failed records past ``max_finished``.
+
+        Insertion order of ``_jobs`` is submission order and ids are
+        never reused, so "oldest" is simply the front of the dict;
+        queued/running jobs are skipped (pinned) no matter their age.
+        """
+        finished = [
+            job.id
+            for job in self._jobs.values()
+            if job.state in ("done", "failed")
+        ]
+        for job_id in finished[: max(0, len(finished) - self._max_finished)]:
+            del self._jobs[job_id]
 
     def active_count(self) -> int:
         """Jobs still queued or running (the drain gate counts these)."""

@@ -26,6 +26,7 @@ Error codes → HTTP status:
 ``parse-error``    422
 ``task-error``     422
 ``queue-full``     429 (+ ``Retry-After`` header)
+``request-timeout``    408
 ``internal-error`` 500
 ``worker-crash``   502
 ``draining``       503
@@ -39,6 +40,7 @@ from __future__ import annotations
 
 import base64
 import binascii
+import hashlib
 import io
 import json
 from dataclasses import dataclass, field
@@ -56,6 +58,7 @@ STATUS_REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     413: "Payload Too Large",
     422: "Unprocessable Entity",
     429: "Too Many Requests",
@@ -278,7 +281,11 @@ def compile_options(payload: dict) -> dict:
     }
     if not isinstance(normalized["rewrite"], bool):
         raise ProtocolError(400, "bad-request", "'rewrite' must be a boolean")
-    if not isinstance(normalized["effort"], int) or normalized["effort"] < 1:
+    if (
+        not isinstance(normalized["effort"], int)
+        or isinstance(normalized["effort"], bool)  # bool passes isinstance(int)
+        or normalized["effort"] < 1
+    ):
         raise ProtocolError(400, "bad-request", "'effort' must be an integer >= 1")
     if normalized["engine"] not in ENGINES:
         raise ProtocolError(
@@ -301,3 +308,30 @@ def compile_options(payload: dict) -> dict:
 def options_token(options: dict) -> str:
     """The canonical string identity of a normalized options dict."""
     return canonical_json(options).decode("ascii")
+
+
+def dedup_key(payload: dict, options: dict) -> str:
+    """The in-flight dedup identity of a compile request.
+
+    Derived purely from the raw payload (format + exact circuit text or
+    base64) plus the normalized options token — no parsing, no hashing
+    of graph structure — so the app can join the dedup table
+    *synchronously* on the event loop.  That synchrony is load-bearing:
+    any await between reading the payload and joining would let a fast
+    leader resolve and vacate the key before later identical requests
+    join, silently splitting one burst into several compiles.
+
+    The trade against the old fingerprint key: textually-different
+    encodings of the same circuit (``aag`` vs ``aig``, whitespace
+    variants) form separate dedup groups — but the fingerprint-keyed
+    *cache* still unifies those across requests, so only truly
+    concurrent mixed-encoding bursts pay a duplicate compile.
+    """
+    material = canonical_json(
+        {
+            "format": payload.get("format", "mig"),
+            "circuit": payload.get("circuit"),
+            "circuit_b64": payload.get("circuit_b64"),
+        }
+    )
+    return f"{hashlib.sha256(material).hexdigest()}|{options_token(options)}"

@@ -56,25 +56,15 @@ def post(app: PlimServer, path: str, obj=None, body: bytes = b"") -> Response:
 
 
 def run_concurrent(coro):
-    """``asyncio.run`` with a wide thread executor.
+    """``asyncio.run`` for the concurrency suites.
 
-    Concurrency tests fire many requests at once; each request does its
-    parse/fingerprint/compile legs on the loop's default executor.  With
-    the default (cpu-bound) worker count, a long compile can starve the
-    *parse* legs of later identical requests past the leader's
-    completion, turning intended dedup followers into fresh leaders —
-    a timing artifact, not a protocol behavior.  A wide executor keeps
-    the cheap legs instant so the dedup assertions are deterministic.
+    Dedup joins happen *synchronously* on the event loop (the raw-payload
+    key needs no executor hop), so burst collapse is structurally
+    deterministic under any executor sizing — no wide-executor workaround
+    is needed, and these tests must keep passing on the stock loop
+    configuration precisely because determinism is the contract.
     """
-    from concurrent.futures import ThreadPoolExecutor
-
-    async def wrapper():
-        asyncio.get_running_loop().set_default_executor(
-            ThreadPoolExecutor(max_workers=32)
-        )
-        return await coro
-
-    return asyncio.run(wrapper())
+    return asyncio.run(coro)
 
 
 async def poll_job(app: PlimServer, job_id: str, timeout_s: float = 60.0) -> dict:

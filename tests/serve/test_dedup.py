@@ -51,6 +51,69 @@ class TestIdenticalCollapse:
         assert app.counters["compiles"] == 1
 
 
+class TestSynchronousJoin:
+    """The join happens before any await — pinned via its observable
+    consequences: parse errors share a group, and the collapse counts
+    hold under repeated bursts with no executor-sizing assistance."""
+
+    def test_parse_error_fans_out_to_followers(self):
+        # followers join on the raw payload before the leader parses, so
+        # an unparseable burst costs one parse and one structured 422,
+        # fanned out byte-identical — not five independent parses
+        app = make_app(workers=2, queue_limit=32)
+        payload = {"circuit": "garbage\n", "format": "mig"}
+
+        async def main():
+            return await asyncio.gather(
+                *[apost(app, "/compile", payload) for _ in range(5)]
+            )
+
+        responses = run_concurrent(main())
+        assert [r.status for r in responses] == [422] * 5
+        assert app.dedup.leaders == 1
+        assert app.dedup.collapsed == 4
+        assert len({r.body for r in responses}) == 1
+        assert responses[0].json()["error"]["code"] == "parse-error"
+
+    def test_collapse_is_deterministic_across_bursts(self, circuit_payloads):
+        # the regression this suite exists for: burst collapse must not
+        # depend on executor scheduling.  Every burst — cold or warm —
+        # yields exactly one leader; the compile count never exceeds one.
+        app = make_app(workers=2, queue_limit=32)
+        payload = circuit_payloads["mig"]
+
+        for burst in range(1, 4):
+            async def main():
+                return await asyncio.gather(
+                    *[apost(app, "/compile", payload) for _ in range(8)]
+                )
+
+            responses = run_concurrent(main())
+            assert all(r.status == 200 for r in responses)
+            assert len({r.body for r in responses}) == 1
+            assert app.counters["compiles"] == 1
+            assert app.dedup.leaders == burst
+            assert app.dedup.collapsed == burst * 7
+
+    def test_textual_variants_get_separate_groups(self, circuit_payloads):
+        # dedup identity is the exact payload: the same circuit with a
+        # trailing blank line is a different group (the fingerprint-keyed
+        # cache, not the dedup table, unifies semantic duplicates)
+        app = make_app(workers=2, queue_limit=32)
+        a = circuit_payloads["mig"]
+        b = {"circuit": a["circuit"] + "\n", "format": "mig"}
+
+        async def main():
+            return await asyncio.gather(
+                apost(app, "/compile", a), apost(app, "/compile", b)
+            )
+
+        responses = run_concurrent(main())
+        assert [r.status for r in responses] == [200, 200]
+        assert app.dedup.leaders == 2
+        assert app.dedup.collapsed == 0
+
+
 class TestNoCrossTalk:
     def test_distinct_circuits_compile_separately(
         self, circuit_payloads, other_mig_text

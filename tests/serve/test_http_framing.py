@@ -1,0 +1,111 @@
+"""Hostile-input framing guards, testable without a socket.
+
+``handle_connection`` consumes an ``asyncio.StreamReader`` and a
+duck-typed writer — neither needs a real transport — so the paths a
+polite client never exercises (over-long lines, stalled reads) are
+pinned here in tier-1.  The happy-path byte framing stays with the
+``socket``-marked smoke tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serve.http import _MAX_LINE, handle_connection
+
+from .conftest import make_app
+
+
+class RecordingWriter:
+    """The slice of StreamWriter the connection handler touches."""
+
+    def __init__(self):
+        self.chunks: list[bytes] = []
+        self.closed = False
+
+    def write(self, data: bytes) -> None:
+        self.chunks.append(data)
+
+    async def drain(self) -> None:
+        pass
+
+    def close(self) -> None:
+        self.closed = True
+
+    async def wait_closed(self) -> None:
+        pass
+
+    @property
+    def data(self) -> bytes:
+        return b"".join(self.chunks)
+
+
+def _drive(app, feed: bytes, *, eof: bool = True) -> RecordingWriter:
+    """Run one connection over canned client bytes; return the writer."""
+
+    async def main():
+        reader = asyncio.StreamReader(limit=_MAX_LINE)
+        if feed:
+            reader.feed_data(feed)
+        if eof:
+            reader.feed_eof()
+        writer = RecordingWriter()
+        await handle_connection(app, reader, writer)
+        return writer
+
+    return asyncio.run(main())
+
+
+class TestOversizedLines:
+    def test_overlong_request_line_is_400(self):
+        writer = _drive(make_app(), b"A" * (2 * _MAX_LINE), eof=False)
+        assert writer.data.startswith(b"HTTP/1.1 400 ")
+        assert b"request line too long" in writer.data
+        assert writer.closed
+
+    def test_overlong_header_line_is_400(self):
+        # the header readuntil raises LimitOverrunError just like the
+        # request line's; both must come back as a structured 400, never
+        # an unhandled exception killing the connection task silently
+        feed = (
+            b"GET /healthz HTTP/1.1\r\n"
+            + b"X-Junk: " + b"a" * (2 * _MAX_LINE) + b"\r\n\r\n"
+        )
+        writer = _drive(make_app(), feed)
+        assert writer.data.startswith(b"HTTP/1.1 400 ")
+        assert b"headers too large" in writer.data
+        assert writer.closed
+
+
+class TestReadDeadline:
+    def test_silent_client_gets_408(self):
+        # connect-and-say-nothing: without the deadline this handler
+        # would await readuntil forever (admission control only kicks in
+        # after a request is parsed — the classic slow-loris hole)
+        writer = _drive(make_app(read_timeout_s=0.05), b"", eof=False)
+        assert writer.data.startswith(b"HTTP/1.1 408 ")
+        assert b'"code":"request-timeout"' in writer.data
+        assert writer.closed
+
+    def test_trickled_headers_hit_the_same_deadline(self):
+        # a request line alone, never finished: the deadline covers the
+        # whole read, not just the first byte
+        writer = _drive(
+            make_app(read_timeout_s=0.05),
+            b"GET /healthz HTTP/1.1\r\n",
+            eof=False,
+        )
+        assert writer.data.startswith(b"HTTP/1.1 408 ")
+
+    def test_default_config_has_a_finite_deadline(self):
+        # the guard only exists if it is on by default — None would
+        # reopen the slow-loris hole for every stock deployment
+        assert make_app().config.read_timeout_s is not None
+
+    def test_complete_request_unaffected_by_deadline(self):
+        writer = _drive(
+            make_app(read_timeout_s=5.0),
+            b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n",
+        )
+        assert writer.data.startswith(b"HTTP/1.1 200 ")
+        assert b'"status":"ok"' in writer.data

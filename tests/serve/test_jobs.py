@@ -167,6 +167,68 @@ class TestJobValidationAndListing:
         assert listing["jobs"][0]["progress_rows"] >= 1
 
 
+class TestFinishedJobRetention:
+    def test_registry_evicts_oldest_finished(self):
+        from repro.serve.jobs import JobRegistry
+
+        registry = JobRegistry(max_finished=2)
+        ids = []
+        for index in range(4):
+            job, created = registry.submit("pareto", f"key-{index}")
+            assert created
+            registry.start(job.id)
+            registry.finish(job.id, {"n": index})
+            ids.append(job.id)
+        # the two oldest finished records are gone, the newest two remain
+        assert registry.get(ids[0]) is None and registry.snapshot(ids[0]) is None
+        assert registry.get(ids[1]) is None
+        assert [s["id"] for s in registry.summaries()] == ids[2:]
+
+    def test_running_jobs_never_evicted(self):
+        from repro.serve.jobs import JobRegistry
+
+        registry = JobRegistry(max_finished=1)
+        pinned, _ = registry.submit("pareto", "key-pinned")
+        registry.start(pinned.id)
+        for index in range(3):
+            job, _ = registry.submit("pareto", f"key-{index}")
+            registry.start(job.id)
+            registry.fail(job.id, {"code": "internal-error", "message": "x"})
+        # the running job predates every finished one yet survives the cap
+        assert registry.get(pinned.id) is not None
+        assert registry.active_count() == 1
+        assert sum(1 for s in registry.summaries() if s["state"] == "failed") == 1
+
+    def test_evicted_job_is_404_end_to_end(self, mig_text):
+        # a long-lived server must not grow memory per job served; the
+        # price is that ancient job ids stop resolving — pinned here so
+        # the 404 is a documented contract, not an accident
+        app = make_app(max_finished_jobs=1)
+
+        async def main():
+            first = await apost(
+                app,
+                "/jobs",
+                job_payload(mig_text, "cost-loop", effort=1, max_iterations=1),
+            )
+            first_id = first.json()["job_id"]
+            await poll_job(app, first_id)
+            second = await apost(
+                app,
+                "/jobs",
+                job_payload(mig_text, "cost-loop", effort=1, max_iterations=2),
+            )
+            second_id = second.json()["job_id"]
+            await poll_job(app, second_id)
+            return first_id, second_id, (await aget(app, f"/jobs/{first_id}"))
+
+        first_id, second_id, stale = asyncio.run(main())
+        assert first_id != second_id
+        assert stale.status == 404
+        listing = asyncio.run(aget(app, "/jobs")).json()
+        assert [j["id"] for j in listing["jobs"]] == [second_id]
+
+
 class TestJobTimeout:
     def test_deadline_fails_the_job_with_structured_error(self, mig_text):
         app = make_app(job_timeout_s=0.001)

@@ -12,6 +12,7 @@ from repro.serve.protocol import (
     Request,
     canonical_json,
     compile_options,
+    dedup_key,
     error_response,
     options_token,
     parse_circuit,
@@ -159,6 +160,10 @@ class TestOptionValidation:
         [
             {"effort": 0},
             {"effort": "high"},
+            # bool sneaks through a bare isinstance(int) check — it must
+            # not validate (nor mint a "true" options token distinct
+            # from 1 that flows into RewriteOptions as a bool)
+            {"effort": True},
             {"rewrite": "yes"},
             {"engine": "magic"},
             {"objective": "speed"},
@@ -175,3 +180,34 @@ class TestOptionValidation:
         assert request_class({"class": "batch"}) == "batch"
         with pytest.raises(ProtocolError):
             request_class({"class": "realtime"})
+
+
+class TestDedupKey:
+    """The raw-payload dedup identity — synchronous by construction."""
+
+    def test_identical_payloads_share_a_key(self, mig_text):
+        options = compile_options({})
+        a = dedup_key({"circuit": mig_text, "format": "mig"}, options)
+        # irrelevant payload fields (class, options spelled elsewhere)
+        # don't perturb the key; the options dict does
+        b = dedup_key(
+            {"circuit": mig_text, "format": "mig", "class": "batch"}, options
+        )
+        assert a == b
+
+    def test_distinct_text_or_options_split(self, mig_text):
+        base = compile_options({})
+        depth = compile_options({"options": {"objective": "depth"}})
+        key = dedup_key({"circuit": mig_text, "format": "mig"}, base)
+        assert key != dedup_key(
+            {"circuit": mig_text + "\n", "format": "mig"}, base
+        )
+        assert key != dedup_key({"circuit": mig_text, "format": "mig"}, depth)
+        assert key != dedup_key({"circuit": mig_text, "format": "blif"}, base)
+
+    def test_key_needs_no_parse(self):
+        # garbage circuits still key fine — the whole point is that the
+        # join can happen before (and regardless of) parsing
+        options = compile_options({})
+        key = dedup_key({"circuit": "garbage\n", "format": "mig"}, options)
+        assert key == dedup_key({"circuit": "garbage\n", "format": "mig"}, options)
