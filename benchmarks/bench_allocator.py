@@ -1,9 +1,10 @@
 """Allocator-policy/endurance ablation (X3) and polarity accounting (X4).
 
-X3 quantifies §4.2.3's endurance argument: FIFO reuse spreads programming
-pulses evenly over the work cells (low peak wear), LIFO concentrates them,
-FRESH trades cells for minimal wear.  Wear numbers come from actually
-executing the compiled programs on the machine model.
+X3 quantifies §4.2.3's endurance argument: recycling (FIFO/LIFO) reuses
+the same work cells — same cell count and total pulse count, with the
+recycling order shifting which cells take the peak wear — while FRESH
+trades many more cells for minimal per-cell wear.  Wear numbers come
+from actually executing the compiled programs on the machine model.
 """
 
 import pytest
@@ -25,10 +26,21 @@ def test_allocator_policies(benchmark, name, scale):
         }
         for p in points
     }
-    # Endurance claims: FRESH has the most cells and the least peak wear;
-    # FIFO never wears a single cell more than LIFO does.
+    # Endurance claims that hold at every scale: FRESH trades cells for
+    # peak wear (most cells, never more peak wear than either recycling
+    # policy), while FIFO and LIFO only change the recycling *order* —
+    # same cell count, same total pulse count, different wear profile.
+    # (Which of the two has the lower peak flips per circuit/scale, so
+    # it is recorded in extra_info rather than asserted.)
     assert by_policy["fresh"].rrams >= by_policy["fifo"].rrams
-    assert by_policy["fifo"].wear.max_writes <= by_policy["lifo"].wear.max_writes
+    recycled_peaks = (
+        by_policy["fifo"].wear.max_writes, by_policy["lifo"].wear.max_writes,
+    )
+    assert by_policy["fresh"].wear.max_writes <= min(recycled_peaks)
+    assert by_policy["fifo"].rrams == by_policy["lifo"].rrams
+    assert (
+        by_policy["fifo"].wear.total_writes == by_policy["lifo"].wear.total_writes
+    )
 
 
 @pytest.mark.parametrize("name", ["priority", "int2float"])

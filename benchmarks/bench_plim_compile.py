@@ -1,0 +1,260 @@
+"""Array-fast Algorithm 2 benches: compile speedup, kernels, cost-loop.
+
+The compiler carries two complete translation engines —
+``CompilerOptions(implementation="fast")`` (raw child encodings, flat
+program columns, lazy comments) and ``"object"``, the original
+Signal/dict path kept verbatim as the differential oracle.  Run directly
+(``python benchmarks/bench_plim_compile.py [--scale ci]``) this bench is
+the acceptance gate of that split:
+
+* every registry circuit is compiled by both engines under both
+  allocator policies *and* the naïve baseline, and the ``.plim`` texts
+  must be **byte-identical** (the recorded justification for not bumping
+  ``ALGORITHM_REVISION``: a bit-identical engine swap keeps cached
+  entries valid, exactly like the PR 6 array-core swap);
+* the end-to-end ``PlimCompiler.compile`` speedup (aggregate over the
+  registry, best-of-``--repeats`` per engine) must meet ``--min-speedup``
+  (default 3x) or the script **exits nonzero**;
+* machine throughput is recorded for all three kernels (object
+  interpreter, compiled plan, chunked-numpy where available), plus the
+  ``CompiledPlim.measure`` latency and the ``compile_cost_loop``
+  wall-clock under each engine — the downstream loops the fast path
+  exists to accelerate.
+
+Results land in ``BENCH_plim_compile.json`` next to this file.
+"""
+
+import random
+from dataclasses import replace
+
+try:
+    import pytest
+except ModuleNotFoundError:  # standalone snapshot mode needs no pytest
+    pytest = None
+
+from repro.circuits.registry import BENCHMARK_NAMES, benchmark_info
+from repro.core.compiler import CompilerOptions, PlimCompiler
+
+REPRESENTATIVE = ["voter", "router"]
+
+#: the option sets whose outputs the gate pins byte-identical
+IDENTITY_CONFIGS = {
+    "fifo": CompilerOptions(allocator_policy="fifo"),
+    "lifo": CompilerOptions(allocator_policy="lifo"),
+    "naive": CompilerOptions.naive(),
+}
+
+
+def _compile_text(mig, options: CompilerOptions, implementation: str) -> str:
+    opts = replace(options, implementation=implementation)
+    return PlimCompiler(opts).compile(mig).to_text()
+
+
+def _best_of(repeats: int, fn) -> float:
+    from time import perf_counter
+
+    best = None
+    for _ in range(repeats):
+        start = perf_counter()
+        fn()
+        elapsed = perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+if pytest is not None:
+
+    @pytest.mark.parametrize("name", REPRESENTATIVE)
+    def test_compile_fast_throughput(benchmark, name, scale):
+        mig = benchmark_info(name).build(scale)
+        options = CompilerOptions(implementation="fast")
+        program = benchmark(lambda: PlimCompiler(options).compile(mig))
+        gates = program.num_instructions  # proxy floor; exact below
+        oracle_s = _best_of(
+            1, lambda: PlimCompiler(
+                CompilerOptions(implementation="object")
+            ).compile(mig)
+        )
+        mean = benchmark.stats.stats.mean
+        benchmark.extra_info.update(
+            {
+                "scale": scale,
+                "num_instructions": program.num_instructions,
+                "num_rrams": program.num_rrams,
+                "oracle_seconds": round(oracle_s, 6),
+                "speedup_vs_oracle": round(oracle_s / mean, 2),
+            }
+        )
+        assert gates > 0
+
+    @pytest.mark.parametrize("name", REPRESENTATIVE)
+    def test_fast_is_byte_identical(benchmark, name, scale):
+        mig = benchmark_info(name).build(scale)
+        fast_text = benchmark(
+            lambda: _compile_text(mig, IDENTITY_CONFIGS["fifo"], "fast")
+        )
+        assert fast_text == _compile_text(mig, IDENTITY_CONFIGS["fifo"], "object")
+
+
+# ----------------------------------------------------------------------
+# standalone mode: the acceptance gate (BENCH_plim_compile.json)
+# ----------------------------------------------------------------------
+
+
+def _machine_kernels(program, pi_names) -> dict:
+    """M-instructions/second of every kernel on one compiled program."""
+    from time import perf_counter
+
+    from repro.plim import machine as machine_mod
+    from repro.plim.machine import PlimMachine
+
+    rng = random.Random(11)
+    rates = {}
+    plans = (
+        ("object", 1),
+        ("plan", 1),
+        ("numpy", machine_mod._NUMPY_MIN_WIDTH),
+    )
+    for kernel, width in plans:
+        if kernel == "numpy" and machine_mod._np is None:
+            rates["numpy"] = None
+            continue
+        mask = (1 << width) - 1
+        inputs = {n: rng.randrange(0, 1 << width) & mask for n in program.input_cells}
+        runs = 0
+        start = perf_counter()
+        while perf_counter() - start < 0.2:
+            machine = PlimMachine.for_program(program, width=width, kernel=kernel)
+            machine.run_program(program, inputs)
+            runs += 1
+        elapsed = perf_counter() - start
+        # the numpy kernel evaluates `width` lanes per instruction, so its
+        # M-instr/s is not lane-comparable to the scalar kernels — record
+        # the width alongside the rate
+        rates[kernel] = {
+            "minstr_per_s": round(program.num_instructions * runs / elapsed / 1e6, 3),
+            "width": width,
+        }
+    return rates
+
+
+def main(argv=None) -> int:
+    """Gate the fast engine: 18/18 byte-identical programs and the
+    aggregate compile speedup, recorded in BENCH_plim_compile.json."""
+    import time
+
+    import _common
+
+    parser = _common.snapshot_parser(
+        main.__doc__, __file__, "BENCH_plim_compile.json"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing runs per engine per circuit; best-of wins (default 3)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=3.0,
+        help="required aggregate fast-vs-object compile speedup (default 3.0)",
+    )
+    args = parser.parse_args(argv)
+
+    wall_start = time.perf_counter()
+    circuits = []
+    total_fast = total_object = 0.0
+    identical = 0
+    for name in BENCHMARK_NAMES:
+        mig = benchmark_info(name).build(args.scale)
+        for config, options in IDENTITY_CONFIGS.items():
+            fast_text = _compile_text(mig, options, "fast")
+            oracle_text = _compile_text(mig, options, "object")
+            assert fast_text == oracle_text, (
+                f"{name}/{config}: fast and object programs differ — "
+                f"the engines must stay byte-identical"
+            )
+        identical += 1
+
+        fast_s = _best_of(
+            args.repeats,
+            lambda: PlimCompiler(CompilerOptions(implementation="fast")).compile(mig),
+        )
+        object_s = _best_of(
+            args.repeats,
+            lambda: PlimCompiler(CompilerOptions(implementation="object")).compile(mig),
+        )
+        total_fast += fast_s
+        total_object += object_s
+        gates = mig.cleanup()[0].num_gates
+        circuits.append(
+            {
+                "name": name,
+                "gates": gates,
+                "fast_seconds": round(fast_s, 6),
+                "object_seconds": round(object_s, 6),
+                "speedup": round(object_s / fast_s, 2),
+                "fast_us_per_gate": round(fast_s * 1e6 / max(gates, 1), 2),
+            }
+        )
+        print(
+            f"{name:12s} fast {fast_s * 1e3:7.2f}ms  object {object_s * 1e3:7.2f}ms  "
+            f"x{object_s / fast_s:.2f}"
+        )
+
+    aggregate = total_object / total_fast
+
+    # downstream consumers: kernels, measure latency, the cost loop
+    from repro.core.cost import CompiledPlim
+    from repro.core.rewriting import compile_cost_loop
+
+    kernel_mig = benchmark_info("voter").build(args.scale)
+    kernel_program = PlimCompiler().compile(kernel_mig)
+    kernels = _machine_kernels(kernel_program, kernel_mig.pi_names())
+
+    measure_latency = {}
+    for implementation in ("fast", "object"):
+        model = CompiledPlim(implementation=implementation)
+        start = time.perf_counter()
+        model.measure(kernel_mig)
+        measure_latency[implementation] = round(time.perf_counter() - start, 6)
+
+    cost_loop_seconds = {}
+    loop_mig = benchmark_info("priority").build(args.scale)
+    for implementation in ("fast", "object"):
+        model = CompiledPlim(implementation=implementation)
+        start = time.perf_counter()
+        compile_cost_loop(loop_mig, objective=model, effort=2, max_iterations=2)
+        cost_loop_seconds[implementation] = round(time.perf_counter() - start, 4)
+
+    report_meta = {
+        "scale": args.scale,
+        "repeats": args.repeats,
+        "identical_circuits": identical,
+        "identity_configs": sorted(IDENTITY_CONFIGS),
+        "aggregate_speedup": round(aggregate, 2),
+        "min_speedup": args.min_speedup,
+        "machine_minstr_per_s": kernels,
+        "compiled_plim_measure_seconds": measure_latency,
+        "cost_loop_seconds": cost_loop_seconds,
+    }
+    _common.write_snapshot(
+        args.output,
+        "plim_compile",
+        circuits,
+        time.perf_counter() - wall_start,
+        **report_meta,
+    )
+    print(
+        f"aggregate speedup x{aggregate:.2f} "
+        f"({identical}/{len(BENCHMARK_NAMES)} circuits byte-identical "
+        f"across {len(IDENTITY_CONFIGS)} option sets)"
+    )
+    if aggregate < args.min_speedup:
+        print(
+            f"FAIL: aggregate compile speedup x{aggregate:.2f} is below the "
+            f"x{args.min_speedup} gate"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,6 +40,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from repro._version import __version__
@@ -184,11 +185,29 @@ def _cmd_compile(args) -> int:
         f"{program.num_instructions} instructions, {program.num_rrams} work RRAMs",
         file=sys.stderr,
     )
+    verify_failed = False
     if args.verify:
+        start = time.perf_counter()
         check = verify_program(result.compiled_mig, program)
+        result.verify_seconds = time.perf_counter() - start
         print(f"verification ({check.mode}): {'OK' if check.ok else 'FAILED'}", file=sys.stderr)
-        if not check.ok:
-            return 1
+        verify_failed = not check.ok
+    if args.json:
+        record = {
+            "circuit": mig.name or args.circuit,
+            "num_gates": result.num_gates,
+            "num_instructions": program.num_instructions,
+            "num_rrams": program.num_rrams,
+            "rewrite_seconds": result.rewrite_seconds,
+            "schedule_seconds": result.schedule_seconds,
+            "translate_seconds": result.translate_seconds,
+            "verify_seconds": result.verify_seconds,
+        }
+        if args.verify:
+            record["verified"] = not verify_failed
+        print(json.dumps(record, indent=2))
+    if verify_failed:
+        return 1
     if args.listing:
         print(program.listing())
     if args.emit_verilog:
@@ -197,7 +216,7 @@ def _cmd_compile(args) -> int:
     if args.output:
         Path(args.output).write_text(program.to_text(), encoding="utf-8")
         print(f"wrote {args.output}", file=sys.stderr)
-    elif not args.listing:
+    elif not args.listing and not args.json:
         print(program.to_text(), end="")
     return 0
 
@@ -544,6 +563,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--naive", action="store_true", help="use the naive baseline translator")
     p.add_argument("--listing", action="store_true", help="print the paper-style listing")
     p.add_argument("--verify", action="store_true", help="verify against the MIG on the machine model")
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print a JSON record (counts + per-stage seconds: rewrite/"
+        "schedule/translate/verify) to stdout instead of the program text",
+    )
     p.add_argument(
         "--paper-outputs",
         action="store_true",

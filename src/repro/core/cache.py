@@ -19,6 +19,11 @@ recomputation:
   text + compiled ``.plim`` program + the (#N, #I, #R) counts), keyed on
   ``(fingerprint, RewriteOptions, CompilerOptions)`` — what a
   ``plimc serve`` warm hit returns without recomputing Algorithm 2.
+* **measurements** — :class:`~repro.core.cost.CostReport` results of
+  expensive cost models (:class:`~repro.core.cost.CompiledPlim`), keyed
+  on ``(fingerprint, repr(model))`` — the guided rewriting drivers and
+  ``compile_cost_loop`` measure hundreds of candidate graphs, many of
+  them structurally repeated across iterations and runs.
 
 The cache is in-memory by default; give it a ``cache_dir`` and every
 entry is also persisted to disk (atomic ``os.replace`` writes), so
@@ -84,11 +89,13 @@ from repro.mig.io_mig import read_mig, write_mig
 REWRITE_KIND = "rewrites"
 FRONT_KIND = "fronts"
 COMPILATION_KIND = "compilations"
+MEASUREMENT_KIND = "measurements"
 
 _EXTENSIONS = {
     REWRITE_KIND: ".mig",
     FRONT_KIND: ".json",
     COMPILATION_KIND: ".json",
+    MEASUREMENT_KIND: ".json",
 }
 
 #: prefix of in-flight atomic-write temp files (never valid entries)
@@ -283,6 +290,18 @@ class SynthesisCache:
         return hashlib.sha256(token.encode("utf-8")).hexdigest()
 
     @staticmethod
+    def measurement_key(fingerprint: str, model) -> str:
+        """Content address of one ``(input, cost model)`` measurement.
+
+        Cost models are frozen dataclasses, so ``repr(model)`` is a
+        canonical token; the salt folds in ``ALGORITHM_REVISION``, so a
+        report measured by older compiler/machine semantics never
+        answers for the current ones.
+        """
+        token = f"measurement{_KEY_SALT}|{fingerprint}|{model!r}"
+        return hashlib.sha256(token.encode("utf-8")).hexdigest()
+
+    @staticmethod
     def compilation_key(fingerprint: str, rewrite_options, compiler_options) -> str:
         """Content address of one whole compilation (Algorithm 1 + 2).
 
@@ -366,6 +385,27 @@ class SynthesisCache:
             return
         self._put(
             COMPILATION_KIND, key, dict(record), json.dumps(record, sort_keys=True)
+        )
+
+    # ------------------------------------------------------------------
+    # cost-model measurements (CompiledPlim / StaticPlim reports)
+    # ------------------------------------------------------------------
+
+    def get_measurement(self, fingerprint: str, model):
+        """The cached :class:`~repro.core.cost.CostReport` of measuring
+        ``fingerprint`` under ``model``, or ``None``.
+
+        Reports are frozen; hits return the shared instance.
+        """
+        return self._get(MEASUREMENT_KIND, self.measurement_key(fingerprint, model))
+
+    def put_measurement(self, fingerprint: str, model, report) -> None:
+        """Store one cost-model measurement (no-op when the entry exists)."""
+        key = self.measurement_key(fingerprint, model)
+        if (MEASUREMENT_KIND, key) in self._mem:
+            return
+        self._put(
+            MEASUREMENT_KIND, key, report, json.dumps(report.to_dict(), sort_keys=True)
         )
 
     # ------------------------------------------------------------------
@@ -674,6 +714,12 @@ def _deserialize(kind: str, text: str):
         if not isinstance(record, dict):
             raise ValueError("compilation entry is not a JSON object")
         return record
+    if kind == MEASUREMENT_KIND:
+        # Local import: cost imports nothing from here, but keep symmetry
+        # with the front branch and the module import-light.
+        from repro.core.cost import CostReport
+
+        return CostReport.from_dict(json.loads(text))
     raise ValueError(f"unknown cache entry kind {kind!r}")
 
 

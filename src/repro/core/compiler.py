@@ -19,15 +19,18 @@ configuration and the baselines used in the evaluation:
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, replace
+from time import perf_counter
 from typing import Optional
 
 from repro.core.allocator import POLICIES, RramAllocator
-from repro.core.schedule import make_scheduler
+from repro.core.schedule import make_scheduler, make_scheduler_fast
 from repro.core.translate import CONSUMED, TranslationState, translate_node
+from repro.core.translate_fast import FastTranslationState, translate_node_fast
 from repro.errors import CompilationError
 from repro.mig.context import AnalysisContext
-from repro.mig.graph import Mig
+from repro.mig.graph import _GATE, Mig
 from repro.plim.program import Program
 
 
@@ -38,6 +41,7 @@ def _program_cost(program: Program) -> tuple[int, int]:
 
 SCHEDULING_MODES = ("priority", "index")
 OPERAND_MODES = ("cases", "child_order")
+IMPLEMENTATIONS = ("fast", "object")
 
 
 @dataclass(frozen=True)
@@ -76,6 +80,12 @@ class CompilerOptions:
     #: e.g., a limited number of RRAMs").  Infeasible budgets raise
     #: CompilationError.
     max_work_cells: "Optional[int]" = None
+    #: which Algorithm 2 engine runs: "fast" (default) works on raw child
+    #: encodings with array-backed per-node state and lazy comments;
+    #: "object" is the original Signal/dict/Operand path, kept verbatim as
+    #: the differential oracle.  Both emit byte-identical programs
+    #: (tests/test_compile_fast_differential.py, BENCH_plim_compile.json).
+    implementation: str = "fast"
 
     @classmethod
     def paper_selection(cls, **overrides) -> "CompilerOptions":
@@ -103,6 +113,11 @@ class CompilerOptions:
                 f"unknown reorder mode {self.reorder!r}; "
                 "expected 'none', 'dfs', or 'best'"
             )
+        if self.implementation not in IMPLEMENTATIONS:
+            raise CompilationError(
+                f"unknown implementation {self.implementation!r}; "
+                f"expected one of {IMPLEMENTATIONS}"
+            )
 
     @classmethod
     def naive(cls, **overrides) -> "CompilerOptions":
@@ -127,6 +142,18 @@ class PlimCompiler:
 
     def __init__(self, options: Optional[CompilerOptions] = None):
         self.options = options if options is not None else CompilerOptions()
+        self._timings = {"schedule_seconds": 0.0, "translate_seconds": 0.0}
+
+    @property
+    def last_timings(self) -> dict[str, float]:
+        """Per-stage wall-clock of the most recent :meth:`compile` call.
+
+        ``schedule_seconds`` covers graph preparation (cleanup, reorder,
+        cached analyses) plus candidate-scheduler construction;
+        ``translate_seconds`` covers the translation loop and output
+        fix-up.  With ``reorder="best"`` both compilations are included.
+        """
+        return dict(self._timings)
 
     def compile(self, mig: Mig, context: Optional[AnalysisContext] = None) -> Program:
         """Translate ``mig`` into an executable :class:`Program`.
@@ -136,19 +163,116 @@ class PlimCompiler:
         analyses — cleanup, DFS reorder, parents, levels, use counts — are
         computed once and shared across all of them.
         """
+        self._timings = {"schedule_seconds": 0.0, "translate_seconds": 0.0}
+        start = perf_counter()
         ctx = AnalysisContext.of(mig, context)
         if self.options.clean:
             ctx = ctx.cleaned()
+        if self.options.reorder in ("dfs", "best"):
+            dfs_ctx = ctx.reordered_dfs()
+        self._timings["schedule_seconds"] += perf_counter() - start
         if self.options.reorder == "dfs":
-            return self._compile_ordered(ctx.reordered_dfs())
+            return self._compile_ordered(dfs_ctx)
         if self.options.reorder == "best":
             as_given = self._compile_ordered(ctx)
-            dfs = self._compile_ordered(ctx.reordered_dfs())
+            dfs = self._compile_ordered(dfs_ctx)
             return dfs if _program_cost(dfs) < _program_cost(as_given) else as_given
         return self._compile_ordered(ctx)
 
     def _compile_ordered(self, ctx: AnalysisContext) -> Program:
         """Run Algorithm 2 on an MIG whose node order is final."""
+        # The fast engine reads the flat-array internals of Mig; duck-typed
+        # graphs without them (e.g. the DictMig reference implementation)
+        # always take the object path.
+        if self.options.implementation == "fast" and hasattr(ctx.mig, "_kind"):
+            return self._compile_ordered_fast(ctx)
+        return self._compile_ordered_object(ctx)
+
+    def _compile_ordered_fast(self, ctx: AnalysisContext) -> Program:
+        """The encoding-level Algorithm 2 loop (same schedule, flat state)."""
+        start = perf_counter()
+        mig = ctx.mig
+        program = Program(
+            input_cells={name: i for i, name in enumerate(mig.pi_names())},
+            name=mig.name,
+        )
+        allocator = RramAllocator(
+            first_address=mig.num_pis, policy=self.options.allocator_policy
+        )
+        state = FastTranslationState(
+            ctx,
+            program,
+            allocator,
+            complement_caching=self.options.complement_caching,
+            max_work_cells=self.options.max_work_cells,
+        )
+        naive = self.options.operand_selection == "child_order"
+
+        parents = ctx.parents
+        n = len(mig)
+        ca, cb, cc = mig._ca, mig._cb, mig._cc
+        kind = mig._kind
+        computed = bytearray(n)
+        computed[0] = 1
+        for pi in mig.pis():
+            computed[pi.node] = 1
+        pending = array("q", [0]) * n
+        gate_order = ctx.gate_order
+        for v in gate_order:
+            pending[v] = (
+                (not computed[ca[v] >> 1])
+                + (not computed[cb[v] >> 1])
+                + (not computed[cc[v] >> 1])
+            )
+        scheduler = make_scheduler_fast(self.options, ctx, state, pending)
+        push = scheduler.push
+        for v in gate_order:
+            if not pending[v]:
+                push(v)
+        self._timings["schedule_seconds"] += perf_counter() - start
+
+        start = perf_counter()
+        translated = 0
+        remaining = state.remaining
+        pop = scheduler.pop
+        refresh = scheduler.refresh
+        while len(scheduler):
+            v = pop()
+            translate_node_fast(state, v, naive=naive)
+            computed[v] = 1
+            translated += 1
+            for parent in parents[v]:
+                p = pending[parent] - 1
+                pending[parent] = p
+                if p == 0:
+                    push(parent)
+                elif p == 1:
+                    # The last missing child of `parent` just became more
+                    # attractive (unblocking rule) — re-rank it if queued.
+                    for e in (ca[parent], cb[parent], cc[parent]):
+                        sibling = e >> 1
+                        if not computed[sibling] and sibling in scheduler:
+                            refresh(sibling)
+            # A child whose remaining uses just dropped to 1 raises the
+            # releasing count of its still-queued consumers.
+            for e in (ca[v], cb[v], cc[v]):
+                child = e >> 1
+                if kind[child] == _GATE and remaining[child] == 1:
+                    for consumer in parents[child]:
+                        if consumer in scheduler:
+                            refresh(consumer)
+        if translated != mig.num_gates:
+            raise CompilationError(
+                f"translated {translated} of {mig.num_gates} gates — cyclic or broken MIG"
+            )
+
+        self._finalize_outputs_fast(mig, state, program)
+        self._timings["translate_seconds"] += perf_counter() - start
+        return program
+
+    def _compile_ordered_object(self, ctx: AnalysisContext) -> Program:
+        """The original object-path loop — the differential oracle."""
+        start = perf_counter()
         mig = ctx.mig
         program = Program(
             input_cells={name: i for i, name in enumerate(mig.pi_names())},
@@ -180,7 +304,9 @@ class PlimCompiler:
         for v in ctx.gate_order:
             if pending_children[v] == 0:
                 scheduler.push(v)
+        self._timings["schedule_seconds"] += perf_counter() - start
 
+        start = perf_counter()
         translated = 0
         while len(scheduler):
             v = scheduler.pop()
@@ -210,9 +336,31 @@ class PlimCompiler:
             )
 
         self._finalize_outputs(mig, state, program)
+        self._timings["translate_seconds"] += perf_counter() - start
         return program
 
     # ------------------------------------------------------------------
+
+    def _finalize_outputs_fast(
+        self, mig: Mig, state: FastTranslationState, program: Program
+    ) -> None:
+        """Encoding-level twin of :meth:`_finalize_outputs`."""
+        for po, name in zip(mig.pos(), mig.po_names()):
+            if po.is_const:
+                address = state.alloc()
+                state.emit_set_const(address, po.const_value, target=name)
+                program.set_output(name, address)
+                continue
+            if po.inverted and self.options.fix_output_polarity:
+                address = state.materialize_complement(po.node)
+                program.set_output(name, address, inverted=False)
+                continue
+            address = state.value_cell[po.node]
+            if address < 0:  # never computed, or consumed by a parent
+                raise CompilationError(
+                    f"output {name!r} refers to node {po.node} whose cell was lost"
+                )
+            program.set_output(name, address, inverted=po.inverted)
 
     def _finalize_outputs(self, mig: Mig, state: TranslationState, program: Program) -> None:
         """Record (and, in honest mode, fix up) every output's location."""

@@ -36,7 +36,7 @@ the process-pool seams.  Resolve string aliases with
 
     >>> from repro.core.cost import resolve_cost_model
     >>> resolve_cost_model("plim")
-    CompiledPlim(paper_accounting=True, allocator_policy='fifo', input_seed=7)
+    CompiledPlim(paper_accounting=True, allocator_policy='fifo', input_seed=7, implementation='fast')
     >>> resolve_cost_model("size").name
     'size'
 """
@@ -44,7 +44,7 @@ the process-pool seams.  Resolve string aliases with
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 from repro.errors import ReproError
@@ -201,6 +201,26 @@ class CostReport:
     def get(self, name: str, default=None):
         return self.metrics.get(name, default)
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (the ``"measurements"`` cache serialization)."""
+        return {
+            "model": self.model,
+            "metrics": dict(self.metrics),
+            "objective": list(self.objective),
+            "wear": asdict(self.wear) if self.wear is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CostReport":
+        """Inverse of :meth:`to_dict` (objective back to a tuple)."""
+        wear = data.get("wear")
+        return cls(
+            model=data["model"],
+            metrics=dict(data["metrics"]),
+            objective=tuple(data["objective"]),
+            wear=EnduranceReport(**wear) if wear is not None else None,
+        )
+
 
 class CostModel:
     """Protocol of a rewriting objective (subclass the frozen dataclasses).
@@ -220,12 +240,28 @@ class CostModel:
     #: "size" | "depth" | "guided" — see class docstring
     strategy: str = "guided"
 
-    def measure(self, mig: Mig, *, context: "Optional[AnalysisContext]" = None) -> CostReport:
+    def measure(
+        self,
+        mig: Mig,
+        *,
+        context: "Optional[AnalysisContext]" = None,
+        cache=None,
+    ) -> CostReport:
+        """Measure ``mig``.  ``cache`` is an optional
+        :class:`~repro.core.cache.SynthesisCache`; models whose
+        measurement is expensive (:class:`CompiledPlim`) memoize reports
+        under its ``"measurements"`` kind, cheap models ignore it."""
         raise NotImplementedError
 
-    def objective_key(self, mig: Mig, *, context: "Optional[AnalysisContext]" = None) -> tuple:
+    def objective_key(
+        self,
+        mig: Mig,
+        *,
+        context: "Optional[AnalysisContext]" = None,
+        cache=None,
+    ) -> tuple:
         """The orderable scalarization of :meth:`measure` (lower is better)."""
-        return self.measure(mig, context=context).objective
+        return self.measure(mig, context=context, cache=cache).objective
 
 
 @dataclass(frozen=True)
@@ -236,7 +272,7 @@ class NodeCount(CostModel):
     name = "size"
     strategy = "size"
 
-    def measure(self, mig: Mig, *, context=None) -> CostReport:
+    def measure(self, mig: Mig, *, context=None, cache=None) -> CostReport:
         num_gates = mig.num_gates
         d = mig_depth(mig)
         return CostReport(
@@ -253,7 +289,7 @@ class Depth(CostModel):
     name = "depth"
     strategy = "depth"
 
-    def measure(self, mig: Mig, *, context=None) -> CostReport:
+    def measure(self, mig: Mig, *, context=None, cache=None) -> CostReport:
         num_gates = mig.num_gates
         d = mig_depth(mig)
         return CostReport(
@@ -277,7 +313,7 @@ class StaticPlim(CostModel):
 
     po_negation_cost: int = 0
 
-    def measure(self, mig: Mig, *, context=None) -> CostReport:
+    def measure(self, mig: Mig, *, context=None, cache=None) -> CostReport:
         instructions = estimate_instructions(mig, self.po_negation_cost)
         extra_rrams = estimate_extra_rrams(mig)
         num_gates = mig.num_gates
@@ -312,7 +348,18 @@ class CompiledPlim(CostModel):
     :meth:`~repro.mig.graph.Mig.fingerprint` on the model instance —
     the guided drivers re-measure unchanged candidates for free.  The
     memo is excluded from ``repr``/equality (cache identity) and dropped
-    on pickle (workers re-measure rather than ship reports).
+    on pickle (workers re-measure rather than ship reports).  Pass a
+    :class:`~repro.core.cache.SynthesisCache` to :meth:`measure` and the
+    report is additionally memoized under the cache's ``"measurements"``
+    kind — keyed on fingerprint + model repr (salted with
+    ``ALGORITHM_REVISION``) — so repeated cost loops over one circuit
+    family skip the compile-and-execute entirely, across processes when
+    the cache is disk-backed.
+
+    ``implementation`` selects the Algorithm 2 engine being measured;
+    both emit byte-identical programs, so it only changes measurement
+    *speed* — but it reaches the repr (cache identity) like every other
+    field, so entries measured under different engines never alias.
     """
 
     name = "plim"
@@ -321,6 +368,7 @@ class CompiledPlim(CostModel):
     paper_accounting: bool = True
     allocator_policy: str = "fifo"
     input_seed: int = 7
+    implementation: str = "fast"
     _memo: dict = field(default_factory=dict, repr=False, compare=False)
 
     def __getstate__(self):
@@ -328,11 +376,16 @@ class CompiledPlim(CostModel):
         state["_memo"] = {}
         return state
 
-    def measure(self, mig: Mig, *, context=None) -> CostReport:
+    def measure(self, mig: Mig, *, context=None, cache=None) -> CostReport:
         fingerprint = mig.fingerprint()
         hit = self._memo.get(fingerprint)
         if hit is not None:
             return hit
+        if cache is not None:
+            cached = cache.get_measurement(fingerprint, self)
+            if cached is not None:
+                self._memo[fingerprint] = cached
+                return cached
         from repro.core.compiler import PlimCompiler
 
         program = PlimCompiler(self.compiler_options()).compile(mig, context=context)
@@ -357,6 +410,8 @@ class CompiledPlim(CostModel):
             wear=wear,
         )
         self._memo[fingerprint] = report
+        if cache is not None:
+            cache.put_measurement(fingerprint, self, report)
         return report
 
     def compiler_options(self):
@@ -368,6 +423,7 @@ class CompiledPlim(CostModel):
         return CompilerOptions(
             fix_output_polarity=not self.paper_accounting,
             allocator_policy=self.allocator_policy,
+            implementation=self.implementation,
         )
 
 

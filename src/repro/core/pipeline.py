@@ -15,6 +15,7 @@ exact option sets used (for reproducibility of the evaluation harness).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Optional
 
 from repro.core.cache import SynthesisCache
@@ -28,13 +29,27 @@ from repro.plim.program import Program
 
 @dataclass
 class CompileResult:
-    """Everything produced by one compilation pipeline run."""
+    """Everything produced by one compilation pipeline run.
+
+    The ``*_seconds`` fields are per-stage wall-clock of this run:
+    ``rewrite_seconds`` covers Algorithm 1 (0.0 when rewriting is off or
+    answered by the cache's stored result in negligible time — the timer
+    still measures the lookup), ``schedule_seconds`` graph preparation
+    plus candidate-scheduler construction, ``translate_seconds`` the
+    Algorithm 2 translation loop, and ``verify_seconds`` is filled in by
+    callers that run :func:`repro.plim.verify.verify_program` on the
+    result (0.0 otherwise).
+    """
 
     program: Program
     source_mig: Mig
     compiled_mig: Mig
     compiler_options: CompilerOptions
     rewrite_options: Optional[RewriteOptions]
+    rewrite_seconds: float = 0.0
+    schedule_seconds: float = 0.0
+    translate_seconds: float = 0.0
+    verify_seconds: float = 0.0
 
     @property
     def num_instructions(self) -> int:
@@ -113,6 +128,7 @@ def compile_mig(
     copts = compiler_options if compiler_options is not None else CompilerOptions()
     ropts: Optional[RewriteOptions] = None
     compiled = mig
+    rewrite_seconds = 0.0
     if rewrite:
         if rewrite_options is not None:
             ropts = rewrite_options
@@ -124,13 +140,20 @@ def compile_mig(
                 engine=engine,
                 objective=objective,
             )
+        start = perf_counter()
         compiled = rewrite_for_plim(mig, ropts, cache=cache)
+        rewrite_seconds = perf_counter() - start
         context = None
-    program = PlimCompiler(copts).compile(compiled, context=context)
+    compiler = PlimCompiler(copts)
+    program = compiler.compile(compiled, context=context)
+    timings = compiler.last_timings
     return CompileResult(
         program=program,
         source_mig=mig,
         compiled_mig=compiled,
         compiler_options=copts,
         rewrite_options=ropts,
+        rewrite_seconds=rewrite_seconds,
+        schedule_seconds=timings["schedule_seconds"],
+        translate_seconds=timings["translate_seconds"],
     )

@@ -790,7 +790,7 @@ def _guided_search(
     """
     current = mig if mig.is_append_clean() else mig.rebuild()[0]
     best = current
-    report = model.measure(best)
+    report = model.measure(best, cache=cache)
     best_key = report.objective
     steps: list[CostLoopStep] = [
         CostLoopStep(0, "input", True, dict(report.metrics))
@@ -804,7 +804,7 @@ def _guided_search(
         improved = False
         for variant, vopts in _guided_variants(opts):
             candidate = rewrite_for_plim(best, vopts, cache=cache)
-            report = model.measure(candidate)
+            report = model.measure(candidate, cache=cache)
             accepted = report.objective < best_key
             steps.append(
                 CostLoopStep(rounds, variant, accepted, dict(report.metrics))
@@ -851,9 +851,10 @@ def compile_cost_loop(
     the selection criterion, and repeat until no rewriting strategy
     improves the measured cost (or ``max_iterations`` rounds elapse — the
     bounded iteration budget).  ``effort`` is each inner rewrite's
-    Algorithm 1 cycle count; ``cache`` memoizes the inner rewrites and the
-    model memoizes measurements per fingerprint, so converged loops are
-    cheap to re-run.
+    Algorithm 1 cycle count; ``cache`` memoizes the inner rewrites *and*
+    the cost-model measurements (the ``"measurements"`` cache kind, on
+    top of the model's own per-fingerprint memo), so converged loops are
+    cheap to re-run — across processes when the cache is disk-backed.
 
     The final program is compiled under ``compiler_options`` when given,
     else under the model's own accounting
@@ -890,7 +891,7 @@ def compile_cost_loop(
         else:
             copts = CompilerOptions(fix_output_polarity=False)
     program = PlimCompiler(copts).compile(best)
-    final = model.measure(best)
+    final = model.measure(best, cache=cache)
     return CostLoopResult(
         mig=best,
         program=program,

@@ -187,6 +187,70 @@ def make_scheduler(options, context, state, pending_children) -> "Scheduler":
     return PriorityScheduler(key_fn)
 
 
+def make_scheduler_fast(options, context, state, pending_children) -> "Scheduler":
+    """Array-fast twin of :func:`make_scheduler`: same order, cheaper keys.
+
+    ``state`` is a :class:`~repro.core.translate_fast.FastTranslationState`
+    (remaining uses in a flat ``array('q')``) and ``pending_children`` an
+    array indexed by node id; the key function reads raw child encodings
+    instead of building :class:`~repro.mig.signal.Signal` objects.  With the
+    level rule off (the default) every :class:`CandidateKey` has
+    ``min_parent_level == max_parent_level == 0``, so its comparator
+    degenerates to ``(-releasing, -unblocks, index)`` — the key function
+    returns exactly that tuple, which sorts identically at a fraction of
+    the cost (keys of the two kinds never meet in one heap).  With the
+    level rule on, the oracle's :class:`CandidateKey` is used unchanged.
+    """
+    if options.scheduling == "index":
+        return IndexScheduler()
+
+    from repro.mig.graph import _GATE  # local: keep module import-light
+
+    mig = context.mig
+    parents = context.parents
+    remaining = state.remaining
+    ca, cb, cc = mig._ca, mig._cb, mig._cc
+    kind = mig._kind
+    use_unblocks = options.unblocking_rule
+
+    if options.level_rule:
+        node_levels = context.levels
+        po_fed: set[int] = {po.node for po in mig.pos() if not po.is_const}
+
+        def level_key_fn(node: int) -> CandidateKey:
+            releasing = 0
+            for e in (ca[node], cb[node], cc[node]):
+                child = e >> 1
+                if kind[child] == _GATE and remaining[child] == 1:
+                    releasing += 1
+            unblocks = 0
+            if use_unblocks:
+                for p in parents[node]:
+                    if pending_children[p] == 1:
+                        unblocks += 1
+            parent_levels = [node_levels[p] for p in parents[node]]
+            if node in po_fed:
+                parent_levels.append(node_levels[node] + 1)
+            return make_key(node, releasing, parent_levels, unblocks)
+
+        return PriorityScheduler(level_key_fn)
+
+    def key_fn(node: int) -> tuple[int, int, int]:
+        releasing = 0
+        for e in (ca[node], cb[node], cc[node]):
+            child = e >> 1
+            if kind[child] == _GATE and remaining[child] == 1:
+                releasing += 1
+        unblocks = 0
+        if use_unblocks:
+            for p in parents[node]:
+                if pending_children[p] == 1:
+                    unblocks += 1
+        return (-releasing, -unblocks, node)
+
+    return PriorityScheduler(key_fn)
+
+
 def make_key(
     node: int,
     releasing_children: int,

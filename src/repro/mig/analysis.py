@@ -22,8 +22,11 @@ def levels(mig: Mig) -> dict[int, int]:
     result = {0: 0}
     for pi in mig.pis():
         result[pi.node] = 0
+    ca, cb, cc = mig._ca, mig._cb, mig._cc
     for v in mig.topo_gates():
-        result[v] = 1 + max(result[c.node] for c in mig.children(v))
+        result[v] = 1 + max(
+            result[ca[v] >> 1], result[cb[v] >> 1], result[cc[v] >> 1]
+        )
     return result
 
 
@@ -47,9 +50,11 @@ def depth(mig: Mig) -> int:
 def fanout_counts(mig: Mig) -> dict[int, int]:
     """Number of reader edges per node (gate children + primary outputs)."""
     counts = {v: 0 for v in mig.nodes()}
+    ca, cb, cc = mig._ca, mig._cb, mig._cc
     for v in mig.gates():
-        for child in mig.children(v):
-            counts[child.node] += 1
+        counts[ca[v] >> 1] += 1
+        counts[cb[v] >> 1] += 1
+        counts[cc[v] >> 1] += 1
     for po in mig.pos():
         counts[po.node] += 1
     return counts
@@ -58,9 +63,11 @@ def fanout_counts(mig: Mig) -> dict[int, int]:
 def parents_of(mig: Mig) -> dict[int, list[int]]:
     """Gate parents of every node (a parent appears once per child edge)."""
     parents: dict[int, list[int]] = {v: [] for v in mig.nodes()}
+    ca, cb, cc = mig._ca, mig._cb, mig._cc
     for v in mig.gates():
-        for child in mig.children(v):
-            parents[child.node].append(v)
+        parents[ca[v] >> 1].append(v)
+        parents[cb[v] >> 1].append(v)
+        parents[cc[v] >> 1].append(v)
     return parents
 
 
@@ -73,10 +80,11 @@ def use_counts(mig: Mig) -> dict[int, int]:
     constants never occupy a work cell.
     """
     uses = {v: 0 for v in mig.nodes()}
+    ca, cb, cc = mig._ca, mig._cb, mig._cc
     for v in mig.gates():
-        for child in mig.children(v):
-            if not child.is_const:
-                uses[child.node] += 1
+        for e in (ca[v], cb[v], cc[v]):
+            if e >= 2:
+                uses[e >> 1] += 1
     for po in mig.pos():
         if not po.is_const:
             uses[po.node] += 1

@@ -217,11 +217,28 @@ class Mig:
             simplified = self._simplify_triple(a, b, c)
             if simplified is not None:
                 return simplified
-        ea, eb, ec = int(a), int(b), int(c)
+        return Signal(self._add_gate_enc(int(a), int(b), int(c)))
+
+    def add_maj_enc(self, ea: int, eb: int, ec: int, *, simplify: bool = True) -> int:
+        """Encoding-level :meth:`add_maj`: child encodings in, encoding out.
+
+        Identical simplify → strash → append behavior, minus the
+        :class:`Signal` wrapping and validity checks — the hot entry for
+        trusted bulk builders (:meth:`rebuild`, the reorder passes).
+        Callers must pass encodings of live nodes of *this* graph.
+        """
+        if simplify:
+            simplified = self._simplify_enc(ea, eb, ec)
+            if simplified >= 0:
+                return simplified
+        return self._add_gate_enc(ea, eb, ec)
+
+    def _add_gate_enc(self, ea: int, eb: int, ec: int) -> int:
+        """Strash-or-append of one gate; returns its plain encoding."""
         key = self._pack_key(ea, eb, ec)
         existing = self._strash.get(key)
         if existing is not None:
-            return Signal.make(existing)
+            return existing << 1
         index = self._new_slot(_GATE, ea, eb, ec)
         self._strash[key] = index
         if self._refs is not None:
@@ -238,7 +255,7 @@ class Mig:
             self._levels.append(
                 1 + max(levels[ea >> 1], levels[eb >> 1], levels[ec >> 1])
             )
-        return Signal.make(index)
+        return index << 1
 
     def add_po(self, signal: Signal, name: Optional[str] = None) -> int:
         """Register ``signal`` as a primary output; returns the PO index."""
@@ -996,6 +1013,24 @@ class Mig:
             mapping[node] = new.add_pi(name)
         live = self._live_set() if not keep_dead else None
         ca, cb, cc = self._ca, self._cb, self._cc
+        if gate_fn is None:
+            # Hot path (cleanup): carry the map as raw encodings and append
+            # through add_maj_enc — same simplify/strash decisions, no
+            # Signal churn per gate.
+            enc_map: dict[int, int] = {n: int(s) for n, s in mapping.items()}
+            add_enc = new.add_maj_enc
+            for v in self.topo_gates():
+                if live is not None and v not in live:
+                    continue
+                ea, eb, ec = ca[v], cb[v], cc[v]
+                enc_map[v] = add_enc(
+                    enc_map[ea >> 1] ^ (ea & 1),
+                    enc_map[eb >> 1] ^ (eb & 1),
+                    enc_map[ec >> 1] ^ (ec & 1),
+                )
+            for po, name in zip(self._pos, self._po_names):
+                new.add_po(Signal(enc_map[po.node] ^ po.inverted), name)
+            return new, {n: Signal(e) for n, e in enc_map.items()}
         for v in self.topo_gates():
             if live is not None and v not in live:
                 continue
@@ -1005,10 +1040,7 @@ class Mig:
                 Signal(int(mapping[eb >> 1]) ^ (eb & 1)),
                 Signal(int(mapping[ec >> 1]) ^ (ec & 1)),
             )
-            if gate_fn is None:
-                mapping[v] = new.add_maj(*mapped)
-            else:
-                mapping[v] = gate_fn(new, v, mapped)
+            mapping[v] = gate_fn(new, v, mapped)
         for po, name in zip(self._pos, self._po_names):
             new.add_po(mapping[po.node].xor_inversion(po.inverted), name)
         return new, mapping

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 
-from repro.mig.graph import Mig
+from repro.mig.graph import _GATE, Mig
 from repro.mig.signal import Signal
 
 
@@ -30,10 +30,20 @@ def reorder_dfs(mig: Mig) -> Mig:
     independent of how the input file happened to order its gates.
     """
     new = Mig(name=mig.name)
-    mapping: dict[int, Signal] = {0: Signal.CONST0}
+    enc_map: dict[int, int] = {0: 0}
     for pi in mig.pis():
-        mapping[pi.node] = new.add_pi(mig.pi_name(pi.node))
+        enc_map[pi.node] = int(new.add_pi(mig.pi_name(pi.node)))
 
+    ca, cb, cc = mig._ca, mig._cb, mig._cc
+    kind = getattr(mig, "_kind", None)
+    if kind is None:
+        # Duck-typed graphs (e.g. DictMig) lack the flat kind column;
+        # synthesize one from the is_gate predicate.
+        kind = bytearray(len(ca))
+        for v in range(len(ca)):
+            if mig.is_gate(v):
+                kind[v] = _GATE
+    add_enc = new.add_maj_enc
     visited: set[int] = set()
     for po in mig.pos():
         if not mig.is_gate(po.node) or po.node in visited:
@@ -43,26 +53,26 @@ def reorder_dfs(mig: Mig) -> Mig:
         on_stack: set[int] = {po.node}
         while stack:
             node, cursor = stack.pop()
-            children = mig.children(node)
+            children = (ca[node], cb[node], cc[node])
             while cursor < 3:
-                child = children[cursor].node
+                child = children[cursor] >> 1
                 cursor += 1
-                if mig.is_gate(child) and child not in visited and child not in on_stack:
+                if kind[child] == _GATE and child not in visited and child not in on_stack:
                     stack.append((node, cursor))
                     stack.append((child, 0))
                     on_stack.add(child)
                     break
             else:
                 visited.add(node)
-                a, b, c = children
-                mapping[node] = new.add_maj(
-                    mapping[a.node].xor_inversion(a.inverted),
-                    mapping[b.node].xor_inversion(b.inverted),
-                    mapping[c.node].xor_inversion(c.inverted),
+                ea, eb, ec = children
+                enc_map[node] = add_enc(
+                    enc_map[ea >> 1] ^ (ea & 1),
+                    enc_map[eb >> 1] ^ (eb & 1),
+                    enc_map[ec >> 1] ^ (ec & 1),
                 )
 
     for po, name in zip(mig.pos(), mig.po_names()):
-        new.add_po(mapping[po.node].xor_inversion(po.inverted), name)
+        new.add_po(Signal(enc_map[po.node] ^ po.inverted), name)
     return new
 
 

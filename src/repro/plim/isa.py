@@ -68,6 +68,36 @@ ZERO = Operand.const(0)
 ONE = Operand.const(1)
 
 
+# ----------------------------------------------------------------------
+# flat operand encoding
+# ----------------------------------------------------------------------
+#
+# The array-backed program spine stores operands as single ints using the
+# same low-bit-tag convention as the MIG child encodings:
+#
+#     enc = (value << 1) | is_const
+#
+# so constants 0/1 encode as 1/3 and cell ``k`` as ``2k``.  The encoding is
+# total and reversible; ``Operand`` objects are materialized only when a
+# caller actually asks for them.
+
+#: encoded constant operands
+ZERO_ENC = 1
+ONE_ENC = 3
+
+
+def encode_operand(operand: Operand) -> int:
+    """Pack an :class:`Operand` into its flat int encoding."""
+    return (operand.value << 1) | operand.is_const
+
+
+def decode_operand(enc: int) -> Operand:
+    """Materialize the :class:`Operand` for a flat encoding."""
+    if enc & 1:
+        return ONE if enc >> 1 else ZERO
+    return Operand(False, enc >> 1)
+
+
 @dataclass(frozen=True, slots=True)
 class Instruction:
     """One RM3 instruction ``Z ← ⟨A, ¬B, Z⟩``.

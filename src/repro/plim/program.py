@@ -12,15 +12,24 @@ A :class:`Program` owns
 
 Programs can be pretty-printed in the paper's listing style and serialized
 to/from a small text format (``.plim``).
+
+Internally the instruction stream lives in flat ``array('q')`` columns (the
+same struct-of-arrays idiom as the MIG core): two operand-encoding columns,
+one destination column, and a lazy comment descriptor per instruction.
+:class:`~repro.plim.isa.Instruction` objects are materialized on demand by
+the :attr:`Program.instructions` view, so building and measuring a
+100k-instruction program allocates no per-RM3 dataclasses, and comments are
+rendered only when a listing is actually produced.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
 
 from repro.errors import ParseError
-from repro.plim.isa import Instruction, Operand
+from repro.plim.isa import Instruction, Operand, decode_operand, encode_operand
 
 
 @dataclass(frozen=True, slots=True)
@@ -29,6 +38,18 @@ class OutputLocation:
 
     cell: int
     inverted: bool = False  # True: the cell holds the *complement*
+
+
+# Lazy comment descriptors: each instruction carries a (kind, x, y[, text])
+# tuple describing how to *build* its comment string instead of the string
+# itself.  Kinds 2-5 cover every comment the translator emits; RAW keeps
+# the general case (parsed files, hand-built programs) working.
+COMMENT_NONE = 0  # no comment
+COMMENT_RAW = 1  # literal string in the overflow table
+COMMENT_CELL_CONST = 2  # "{label(x)} <- {y}"           (set-constant)
+COMMENT_CELL_SIG = 3  # "{label(x)} <- {signal(y)}"   (load / inverted load)
+COMMENT_CELL_NODE = 4  # "{label(x)} <- n{y}"          (a gate's final RM3)
+COMMENT_TARGET_CONST = 5  # "{text} <- {y}"               (constant output)
 
 
 class Program:
@@ -40,7 +61,6 @@ class Program:
         name: Optional[str] = None,
     ):
         self.name = name
-        self.instructions: list[Instruction] = []
         #: PI name → cell address (cells pre-loaded before execution).
         self.input_cells: dict[str, int] = dict(input_cells or {})
         #: PO name → :class:`OutputLocation`.
@@ -48,16 +68,63 @@ class Program:
         #: Work cells ever allocated (the paper's #R), in allocation order.
         self.work_cells: list[int] = []
         self._work_cell_set: set[int] = set()
+        #: PI node id → name, for lazy signal-name comments (set by the
+        #: fast compiler; empty for parsed or hand-built programs).
+        self.pi_node_names: dict[int, str] = {}
+        # --- the flat instruction spine -------------------------------
+        self._enc_a = array("q")  # operand A encodings
+        self._enc_b = array("q")  # operand B encodings
+        self._dst = array("q")  # destination addresses
+        self._ck = bytearray()  # comment kinds
+        self._cx = array("q")  # comment operand (cell address / unused)
+        self._cy = array("q")  # comment payload (bit / signal enc / node)
+        self._ctext: dict[int, str] = {}  # overflow strings (RAW / TARGET)
+        #: bumped on every append — execution plans key on (len, version)
+        self.version = 0
+        self._instr_cache: list[Instruction] = []
 
     # ------------------------------------------------------------------
 
     def append(self, instruction: Instruction) -> None:
         """Add one instruction to the end of the program."""
-        self.instructions.append(instruction)
+        index = len(self._dst)
+        self._enc_a.append(encode_operand(instruction.a))
+        self._enc_b.append(encode_operand(instruction.b))
+        self._dst.append(instruction.z)
+        if instruction.comment:
+            self._ck.append(COMMENT_RAW)
+            self._ctext[index] = instruction.comment
+        else:
+            self._ck.append(COMMENT_NONE)
+        self._cx.append(0)
+        self._cy.append(0)
+        self.version += 1
+
+    def append_encoded(
+        self,
+        a_enc: int,
+        b_enc: int,
+        z: int,
+        ckind: int = COMMENT_NONE,
+        cx: int = 0,
+        cy: int = 0,
+        text: Optional[str] = None,
+    ) -> None:
+        """Fast-path append: pre-encoded operands and a lazy comment."""
+        if text is not None:
+            self._ctext[len(self._dst)] = text
+        self._enc_a.append(a_enc)
+        self._enc_b.append(b_enc)
+        self._dst.append(z)
+        self._ck.append(ckind)
+        self._cx.append(cx)
+        self._cy.append(cy)
+        self.version += 1
 
     def extend(self, instructions: Iterable[Instruction]) -> None:
         """Add several instructions."""
-        self.instructions.extend(instructions)
+        for instruction in instructions:
+            self.append(instruction)
 
     def register_work_cell(self, address: int) -> None:
         """Record that ``address`` is used as a work cell."""
@@ -72,9 +139,33 @@ class Program:
     # ------------------------------------------------------------------
 
     @property
+    def instructions(self) -> list[Instruction]:
+        """The instruction stream as :class:`Instruction` objects.
+
+        Materialized lazily from the flat columns and cached; the spine is
+        append-only, so a stale cache is topped up rather than rebuilt.
+        Treat the returned list as read-only.
+        """
+        cache = self._instr_cache
+        n = len(self._dst)
+        if len(cache) < n:
+            comment_at = self._comment_resolver()
+            enc_a, enc_b, dst = self._enc_a, self._enc_b, self._dst
+            for i in range(len(cache), n):
+                cache.append(
+                    Instruction(
+                        decode_operand(enc_a[i]),
+                        decode_operand(enc_b[i]),
+                        dst[i],
+                        comment_at(i),
+                    )
+                )
+        return cache
+
+    @property
     def num_instructions(self) -> int:
         """The paper's #I metric."""
-        return len(self.instructions)
+        return len(self._dst)
 
     @property
     def num_rrams(self) -> int:
@@ -85,17 +176,20 @@ class Program:
     def num_cells(self) -> int:
         """Total cells touched (inputs + work cells)."""
         highest = -1
-        for instr in self.instructions:
-            highest = max(highest, instr.z)
-            for op in (instr.a, instr.b):
-                if not op.is_const:
-                    highest = max(highest, op.value)
+        for z in self._dst:
+            if z > highest:
+                highest = z
+        for column in (self._enc_a, self._enc_b):
+            for enc in column:
+                if not enc & 1 and enc >> 1 > highest:
+                    highest = enc >> 1
         for addr in self.input_cells.values():
-            highest = max(highest, addr)
+            if addr > highest:
+                highest = addr
         return highest + 1
 
     def __len__(self) -> int:
-        return len(self.instructions)
+        return len(self._dst)
 
     def __iter__(self) -> Iterator[Instruction]:
         return iter(self.instructions)
@@ -122,15 +216,53 @@ class Program:
 
         return namer
 
+    def _comment_resolver(self):
+        """Callable mapping an instruction index to its comment string."""
+        namer = self.cell_namer()
+        pi_names = self.pi_node_names
+        ck, cx, cy, ctext = self._ck, self._cx, self._cy, self._ctext
+
+        def signame(enc: int) -> str:
+            node = enc >> 1
+            name = pi_names.get(node) or f"n{node}"
+            return f"~{name}" if enc & 1 else name
+
+        def comment_at(index: int) -> str:
+            kind = ck[index]
+            if kind == COMMENT_NONE:
+                return ""
+            if kind == COMMENT_RAW:
+                return ctext[index]
+            if kind == COMMENT_CELL_CONST:
+                return f"{namer(cx[index])} <- {cy[index]}"
+            if kind == COMMENT_CELL_SIG:
+                return f"{namer(cx[index])} <- {signame(cy[index])}"
+            if kind == COMMENT_CELL_NODE:
+                return f"{namer(cx[index])} <- n{cy[index]}"
+            return f"{ctext[index]} <- {cy[index]}"  # COMMENT_TARGET_CONST
+
+        return comment_at
+
+    @staticmethod
+    def _render_operand(enc: int, namer=None) -> str:
+        if enc & 1:
+            return str(enc >> 1)
+        return namer(enc >> 1) if namer is not None else f"@{enc >> 1}"
+
     def listing(self, with_comments: bool = True) -> str:
         """Paper-style listing, e.g. ``01: 0, 1, @X1   X1 <- 0``."""
         namer = self.cell_namer()
-        width = max(2, len(str(len(self.instructions))))
+        comment_at = self._comment_resolver()
+        width = max(2, len(str(len(self._dst))))
         lines = []
-        for index, instr in enumerate(self.instructions, start=1):
-            text = f"{index:0{width}d}: {instr.render(namer)}"
-            if with_comments and instr.comment:
-                text = f"{text:<36} {instr.comment}"
+        for index in range(len(self._dst)):
+            a = self._render_operand(self._enc_a[index], namer)
+            b = self._render_operand(self._enc_b[index], namer)
+            text = f"{index + 1:0{width}d}: {a}, {b}, {namer(self._dst[index])}"
+            if with_comments:
+                comment = comment_at(index)
+                if comment:
+                    text = f"{text:<36} {comment}"
             lines.append(text)
         return "\n".join(lines)
 
@@ -145,6 +277,13 @@ class Program:
     # serialization
     # ------------------------------------------------------------------
 
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_instr_cache"] = []  # rebuilt on demand after unpickling
+        state.pop("_exec_plan", None)
+        state.pop("_exec_plan_key", None)
+        return state
+
     def to_text(self) -> str:
         """Serialize to the ``.plim`` text format."""
         lines = [f".plim {self.name or ''}".rstrip()]
@@ -155,10 +294,13 @@ class Program:
             lines.append(f".output {name} {loc.cell}{inv}")
         if self.work_cells:
             lines.append(".work " + " ".join(str(c) for c in self.work_cells))
-        for instr in self.instructions:
-            a, b = (op.render() for op in (instr.a, instr.b))
-            comment = f" ; {instr.comment}" if instr.comment else ""
-            lines.append(f"{a} {b} @{instr.z}{comment}")
+        comment_at = self._comment_resolver()
+        for index in range(len(self._dst)):
+            a = self._render_operand(self._enc_a[index])
+            b = self._render_operand(self._enc_b[index])
+            comment = comment_at(index)
+            suffix = f" ; {comment}" if comment else ""
+            lines.append(f"{a} {b} @{self._dst[index]}{suffix}")
         lines.append(".end")
         return "\n".join(lines) + "\n"
 

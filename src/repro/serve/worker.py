@@ -57,7 +57,10 @@ def build_record(name: Optional[str], result) -> dict:
 
     Carries everything a client needs (counts, the rewritten graph as
     ``.mig`` text, the program as ``.plim`` text), so a cache hit
-    answers a request without touching the compiler at all.
+    answers a request without touching the compiler at all.  The
+    ``*_seconds`` fields are the per-stage wall-clock of the compile
+    that *produced* the record — a cache hit serves them unchanged (the
+    response's ``"cached"`` flag tells the two apart).
     """
     buf = io.StringIO()
     write_mig(result.compiled_mig, buf)
@@ -68,6 +71,10 @@ def build_record(name: Optional[str], result) -> dict:
         "num_rrams": result.num_rrams,
         "mig": buf.getvalue(),
         "program": result.program.to_text(),
+        "rewrite_seconds": result.rewrite_seconds,
+        "schedule_seconds": result.schedule_seconds,
+        "translate_seconds": result.translate_seconds,
+        "verify_seconds": result.verify_seconds,
     }
 
 

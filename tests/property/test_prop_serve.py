@@ -72,4 +72,15 @@ def test_server_response_equals_direct_compile(mig, options):
     assert served["num_rrams"] == direct["num_rrams"]
     assert served["mig"] == direct["mig"]
     assert served["program"] == direct["program"]
-    assert response.body == canonical_json({**direct, "cached": False})
+    # the timing fields are wall-clock (nondeterministic); compare the
+    # records with them normalized away, after checking shape
+    timing_fields = (
+        "rewrite_seconds", "schedule_seconds", "translate_seconds",
+        "verify_seconds",
+    )
+    for record in (served, direct):
+        for fld in timing_fields:
+            value = record.pop(fld)
+            assert isinstance(value, float) and value >= 0.0, (fld, value)
+    served.pop("cached")
+    assert served == direct

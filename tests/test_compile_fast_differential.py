@@ -1,0 +1,112 @@
+"""Differential oracle: the array-fast Algorithm 2 vs the object engine.
+
+``CompilerOptions(implementation=...)`` selects between two complete
+implementations of the translation stage: ``"fast"`` (raw child
+encodings, array-backed per-node state, lazy comments, flat program
+columns) and ``"object"`` — the original Signal/dict/Operand path kept
+verbatim as the oracle.  The contract is *byte identity*: for every
+circuit and every option set, both engines must emit the same ``.plim``
+text, comment for comment.  That is why the swap did NOT bump the
+cache's ``ALGORITHM_REVISION`` (PR 6 precedent: bit-identical storage
+swaps keep old entries valid) — and this suite is what keeps that
+decision honest.
+
+The full 18-circuit registry sweep (both allocator policies + the naïve
+baseline) lives here; a hypothesis sweep over arbitrary graphs and
+option sets is in ``tests/property/test_prop_compile_fast.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.registry import BENCHMARK_NAMES, REGISTRY
+from repro.core.compiler import CompilerOptions, PlimCompiler
+from repro.mig.context import AnalysisContext
+
+#: the option sets the acceptance gate pins: default scheduling under
+#: both allocator recycling policies, plus the paper's naïve baseline
+GATE_CONFIGS = {
+    "fifo": CompilerOptions(allocator_policy="fifo"),
+    "lifo": CompilerOptions(allocator_policy="lifo"),
+    "naive": CompilerOptions.naive(),
+}
+
+#: extra corners beyond the gate: no complement caching, paper-style
+#: candidate selection (level rule, no cleanup), a tight cell budget,
+#: complemented outputs left in place, the lookahead rule
+EXTRA_CONFIGS = {
+    "nocache": CompilerOptions(complement_caching=False),
+    "paper": CompilerOptions(level_rule=True, reorder="none", clean=False),
+    "budget": CompilerOptions(max_work_cells=64),
+    "paper_outputs": CompilerOptions(fix_output_polarity=False),
+    "unblocking": CompilerOptions(unblocking_rule=True),
+}
+
+
+def _both_texts(mig, options: CompilerOptions) -> tuple[str, str]:
+    from dataclasses import replace
+
+    fast = PlimCompiler(replace(options, implementation="fast")).compile(mig)
+    oracle = PlimCompiler(replace(options, implementation="object")).compile(mig)
+    return fast.to_text(), oracle.to_text()
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+@pytest.mark.parametrize("config", sorted(GATE_CONFIGS))
+def test_registry_circuit_is_byte_identical(name, config):
+    mig = REGISTRY[name].build("ci")
+    fast_text, oracle_text = _both_texts(mig, GATE_CONFIGS[config])
+    assert fast_text == oracle_text
+
+
+@pytest.mark.parametrize("config", sorted(EXTRA_CONFIGS))
+def test_option_corners_are_byte_identical(config):
+    for name in ("adder", "voter", "cavlc", "router"):
+        mig = REGISTRY[name].build("ci")
+        fast_text, oracle_text = _both_texts(mig, EXTRA_CONFIGS[config])
+        assert fast_text == oracle_text, name
+
+
+def test_shared_context_is_engine_neutral():
+    """One AnalysisContext serves both engines without cross-talk."""
+    mig = REGISTRY["voter"].build("ci")
+    ctx = AnalysisContext.of(mig)
+    fast = PlimCompiler(CompilerOptions(implementation="fast")).compile(mig, context=ctx)
+    oracle = PlimCompiler(CompilerOptions(implementation="object")).compile(mig, context=ctx)
+    fast_again = PlimCompiler(CompilerOptions(implementation="fast")).compile(mig, context=ctx)
+    assert fast.to_text() == oracle.to_text() == fast_again.to_text()
+
+
+def test_infeasible_budget_raises_identically():
+    from repro.errors import CompilationError
+
+    mig = REGISTRY["voter"].build("ci")
+    errors = {}
+    for impl in ("fast", "object"):
+        with pytest.raises(CompilationError) as excinfo:
+            PlimCompiler(
+                CompilerOptions(implementation=impl, max_work_cells=1)
+            ).compile(mig)
+        errors[impl] = str(excinfo.value)
+    assert errors["fast"] == errors["object"]
+
+
+def test_implementation_is_validated():
+    from repro.errors import ReproError
+
+    with pytest.raises(ReproError):
+        CompilerOptions(implementation="vectorized")
+
+
+def test_duck_typed_graphs_fall_back_to_the_object_engine():
+    """DictMig (no flat internals) compiles under the default options."""
+    from repro.mig.graph import Mig
+    from repro.mig.graph_dict import as_dict_mig
+
+    mig = Mig(name="tiny")
+    a, b, c = (mig.add_pi(n) for n in "abc")
+    mig.add_po(mig.add_maj(a, ~b, c), "f")
+    flat = PlimCompiler().compile(mig)
+    ducked = PlimCompiler().compile(as_dict_mig(mig))
+    assert ducked.to_text() == flat.to_text()
